@@ -1,0 +1,119 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Sec. V). The synthetic 12-month trace is materialized once into
+``.bench_cache/`` and reused across sessions; the atypical forest over the
+first 84 days (the largest query range of Fig. 17/18) is built once per
+session.
+
+Environment knobs:
+
+* ``REPRO_BENCH_MONTHS`` — number of monthly datasets (default 12, the
+  paper's D1..D12).
+* ``REPRO_BENCH_SEED`` — simulation seed (default 7).
+
+Each benchmark prints its table and appends it to
+``benchmarks/results/<name>.txt`` so the paper-vs-measured comparison in
+EXPERIMENTS.md can be regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import AnalysisEngine, EngineConfig
+from repro.simulate import SimulationConfig, TrafficSimulator
+from repro.storage.catalog import DatasetCatalog
+
+BENCH_ROOT = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_ROOT / "results"
+CACHE_DIR = BENCH_ROOT.parent / ".bench_cache"
+
+
+def bench_months() -> int:
+    return int(os.environ.get("REPRO_BENCH_MONTHS", "12"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def bench_config() -> SimulationConfig:
+    base = SimulationConfig.benchmark(seed=bench_seed())
+    months = bench_months()
+    if months == len(base.month_lengths):
+        return base
+    return SimulationConfig.from_dict(
+        {**base.to_dict(), "month_lengths": tuple(base.month_lengths[:months])}
+    )
+
+
+@pytest.fixture(scope="session")
+def sim() -> TrafficSimulator:
+    return TrafficSimulator(bench_config())
+
+
+@pytest.fixture(scope="session")
+def catalog(sim) -> DatasetCatalog:
+    """The materialized monthly datasets, cached across sessions."""
+    config = sim.config
+    key = f"seed{config.seed}-m{len(config.month_lengths)}"
+    directory = CACHE_DIR / key
+    marker = directory / "catalog.json"
+    if marker.exists():
+        stored = json.loads((directory / "simulation.json").read_text())
+        if SimulationConfig.from_dict(stored) == config:
+            return DatasetCatalog(directory)
+    return sim.materialize_catalog(directory)
+
+
+@pytest.fixture(scope="session")
+def engine(sim) -> AnalysisEngine:
+    """Engine with the first 84 days built (Fig. 17-19 substrate)."""
+    eng = AnalysisEngine.from_simulator(sim, EngineConfig())
+    days = min(84, sim.calendar.num_days)
+    eng.build_from_simulator(sim, days=range(days))
+    return eng
+
+
+@pytest.fixture(scope="session")
+def query_results(engine) -> Dict[tuple, object]:
+    """Lazy cache of query runs shared between Fig. 17 and Fig. 18."""
+    cache: Dict[tuple, object] = {}
+
+    def run(num_days: int, strategy: str, delta_s: float = 0.05):
+        key = (num_days, strategy, delta_s)
+        if key not in cache:
+            cache[key] = engine.query(
+                engine.whole_city(), 0, num_days, strategy=strategy, delta_s=delta_s
+            )
+        return cache[key]
+
+    cache["run"] = run  # type: ignore[assignment]
+    return cache
+
+
+def emit_table(name: str, title: str, header: Sequence[str], rows: List[Sequence]) -> str:
+    """Render, print and persist one result table."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = [title, fmt(header)]
+    lines.append("-" * len(lines[1]))
+    lines.extend(fmt(row) for row in rows)
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text

@@ -1,0 +1,112 @@
+"""Benchmarks for the extensions beyond the paper's evaluated system.
+
+* streaming extraction (Sec. I's "online analysis"): per-window ingestion
+  must keep up with the trace while producing the batch extractor's exact
+  clusters;
+* R-tree region aggregation (Sec. VI's spatial-OLAP alternative): the
+  aggregation R-tree must agree with the district cube on every region and
+  stay within a small factor of its cost.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventExtractor, ExtractionParams
+from repro.core.records import RecordBatch
+from repro.core.streaming import OnlineEventTracker
+from repro.cube.datacube import SeverityCube
+from repro.cube.sensorcube import RTreeSeverityProvider, SensorDayCube
+from benchmarks.conftest import emit_table
+
+
+def day_batch(sim, day):
+    chunk = sim.simulate_day(day)
+    mask = chunk.atypical_mask()
+    return RecordBatch(
+        chunk.sensor_ids[mask],
+        chunk.windows[mask],
+        chunk.congested[mask].astype(np.float64),
+    ).sorted_by_window()
+
+
+def test_extension_streaming_throughput(benchmark, sim):
+    batch = day_batch(sim, 3)
+    spec = sim.window_spec
+
+    def execute():
+        tracker = OnlineEventTracker(sim.network, window_spec=spec)
+        started = time.perf_counter()
+        windows = batch.windows
+        emitted = 0
+        for window in range(3 * spec.windows_per_day, 4 * spec.windows_per_day):
+            mask = windows == window
+            emitted += len(tracker.push_window(window, batch.select(mask)))
+        emitted += len(tracker.flush())
+        elapsed = time.perf_counter() - started
+        return emitted, elapsed
+
+    emitted, elapsed = benchmark.pedantic(execute, rounds=1, iterations=1)
+    batch_clusters = EventExtractor(
+        sim.network, ExtractionParams(), spec
+    ).extract_micro_clusters(batch)
+    emit_table(
+        "extension_streaming",
+        f"Streaming extraction of one day ({len(batch)} records)",
+        ("metric", "value"),
+        [
+            ("events emitted", emitted),
+            ("batch extractor events", len(batch_clusters)),
+            ("wall time (s)", f"{elapsed:.3f}"),
+            ("records/second", f"{len(batch) / max(elapsed, 1e-9):,.0f}"),
+            ("windows/second", f"{288 / max(elapsed, 1e-9):,.0f}"),
+        ],
+    )
+    assert emitted == len(batch_clusters)
+    # a 5-minute window must process many orders of magnitude faster than
+    # real time for online deployment to be plausible
+    assert elapsed < 60
+
+
+def test_extension_rtree_region_aggregation(benchmark, sim, catalog):
+    districts = sim.districts()
+    calendar = sim.calendar
+    days = list(range(14))
+
+    def execute():
+        district_cube = SeverityCube(districts, calendar, sim.window_spec)
+        sensor_cube = SensorDayCube(sim.network, calendar, sim.window_spec)
+        dataset = catalog.dataset(0)
+        for day in days:
+            batch = dataset.atypical_day(day)
+            district_cube.add_records(batch)
+            sensor_cube.add_records(batch)
+        provider = RTreeSeverityProvider(sensor_cube, sim.network)
+
+        started = time.perf_counter()
+        grid_totals = [
+            district_cube.district_severity(d, days) for d in districts
+        ]
+        grid_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        rtree_totals = [provider.district_severity(d, days) for d in districts]
+        rtree_time = time.perf_counter() - started
+        return grid_totals, grid_time, rtree_totals, rtree_time
+
+    grid_totals, grid_time, rtree_totals, rtree_time = benchmark.pedantic(
+        execute, rounds=1, iterations=1
+    )
+    assert rtree_totals == pytest.approx(grid_totals)
+    emit_table(
+        "extension_rtree_aggregation",
+        f"F(W, 14 days) over {len(grid_totals)} regions",
+        ("provider", "seconds"),
+        [
+            ("district cube", f"{grid_time:.4f}"),
+            ("aggregation R-tree", f"{rtree_time:.4f}"),
+        ],
+    )
+    # both answer the red-zone pass in negligible time relative to queries
+    assert rtree_time < 1.0

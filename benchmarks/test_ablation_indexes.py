@@ -1,0 +1,97 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* event extraction: grid index vs. the naive O(n^2) pair search
+  (Proposition 1's two complexity regimes);
+* cluster integration: inverted-index candidate generation vs. the
+  literal all-pairs Algorithm 3.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventExtractor, ExtractionParams
+from repro.core.integration import ClusterIntegrator
+from repro.core.records import RecordBatch
+from benchmarks.conftest import emit_table
+
+
+def day_batch(sim, day):
+    chunk = sim.simulate_day(day)
+    mask = chunk.atypical_mask()
+    return RecordBatch(
+        chunk.sensor_ids[mask],
+        chunk.windows[mask],
+        chunk.congested[mask].astype(np.float64),
+    )
+
+
+def test_ablation_extraction_index(benchmark, sim):
+    """Grid-indexed extraction must beat the all-pairs baseline and agree
+    on the component structure."""
+    batch = day_batch(sim, 2)
+    grid = EventExtractor(sim.network, ExtractionParams(), sim.window_spec, "grid")
+    naive = EventExtractor(sim.network, ExtractionParams(), sim.window_spec, "naive")
+
+    def execute():
+        t0 = time.perf_counter()
+        grid_labels = grid.label_components(batch)
+        grid_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        naive_labels = naive.label_components(batch)
+        naive_time = time.perf_counter() - t0
+        return grid_labels, grid_time, naive_labels, naive_time
+
+    grid_labels, grid_time, naive_labels, naive_time = benchmark.pedantic(
+        execute, rounds=1, iterations=1
+    )
+
+    def canonical(labels):
+        seen = {}
+        return tuple(seen.setdefault(int(l), len(seen)) for l in labels)
+
+    assert canonical(grid_labels) == canonical(naive_labels)
+    emit_table(
+        "ablation_extraction_index",
+        f"Extraction over one day ({len(batch)} atypical records)",
+        ("method", "seconds", "speedup"),
+        [
+            ("naive O(n^2)", f"{naive_time:.3f}", "1x"),
+            ("grid index", f"{grid_time:.3f}", f"{naive_time / max(grid_time, 1e-9):.0f}x"),
+        ],
+    )
+    assert grid_time < naive_time / 5
+
+
+def test_ablation_integration_index(benchmark, engine):
+    """Indexed integration must beat literal Algorithm 3 and conserve the
+    total severity at the same fixpoint condition."""
+    micro = engine.forest.micro_clusters(range(2))
+
+    def execute():
+        t0 = time.perf_counter()
+        indexed = ClusterIntegrator(0.5, "avg", "indexed").integrate(micro)
+        indexed_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        naive = ClusterIntegrator(0.5, "avg", "naive").integrate(micro)
+        naive_time = time.perf_counter() - t0
+        return indexed, indexed_time, naive, naive_time
+
+    indexed, indexed_time, naive, naive_time = benchmark.pedantic(
+        execute, rounds=1, iterations=1
+    )
+    assert sum(c.severity() for c in indexed.clusters) == pytest.approx(
+        sum(c.severity() for c in naive.clusters)
+    )
+    emit_table(
+        "ablation_integration_index",
+        f"Integration of {len(micro)} micro-clusters (delta_sim = 0.5)",
+        ("method", "seconds", "comparisons"),
+        [
+            ("naive Algorithm 3", f"{naive_time:.3f}", naive.comparisons),
+            ("inverted index", f"{indexed_time:.3f}", indexed.comparisons),
+        ],
+    )
+    assert indexed.comparisons < naive.comparisons
+    assert indexed_time < naive_time

@@ -1,0 +1,66 @@
+"""Ablation: querying through the pre-materialized atypical forest.
+
+Sec. III-C: "Such a forest (or parts of it) can be pre-computed to help
+process the analytical queries." Once the week level is materialized, an
+integrate-all query over whole weeks consumes a handful of week
+macro-clusters instead of thousands of micro-clusters.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_table
+
+NUM_DAYS = 28  # four whole calendar weeks
+
+
+def test_ablation_week_materialization(benchmark, engine):
+    def execute():
+        # materialization cost (one-off, offline)
+        started = time.perf_counter()
+        for week in range(NUM_DAYS // 7):
+            engine.forest.week_clusters(week)
+        materialize_time = time.perf_counter() - started
+
+        micro_result = engine.query(
+            engine.whole_city(), 0, NUM_DAYS, strategy="all"
+        )
+        week_result = engine.query(
+            engine.whole_city(), 0, NUM_DAYS, strategy="all", use_materialized=True
+        )
+        return materialize_time, micro_result, week_result
+
+    materialize_time, micro_result, week_result = benchmark.pedantic(
+        execute, rounds=1, iterations=1
+    )
+    emit_table(
+        "ablation_materialization",
+        f"Integrate-all over {NUM_DAYS} days: micro vs. materialized weeks",
+        ("variant", "inputs", "time (s)"),
+        [
+            (
+                "micro-clusters",
+                micro_result.stats.input_clusters,
+                f"{micro_result.stats.elapsed_seconds:.2f}",
+            ),
+            (
+                "week macro-clusters",
+                week_result.stats.input_clusters,
+                f"{week_result.stats.elapsed_seconds:.2f}",
+            ),
+            ("(one-off week materialization)", "-", f"{materialize_time:.2f}"),
+        ],
+    )
+    # severity is conserved, and the significant clusters agree; the full
+    # partitions may differ slightly — hard clustering is order-dependent
+    # (Sec. V-D), and consuming week-level macros changes the merge order
+    assert sum(c.severity() for c in week_result.returned) == pytest.approx(
+        sum(c.severity() for c in micro_result.returned)
+    )
+    week_sig = sorted(c.severity() for c in week_result.significant())
+    micro_sig = sorted(c.severity() for c in micro_result.significant())
+    assert week_sig == pytest.approx(micro_sig, rel=0.05)
+    # an order of magnitude fewer inputs and a faster query
+    assert week_result.stats.input_clusters < micro_result.stats.input_clusters / 5
+    assert week_result.stats.elapsed_seconds < micro_result.stats.elapsed_seconds

@@ -1,0 +1,91 @@
+"""Ablations of the red-zone guidance (Sec. IV design choices).
+
+* district granularity: finer pre-defined regions prune more aggressively
+  but concentrate less of each cluster's severity per region, eroding the
+  practical no-false-negative margin of Property 5;
+* the final severity check (Algorithm 4 lines 5-7): turned off in the
+  paper's experiments "for a fair play", it buys 100 % precision for one
+  extra pass over the results.
+"""
+
+import pytest
+
+from repro.analysis.evaluation import score_strategy
+from repro.core.query import AnalyticalQuery, QueryProcessor
+from repro.cube.datacube import SeverityCube
+from repro.spatial.regions import DistrictGrid
+from benchmarks.conftest import emit_table
+
+NUM_DAYS = 14
+GRIDS = ((2, 3), (5, 7), (8, 10), (12, 14))
+
+
+def test_ablation_district_granularity(benchmark, sim, catalog, engine, query_results):
+    all_result = query_results["run"](NUM_DAYS, "all")
+
+    def execute():
+        rows = []
+        for cols, rows_ in GRIDS:
+            districts = DistrictGrid(sim.network, cols=cols, rows=rows_)
+            cube = SeverityCube(districts, sim.calendar, sim.window_spec)
+            dataset = catalog.dataset(0)
+            for day in range(NUM_DAYS):
+                cube.add_records(dataset.atypical_day(day))
+            processor = QueryProcessor(
+                engine.forest, districts, cube, delta_s=0.05
+            )
+            query = AnalyticalQuery.over_days(engine.whole_city(), 0, NUM_DAYS)
+            result = processor.run(query, "gui")
+            score = score_strategy(result, all_result)
+            rows.append(
+                (
+                    f"{cols}x{rows_}",
+                    cols * rows_,
+                    result.stats.red_zones,
+                    result.stats.input_clusters,
+                    result.stats.pruned_clusters,
+                    f"{score.recall:.2f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(execute, rounds=1, iterations=1)
+    emit_table(
+        "ablation_redzone_granularity",
+        "Red-zone pruning vs. district granularity (14-day query)",
+        ("grid", "districts", "red", "kept", "pruned", "recall"),
+        rows,
+    )
+    # finer grids prune at least as much ...
+    pruned = [r[4] for r in rows]
+    assert pruned[-1] >= pruned[0]
+    # ... while coarse-to-default grids keep recall high
+    assert float(rows[0][5]) >= 0.9
+    assert float(rows[1][5]) >= 0.9
+
+
+def test_ablation_final_check(benchmark, engine, query_results):
+    all_result = query_results["run"](NUM_DAYS, "all")
+
+    def execute():
+        unchecked = query_results["run"](NUM_DAYS, "gui")
+        checked = engine.query(
+            engine.whole_city(), 0, NUM_DAYS, strategy="gui", final_check=True
+        )
+        return unchecked, checked
+
+    unchecked, checked = benchmark.pedantic(execute, rounds=1, iterations=1)
+    unchecked_score = score_strategy(unchecked, all_result)
+    checked_score = score_strategy(checked, all_result)
+    emit_table(
+        "ablation_final_check",
+        "Gui with / without the final severity check (14-day query)",
+        ("variant", "returned", "precision", "recall"),
+        [
+            ("final check off", len(unchecked.returned), f"{unchecked_score.precision:.2f}", f"{unchecked_score.recall:.2f}"),
+            ("final check on", len(checked.returned), f"{checked_score.precision:.2f}", f"{checked_score.recall:.2f}"),
+        ],
+    )
+    # the check guarantees 100 % precision without losing recall
+    assert checked_score.precision == 1.0
+    assert checked_score.recall >= unchecked_score.recall - 1e-9

@@ -1,0 +1,73 @@
+"""Fig. 15 — model construction time vs. number of datasets.
+
+Per-month construction costs are measured once for each method (PR, OC,
+MC, AC) and reported cumulatively over 1..12 datasets, exactly the series
+the paper plots. Expected shape: MC and AC are an order of magnitude
+faster than OC (they consume only the 2-5 % atypical records), and PR's
+cost tracks OC (both must scan the full trace).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine, EngineConfig
+from repro.cube.cubeview import build_cube_mc, build_cube_oc, preprocess
+from benchmarks.conftest import emit_table
+
+
+def measure_per_month(sim, catalog):
+    """Per-month construction seconds for PR / OC / MC / AC."""
+    districts = sim.districts()
+    calendar = sim.calendar
+    spec = sim.window_spec
+    times = {"PR": [], "OC": [], "MC": [], "AC": []}
+    for month, dataset in enumerate(catalog):
+        pre = preprocess([dataset])
+        times["PR"].append(pre.report.elapsed_seconds)
+
+        _, oc_report = build_cube_oc([dataset], districts, calendar, spec)
+        times["OC"].append(oc_report.elapsed_seconds)
+
+        _, mc_report = build_cube_mc(pre.batches, districts, calendar, spec)
+        times["MC"].append(mc_report.elapsed_seconds)
+
+        engine = AnalysisEngine.from_simulator(sim, EngineConfig())
+        started = time.perf_counter()
+        for day, batch in zip(pre.days, pre.batches):
+            engine.add_day_records(day, batch)
+        times["AC"].append(time.perf_counter() - started)
+    return times
+
+
+def test_fig15_construction_time(benchmark, sim, catalog):
+    times = benchmark.pedantic(
+        lambda: measure_per_month(sim, catalog), rounds=1, iterations=1
+    )
+    methods = ("MC", "AC", "OC", "PR")
+    rows = []
+    cumulative = {m: 0.0 for m in methods}
+    for k in range(len(catalog)):
+        for m in methods:
+            cumulative[m] += times[m][k]
+        rows.append(
+            (k + 1, *(f"{cumulative[m]:.2f}" for m in methods))
+        )
+    emit_table(
+        "fig15_construction_time",
+        "Fig. 15 — cumulative construction time (s) vs. # of datasets",
+        ("datasets", *methods),
+        rows,
+    )
+    total = {m: sum(times[m]) for m in times}
+    # headline shape: the atypical-data cube is an order of magnitude
+    # cheaper than the full-scan baseline, even with the one-off
+    # pre-processing folded in
+    assert total["MC"] < total["OC"] / 5
+    assert total["MC"] + total["PR"] < total["OC"] / 2
+    # AC tracks OC in this substrate rather than beating it 5-10x as in
+    # the paper: numpy vectorizes OC's scan-and-scatter almost entirely,
+    # while event extraction keeps an irreducible per-sensor-pair loop.
+    # See EXPERIMENTS.md for the discussion of this deviation.
+    assert total["AC"] < total["OC"] * 1.4
+    assert total["PR"] < total["OC"]

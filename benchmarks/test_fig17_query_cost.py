@@ -1,0 +1,76 @@
+"""Fig. 17 — analytical query time and I/O cost vs. query range.
+
+The query's spatial range is the whole city; the time range grows from
+one week to three months (7..84 days), and the three processing
+strategies are compared on (a) wall time and (b) the number of input
+micro-clusters (the paper's I/O-cost proxy).
+
+Expected shape: Gui and Pru are much cheaper than All; Gui's cost stays
+close to Pru's on I/O while retaining recall (Fig. 18 checks accuracy).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_table
+
+RANGES = (7, 14, 21, 28, 56, 84)
+
+
+def test_fig17_query_time_and_io(benchmark, engine, query_results):
+    run = query_results["run"]
+
+    def execute():
+        rows = []
+        for num_days in RANGES:
+            if num_days > len(engine.built_days):
+                continue
+            results = {s: run(num_days, s) for s in ("all", "pru", "gui")}
+            rows.append((num_days, results))
+        return rows
+
+    measured = benchmark.pedantic(execute, rounds=1, iterations=1)
+
+    time_rows = []
+    io_rows = []
+    for num_days, results in measured:
+        time_rows.append(
+            (
+                num_days,
+                *(f"{results[s].stats.elapsed_seconds:.2f}" for s in ("all", "pru", "gui")),
+                f"{results['gui'].stats.elapsed_seconds / max(results['all'].stats.elapsed_seconds, 1e-9):.0%}",
+            )
+        )
+        io_rows.append(
+            (
+                num_days,
+                *(results[s].stats.input_clusters for s in ("all", "pru", "gui")),
+                f"{results['gui'].stats.input_clusters / max(results['all'].stats.input_clusters, 1):.0%}",
+            )
+        )
+    emit_table(
+        "fig17a_query_time",
+        "Fig. 17(a) — query time (s) vs. range (days)",
+        ("days", "All", "Pru", "Gui", "Gui/All"),
+        time_rows,
+    )
+    emit_table(
+        "fig17b_query_io",
+        "Fig. 17(b) — # of input micro-clusters vs. range (days)",
+        ("days", "All", "Pru", "Gui", "Gui/All"),
+        io_rows,
+    )
+
+    # headline: guided clustering processes queries at a fraction of the
+    # integrate-all cost, on both wall time and inputs, at every range
+    for num_days, results in measured:
+        assert (
+            results["pru"].stats.input_clusters
+            < results["gui"].stats.input_clusters
+            <= results["all"].stats.input_clusters
+        )
+    # aggregate time ratio over the heavy ranges (>= 28 days)
+    heavy = [(d, r) for d, r in measured if d >= 28]
+    if heavy:
+        gui_time = sum(r["gui"].stats.elapsed_seconds for _, r in heavy)
+        all_time = sum(r["all"].stats.elapsed_seconds for _, r in heavy)
+        assert gui_time < 0.75 * all_time

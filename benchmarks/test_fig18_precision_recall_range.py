@@ -1,0 +1,78 @@
+"""Fig. 18 — precision and recall of the strategies vs. query range.
+
+Ground truth per range: the significant clusters of the integrate-all
+run (its results "contain all the significant clusters").
+
+Expected shape (paper, delta_s = 5 %):
+
+* recall — All is 1 by construction; Gui preserves recall (the red-zone
+  filter produces no false negatives); Pru can fall below 0.5 because a
+  micro-cluster contributing to a significant macro-cluster need not be
+  significant by itself.
+* precision — decreases with the range for every method (cluster severity
+  grows sublinearly, so larger ranges have fewer significant clusters
+  among ever more returned ones); Pru's precision is the highest.
+"""
+
+import pytest
+
+from repro.analysis.evaluation import score_strategy
+from benchmarks.conftest import emit_table
+
+RANGES = (7, 14, 21, 28, 56, 84)
+
+
+def test_fig18_precision_recall_vs_range(benchmark, engine, query_results):
+    run = query_results["run"]
+
+    def execute():
+        scored = []
+        for num_days in RANGES:
+            if num_days > len(engine.built_days):
+                continue
+            results = {s: run(num_days, s) for s in ("all", "pru", "gui")}
+            scores = {
+                s: score_strategy(results[s], results["all"])
+                for s in ("all", "pru", "gui")
+            }
+            scored.append((num_days, scores))
+        return scored
+
+    scored = benchmark.pedantic(execute, rounds=1, iterations=1)
+
+    emit_table(
+        "fig18a_precision_range",
+        "Fig. 18(a) — precision vs. query range (delta_s = 5%)",
+        ("days", "All", "Pru", "Gui", "GT size"),
+        [
+            (
+                d,
+                *(f"{s[m].precision:.2f}" for m in ("all", "pru", "gui")),
+                s["all"].ground_truth,
+            )
+            for d, s in scored
+        ],
+    )
+    emit_table(
+        "fig18b_recall_range",
+        "Fig. 18(b) — recall vs. query range (delta_s = 5%)",
+        ("days", "All", "Pru", "Gui"),
+        [
+            (d, *(f"{s[m].recall:.2f}" for m in ("all", "pru", "gui")))
+            for d, s in scored
+        ],
+    )
+
+    for _, scores in scored:
+        # All is the ground truth
+        assert scores["all"].recall == 1.0
+        # red-zone guidance preserves recall (no false negatives)
+        assert scores["gui"].recall >= 0.85
+        # beforehand pruning misses significant macro-clusters
+        assert scores["pru"].recall < 1.0
+
+    # Pru recall dips below ~0.7 somewhere in the sweep (paper: below 50 %)
+    assert min(s["pru"].recall for _, s in scored) < 0.75
+    # precision falls from the shortest to the longest range
+    first, last = scored[0][1], scored[-1][1]
+    assert last["all"].precision < first["all"].precision

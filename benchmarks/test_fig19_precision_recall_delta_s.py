@@ -1,0 +1,72 @@
+"""Fig. 19 — precision and recall vs. the severity threshold delta_s.
+
+The query range is fixed at 14 days (as in the paper) and delta_s sweeps
+2 % - 20 %.
+
+Expected shape: precision drops as delta_s grows (fewer clusters clear a
+higher bar while the returned sets stay the same); Pru's recall *rises*
+with delta_s — the clusters that survive a high bar are the concentrated
+monsters whose daily micro-clusters beforehand pruning keeps.
+"""
+
+import pytest
+
+from repro.analysis.evaluation import score_strategy
+from benchmarks.conftest import emit_table
+
+DELTA_S = (0.02, 0.05, 0.10, 0.15, 0.20)
+NUM_DAYS = 14
+
+
+def test_fig19_precision_recall_vs_delta_s(benchmark, engine, query_results):
+    run = query_results["run"]
+
+    def execute():
+        scored = []
+        for delta_s in DELTA_S:
+            results = {
+                s: run(NUM_DAYS, s, delta_s) for s in ("all", "pru", "gui")
+            }
+            scores = {
+                s: score_strategy(results[s], results["all"])
+                for s in ("all", "pru", "gui")
+            }
+            scored.append((delta_s, scores))
+        return scored
+
+    scored = benchmark.pedantic(execute, rounds=1, iterations=1)
+
+    emit_table(
+        "fig19a_precision_delta_s",
+        "Fig. 19(a) — precision vs. delta_s (14-day range)",
+        ("delta_s", "All", "Pru", "Gui", "GT size"),
+        [
+            (
+                f"{d:.0%}",
+                *(f"{s[m].precision:.2f}" for m in ("all", "pru", "gui")),
+                s["all"].ground_truth,
+            )
+            for d, s in scored
+        ],
+    )
+    emit_table(
+        "fig19b_recall_delta_s",
+        "Fig. 19(b) — recall vs. delta_s (14-day range)",
+        ("delta_s", "All", "Pru", "Gui"),
+        [
+            (f"{d:.0%}", *(f"{s[m].recall:.2f}" for m in ("all", "pru", "gui")))
+            for d, s in scored
+        ],
+    )
+
+    # ground truth shrinks as the bar rises
+    gt_sizes = [s["all"].ground_truth for _, s in scored]
+    assert gt_sizes == sorted(gt_sizes, reverse=True)
+    # precision of the unfiltered strategies decreases from 2 % to 20 %
+    assert scored[-1][1]["all"].precision < scored[0][1]["all"].precision
+    # Pru's recall rises with delta_s (the paper's counter-intuitive
+    # observation): missed at low thresholds, safe on the monsters
+    assert scored[0][1]["pru"].recall < scored[-1][1]["pru"].recall
+    # guided clustering preserves recall at the default threshold
+    default = dict(scored)[0.05]
+    assert default["gui"].recall >= 0.9

@@ -1,0 +1,137 @@
+"""Battlefield surveillance — a second CPS domain on the same API.
+
+Run with::
+
+    python examples/battlefield_surveillance.py
+
+The paper lists battlefield surveillance among the CPS applications and
+names intruder detection as future work built on the same model. This
+example shows the library is domain-agnostic: the "road network" becomes
+a perimeter of patrol lines with acoustic sensors, atypical records are
+detection readings (seconds of signal per window, scaled to minutes), and
+atypical clusters summarize incursion events — where the perimeter is
+probed, at what hour, and which post sees the most activity.
+
+No traffic simulator involved: the incursions are generated directly as
+record batches, demonstrating the raw ``AnalysisEngine`` ingestion path.
+"""
+
+import numpy as np
+
+from repro.analysis.engine import AnalysisEngine, EngineConfig
+from repro.core.records import RecordBatch
+from repro.spatial.geometry import Point
+from repro.spatial.network import Highway, Sensor, SensorNetwork
+from repro.spatial.regions import DistrictGrid
+from repro.temporal.hierarchy import Calendar
+from repro.temporal.windows import WindowSpec
+
+
+def perimeter_network() -> SensorNetwork:
+    """Four patrol lines forming a 12 x 8 km perimeter box (km ~ miles
+    here; only relative distances matter)."""
+    lines = [
+        Highway(0, "North fence", (Point(0, 8), Point(12, 8))),
+        Highway(1, "South fence", (Point(0, 0), Point(12, 0))),
+        Highway(2, "West fence", (Point(0, 0), Point(0, 8))),
+        Highway(3, "East fence", (Point(12, 0), Point(12, 8))),
+    ]
+    sensors = []
+    sid = 0
+    for line in lines:
+        start, end = line.points
+        length = start.distance_to(end)
+        count = int(length) + 1
+        for k in range(count):
+            frac = k / max(count - 1, 1)
+            sensors.append(
+                Sensor(
+                    sid,
+                    Point(
+                        start.x + frac * (end.x - start.x),
+                        start.y + frac * (end.y - start.y),
+                    ),
+                    line.highway_id,
+                    frac * length,
+                    k,
+                )
+            )
+            sid += 1
+    return SensorNetwork(sensors, lines)
+
+
+def simulate_incursions(network: SensorNetwork, days: int, seed: int = 3):
+    """Nightly probing of the north-east corner plus random false alarms."""
+    rng = np.random.default_rng(seed)
+    spec = WindowSpec()
+    north = network.highway_sensors(0)
+    probe_site = north[-4:]  # the north-east corner posts
+    for day in range(days):
+        sensors, windows, severity = [], [], []
+        # recurring probe around 02:00, most nights
+        if rng.random() < 0.8:
+            start = spec.window_at(day, 2, 0) + int(rng.integers(-3, 4))
+            for step in range(int(rng.integers(4, 9))):
+                for offset, sensor in enumerate(probe_site):
+                    signal = 4.5 - 0.8 * abs(offset - step % len(probe_site))
+                    if signal > 0.4:
+                        sensors.append(sensor)
+                        windows.append(start + step)
+                        severity.append(min(5.0, signal + rng.uniform(0, 0.4)))
+        # sporadic false alarms (wildlife) anywhere, any hour
+        for _ in range(int(rng.poisson(2.0))):
+            sensor = int(rng.integers(0, len(network)))
+            window = spec.window_at(day, int(rng.integers(0, 24)), 0)
+            sensors.append(sensor)
+            windows.append(window)
+            severity.append(float(rng.uniform(0.5, 2.0)))
+        yield day, RecordBatch(
+            np.array(sensors, dtype=np.int32),
+            np.array(windows, dtype=np.int32),
+            np.array(severity, dtype=np.float64),
+        )
+
+
+def main() -> None:
+    network = perimeter_network()
+    districts = DistrictGrid(network, cols=3, rows=2)
+    calendar = Calendar(month_lengths=(14,), month_names=("exercise",))
+    engine = AnalysisEngine(
+        network,
+        districts,
+        calendar,
+        config=EngineConfig(distance_miles=1.6, delta_s=0.02),
+    )
+
+    print(f"Perimeter: {len(network)} acoustic posts on 4 patrol lines")
+    for day, batch in simulate_incursions(network, days=14):
+        engine.add_day_records(day, batch)
+    print(f"Ingested 14 days, {engine.forest.stats().num_micro} micro-clusters")
+
+    result = engine.query(
+        engine.whole_city(), 0, 14, strategy="gui", final_check=True
+    )
+    print(f"\nSignificant incursion clusters: {len(result.returned)}")
+    for cluster in result.returned:
+        post, seconds = cluster.most_serious_sensor()
+        line = network.highways[network[post].highway_id].name
+        spec = WindowSpec()
+        minute = spec.minute_of_day(cluster.start_window())
+        print(
+            f"  cluster {cluster.cluster_id}: {cluster.severity():.0f} signal-min "
+            f"over {len(cluster.spatial)} posts on '{line}', "
+            f"recurring around {minute // 60:02d}:{minute % 60:02d}, "
+            f"hottest post s{post} ({seconds:.0f} min)"
+        )
+
+    # the recurring 02:00 probe must dominate; false alarms stay trivial
+    assert result.returned, "expected the nightly probe to be significant"
+    top = result.returned[0]
+    assert top.spatial.keys() <= set(network.highway_sensors(0)), (
+        "the significant cluster should sit on the north fence"
+    )
+    print("\nThe nightly north-east probe was isolated from the noise. Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Parameter study — how the thresholds shape the clustering.
+
+Run with::
+
+    python examples/parameter_study.py
+
+A compact version of the paper's Sec. V-C on the small profile: sweeps
+``delta_t`` (event fragmentation), ``delta_sim`` x balance function
+(integration aggressiveness) and ``delta_s`` (significance), printing the
+resulting cluster counts so the parameter intuition is visible at a
+glance.
+"""
+
+import numpy as np
+
+from repro import AnalysisEngine, SimulationConfig, TrafficSimulator
+from repro.analysis.engine import EngineConfig
+from repro.core.integration import ClusterIntegrator
+from repro.core.significance import SignificanceThreshold
+
+DAYS = 7
+
+
+def build(sim, **config_overrides):
+    engine = AnalysisEngine.from_simulator(sim, EngineConfig(**config_overrides))
+    engine.build_from_simulator(sim, days=range(DAYS))
+    return engine
+
+
+def main() -> None:
+    sim = TrafficSimulator(SimulationConfig.small())
+    n = len(sim.network)
+    print(f"Small city: {n} sensors, {DAYS} days\n")
+
+    print("delta_t sweep (minutes) — fragmentation of events into micro-clusters")
+    print(f"{'delta_t':>8}  {'micro-clusters':>14}")
+    for delta_t in (15, 20, 40, 80):
+        engine = build(sim, time_gap_minutes=float(delta_t))
+        print(f"{delta_t:>8}  {engine.forest.stats().num_micro:>14}")
+
+    base = build(sim)
+    micro = base.forest.micro_clusters(range(DAYS))
+    bar = SignificanceThreshold(0.05, DAYS * 24.0, n)
+
+    print("\ndelta_sim x g sweep — macro-clusters after integration")
+    header = f"{'delta_sim':>9}  " + "  ".join(f"{g:>5}" for g in ("min", "avg", "max"))
+    print(header)
+    for delta_sim in (0.2, 0.4, 0.5, 0.7, 0.9):
+        counts = []
+        for g in ("min", "avg", "max"):
+            result = ClusterIntegrator(delta_sim, g).integrate(micro)
+            counts.append(len(result.clusters))
+        print(f"{delta_sim:>9.1f}  " + "  ".join(f"{c:>5}" for c in counts))
+
+    print("\ndelta_s sweep — significant clusters in the 7-day city query")
+    print(f"{'delta_s':>8}  {'bar (min)':>10}  {'significant':>11}")
+    for delta_s in (0.02, 0.05, 0.10, 0.20):
+        result = base.query(
+            base.whole_city(), 0, DAYS, strategy="all", delta_s=delta_s
+        )
+        print(
+            f"{delta_s:>8.0%}  {result.threshold.min_severity:>10.0f}  "
+            f"{len(result.significant()):>11}"
+        )
+
+    print("\nTakeaways (matching Sec. V-C): larger delta_t merges the")
+    print("stop-and-go pulses; max is the most aggressive balance function;")
+    print("the number of significant clusters is governed by delta_s.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — atypical-cluster analysis of cyber-physical data.
+
+A from-scratch reproduction of Tang et al., "Multidimensional Analysis of
+Atypical Events in Cyber-Physical Data" (ICDE 2012): the atypical cluster
+model (micro/macro clusters over spatial and temporal severity features),
+the atypical forest, significant-cluster retrieval with red-zone guided
+clustering, the CubeView-style bottom-up baselines, and a synthetic
+PeMS-like traffic trace generator used as the evaluation substrate.
+
+Quick start::
+
+    from repro import AnalysisEngine, SimulationConfig, TrafficSimulator
+
+    sim = TrafficSimulator(SimulationConfig.small())
+    engine = AnalysisEngine.from_simulator(sim)
+    engine.build_from_simulator(sim, days=range(7))
+    result = engine.query(engine.whole_city(), first_day=0, num_days=7)
+    for cluster in result.significant():
+        print(engine.describe(cluster))
+"""
+
+from repro.analysis import AnalysisEngine, EngineConfig, score_strategy
+from repro.core import (
+    AnalyticalQuery,
+    AtypicalCluster,
+    AtypicalForest,
+    ClusterIntegrator,
+    EventExtractor,
+    ExtractionParams,
+    QueryProcessor,
+    RecordBatch,
+    SignificanceThreshold,
+)
+from repro.simulate import SimulationConfig, TrafficSimulator
+from repro.spatial import DistrictGrid, QueryRegion, SensorNetwork
+from repro.storage import CPSDataset, DatasetCatalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisEngine",
+    "EngineConfig",
+    "score_strategy",
+    "AnalyticalQuery",
+    "AtypicalCluster",
+    "AtypicalForest",
+    "ClusterIntegrator",
+    "EventExtractor",
+    "ExtractionParams",
+    "QueryProcessor",
+    "RecordBatch",
+    "SignificanceThreshold",
+    "SimulationConfig",
+    "TrafficSimulator",
+    "DistrictGrid",
+    "QueryRegion",
+    "SensorNetwork",
+    "CPSDataset",
+    "DatasetCatalog",
+    "__version__",
+]

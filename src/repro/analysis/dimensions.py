@@ -1,0 +1,160 @@
+"""Context-dimension joins (Sec. V-D).
+
+"The weather dimension can be joined with temporal dimension with the date
+and the accident dimension can be joined with temporal and spatial
+dimensions by the accident time and location. By joining those dimension
+information, the system can support analytical queries on more
+dimensions."
+
+This module implements both joins over the cluster model:
+
+* :func:`match_incidents` — spatial+temporal join of one cluster against
+  an accident log;
+* :class:`IncidentDimension` — a per-day accident table with cluster
+  attribution and an "incident-related congestion" rollup;
+* the weather join lives in :func:`repro.analysis.report.weather_breakdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.cluster import AtypicalCluster
+from repro.simulate.congestion import IncidentReport
+from repro.spatial.network import SensorNetwork
+from repro.temporal.windows import WindowSpec
+
+__all__ = ["IncidentMatch", "match_incidents", "IncidentDimension"]
+
+
+@dataclass(frozen=True)
+class IncidentMatch:
+    """One accident report attributed to a cluster."""
+
+    incident: IncidentReport
+    day: int
+    distance_miles: float
+    minutes_apart: float
+
+
+def _incident_location(incident: IncidentReport, network: SensorNetwork):
+    sensors = network.highway_sensors(incident.highway_id)
+    ordinal = min(max(incident.center_ordinal, 0), len(sensors) - 1)
+    return network.location(sensors[ordinal])
+
+
+def match_incidents(
+    cluster: AtypicalCluster,
+    day: int,
+    incidents: Sequence[IncidentReport],
+    network: SensorNetwork,
+    window_spec: WindowSpec = WindowSpec(),
+    max_distance_miles: float = 1.5,
+    max_minutes: float = 30.0,
+) -> List[IncidentMatch]:
+    """Accidents of ``day`` that plausibly relate to ``cluster``.
+
+    An incident matches when its location is within ``max_distance_miles``
+    of one of the cluster's sensors *and* its time lies within
+    ``max_minutes`` of the cluster's active time-of-day span. The defaults
+    mirror the paper's ``delta_d`` plus a doubled ``delta_t`` (accident
+    reports lag the congestion they cause).
+    """
+    matches: List[IncidentMatch] = []
+    start_minute = window_spec.minute_of_day(
+        cluster.start_window() % window_spec.windows_per_day
+    )
+    end_minute = window_spec.minute_of_day(
+        cluster.end_window() % window_spec.windows_per_day
+    ) + window_spec.width_minutes
+    locations = [network.location(s) for s in cluster.spatial]
+    for incident in incidents:
+        spot = _incident_location(incident, network)
+        distance = min(spot.distance_to(p) for p in locations)
+        if distance >= max_distance_miles:
+            continue
+        incident_start = incident.start_minute
+        incident_end = incident.start_minute + incident.duration_minutes
+        if incident_end < start_minute - max_minutes:
+            continue
+        if incident_start > end_minute + max_minutes:
+            continue
+        gap = max(0.0, start_minute - incident_end, incident_start - end_minute)
+        matches.append(
+            IncidentMatch(
+                incident=incident,
+                day=day,
+                distance_miles=distance,
+                minutes_apart=gap,
+            )
+        )
+    matches.sort(key=lambda m: (m.distance_miles, m.minutes_apart))
+    return matches
+
+
+class IncidentDimension:
+    """An accident log keyed by day, joinable against clusters.
+
+    Typically filled from the simulator's ground truth
+    (:meth:`~repro.simulate.generator.TrafficSimulator.incident_log`) or,
+    in a real deployment, from police reports.
+    """
+
+    def __init__(self, network: SensorNetwork, window_spec: WindowSpec = WindowSpec()):
+        self._network = network
+        self._spec = window_spec
+        self._by_day: Dict[int, List[IncidentReport]] = {}
+
+    def add_day(self, day: int, incidents: Iterable[IncidentReport]) -> None:
+        self._by_day.setdefault(day, []).extend(incidents)
+
+    def day_incidents(self, day: int) -> List[IncidentReport]:
+        return list(self._by_day.get(day, ()))
+
+    def total_incidents(self) -> int:
+        return sum(len(v) for v in self._by_day.values())
+
+    # ------------------------------------------------------------------
+    def attribute(
+        self,
+        cluster: AtypicalCluster,
+        days: Sequence[int],
+        max_distance_miles: float = 1.5,
+        max_minutes: float = 30.0,
+    ) -> List[IncidentMatch]:
+        """All accidents over ``days`` attributable to ``cluster``."""
+        matches: List[IncidentMatch] = []
+        for day in days:
+            matches.extend(
+                match_incidents(
+                    cluster,
+                    day,
+                    self._by_day.get(day, ()),
+                    self._network,
+                    self._spec,
+                    max_distance_miles,
+                    max_minutes,
+                )
+            )
+        return matches
+
+    def split_clusters(
+        self,
+        clusters: Sequence[AtypicalCluster],
+        days: Sequence[int],
+        **join_kwargs,
+    ) -> Tuple[List[AtypicalCluster], List[AtypicalCluster]]:
+        """Partition clusters into incident-related and recurring ones.
+
+        Answers the officer's question "show me the congestions related to
+        accident reports" (Sec. V-D).
+        """
+        related: List[AtypicalCluster] = []
+        recurring: List[AtypicalCluster] = []
+        for cluster in clusters:
+            if self.attribute(cluster, days, **join_kwargs):
+                related.append(cluster)
+            else:
+                recurring.append(cluster)
+        return related, recurring

@@ -1,0 +1,95 @@
+"""Precision / recall evaluation of query strategies (Sec. V-B).
+
+The paper defines the metrics against the integrate-all baseline:
+
+* *ground truth* — the significant clusters found by ``All`` (which prunes
+  nothing, so its results contain every significant cluster);
+* *precision* — "the proportion of significant clusters in the returned
+  query results";
+* *recall* — "the proportion of retrieved significant clusters over the
+  ground truth".
+
+Matching clusters across strategies needs a correspondence: two clusters
+describe the same ground-truth event set when their micro-cluster leaf
+sets overlap. A ground-truth cluster counts as *retrieved* when the
+strategy returned a **significant** cluster sharing leaves with it — a
+strategy that reassembles only a fragment of a monster (as beforehand
+pruning does) gets credit only if the fragment itself clears the bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from repro.core.cluster import AtypicalCluster
+from repro.core.query import QueryResult
+
+__all__ = ["StrategyScore", "score_strategy", "ground_truth"]
+
+
+@dataclass(frozen=True)
+class StrategyScore:
+    """Effectiveness of one strategy against the integrate-all ground truth."""
+
+    strategy: str
+    precision: float
+    recall: float
+    returned: int
+    returned_significant: int
+    ground_truth: int
+    retrieved: int
+
+
+def ground_truth(all_result: QueryResult) -> List[AtypicalCluster]:
+    """The significant clusters of the integrate-all run."""
+    if all_result.strategy != "all":
+        raise ValueError(
+            f"ground truth must come from the 'all' strategy, got {all_result.strategy!r}"
+        )
+    return all_result.significant()
+
+
+def score_strategy(result: QueryResult, all_result: QueryResult) -> StrategyScore:
+    """Precision and recall of ``result`` against ``all_result``'s truth.
+
+    Precision follows the paper exactly: the share of *returned* clusters
+    that are significant at the query scale. (The paper turns the final
+    severity check off "for a fair play"; with ``final_check=True`` the
+    Gui strategy's precision is 1.0 by construction.)
+    """
+    truth = ground_truth(all_result)
+    returned = result.returned
+    significant = result.significant()
+    precision = len(significant) / len(returned) if returned else 0.0
+
+    if not truth:
+        return StrategyScore(
+            strategy=result.strategy,
+            precision=precision,
+            recall=1.0,
+            returned=len(returned),
+            returned_significant=len(significant),
+            ground_truth=0,
+            retrieved=0,
+        )
+
+    truth_leaves: Dict[int, FrozenSet[int]] = {
+        cluster.cluster_id: all_result.leaf_ids(cluster) for cluster in truth
+    }
+    candidate_leaves: List[FrozenSet[int]] = [
+        result.leaf_ids(cluster) for cluster in significant
+    ]
+    retrieved = 0
+    for leaves in truth_leaves.values():
+        if any(leaves & candidate for candidate in candidate_leaves):
+            retrieved += 1
+    return StrategyScore(
+        strategy=result.strategy,
+        precision=precision,
+        recall=retrieved / len(truth),
+        returned=len(returned),
+        returned_significant=len(significant),
+        ground_truth=len(truth),
+        retrieved=retrieved,
+    )

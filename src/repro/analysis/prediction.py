@@ -1,0 +1,248 @@
+"""Atypical event prediction — the paper's stated future work.
+
+Sec. VII: "In the future we will extend the atypical event analysis to
+support more complex applications, such as the event prediction ...".
+The atypical forest already contains everything a simple recurrence
+predictor needs: daily micro-clusters integrate into chains (one per
+recurring event), and each chain's leaves record on which days, at which
+time of day and over which sensors the event fired.
+
+:class:`RecurrencePredictor` learns such patterns from a training day
+range and predicts, for any future day, which events are expected, with
+what probability (split by weekday/weekend), expected severity and start
+time. Predictions are scored against the actually extracted clusters with
+the usual hit-rate / false-alarm metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.cluster import AtypicalCluster
+from repro.core.forest import AtypicalForest
+from repro.core.integration import ClusterIntegrator
+
+__all__ = [
+    "RecurringPattern",
+    "PredictedEvent",
+    "PredictionScore",
+    "RecurrencePredictor",
+]
+
+
+@dataclass(frozen=True)
+class RecurringPattern:
+    """One learned recurring event."""
+
+    pattern_id: int
+    sensor_ids: FrozenSet[int]
+    core_sensor: int
+    start_window: int  # typical time-of-day window
+    weekday_probability: float
+    weekend_probability: float
+    mean_severity: float  # mean daily severity on active days
+    active_days: int
+    training_days: int
+
+    def probability(self, is_weekend: bool) -> float:
+        return self.weekend_probability if is_weekend else self.weekday_probability
+
+
+@dataclass(frozen=True)
+class PredictedEvent:
+    """A pattern's forecast for one target day."""
+
+    pattern: RecurringPattern
+    day: int
+    probability: float
+    expected_severity: float
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """Hit/false-alarm accounting for one evaluated day."""
+
+    day: int
+    hits: int
+    misses: int
+    false_alarms: int
+
+    @property
+    def recall(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+    @property
+    def precision(self) -> float:
+        issued = self.hits + self.false_alarms
+        return self.hits / issued if issued else 1.0
+
+
+class RecurrencePredictor:
+    """Learns recurring atypical events from the forest and forecasts them."""
+
+    def __init__(
+        self,
+        forest: AtypicalForest,
+        min_support_days: int = 3,
+        min_daily_severity: float = 50.0,
+        delta_sim: float = 0.5,
+        balance_function: str = "avg",
+    ):
+        self._forest = forest
+        self._min_support = min_support_days
+        self._min_daily_severity = min_daily_severity
+        self._integrator = ClusterIntegrator(delta_sim, balance_function)
+        self._patterns: List[RecurringPattern] = []
+        self._trained_days: Tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def patterns(self) -> List[RecurringPattern]:
+        return list(self._patterns)
+
+    def fit(self, days: Sequence[int]) -> List[RecurringPattern]:
+        """Learn recurring patterns from the given (built) training days."""
+        day_list = tuple(sorted(days))
+        if not day_list:
+            raise ValueError("training needs at least one day")
+        micro = self._forest.micro_clusters(day_list)
+        day_of_micro: Dict[int, int] = {}
+        for day in day_list:
+            for cluster in self._forest.day_clusters(day):
+                day_of_micro[cluster.cluster_id] = day
+
+        result = self._integrator.integrate(micro, self._forest.ids)
+        registry = dict(result.created)
+        for cluster in micro:
+            registry[cluster.cluster_id] = cluster
+
+        calendar = self._forest.calendar
+        num_weekdays = sum(1 for d in day_list if not calendar.is_weekend(d))
+        num_weekend = len(day_list) - num_weekdays
+
+        patterns: List[RecurringPattern] = []
+        for chain in result.clusters:
+            leaves = self._leaves(chain, registry)
+            severity_by_day: Dict[int, float] = {}
+            for leaf in leaves:
+                day = day_of_micro.get(leaf.cluster_id)
+                if day is None:
+                    continue
+                severity_by_day[day] = (
+                    severity_by_day.get(day, 0.0) + leaf.severity()
+                )
+            active = {
+                day
+                for day, severity in severity_by_day.items()
+                if severity >= self._min_daily_severity
+            }
+            if len(active) < self._min_support:
+                continue
+            active_weekdays = sum(
+                1 for d in active if not calendar.is_weekend(d)
+            )
+            active_weekend = len(active) - active_weekdays
+            core_sensor, _ = chain.most_serious_sensor()
+            patterns.append(
+                RecurringPattern(
+                    pattern_id=chain.cluster_id,
+                    sensor_ids=chain.sensor_ids,
+                    core_sensor=core_sensor,
+                    start_window=chain.start_window(),
+                    weekday_probability=(
+                        active_weekdays / num_weekdays if num_weekdays else 0.0
+                    ),
+                    weekend_probability=(
+                        active_weekend / num_weekend if num_weekend else 0.0
+                    ),
+                    mean_severity=sum(severity_by_day[d] for d in active)
+                    / len(active),
+                    active_days=len(active),
+                    training_days=len(day_list),
+                )
+            )
+        patterns.sort(key=lambda p: (-p.mean_severity, p.pattern_id))
+        self._patterns = patterns
+        self._trained_days = day_list
+        return patterns
+
+    @staticmethod
+    def _leaves(
+        cluster: AtypicalCluster, registry: Dict[int, AtypicalCluster]
+    ) -> List[AtypicalCluster]:
+        if cluster.is_micro:
+            return [cluster]
+        leaves: List[AtypicalCluster] = []
+        stack = [cluster]
+        while stack:
+            node = stack.pop()
+            if node.is_micro:
+                leaves.append(node)
+                continue
+            for member in node.members:
+                child = registry.get(member)
+                if child is not None:
+                    stack.append(child)
+        return leaves
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, day: int, min_probability: float = 0.5
+    ) -> List[PredictedEvent]:
+        """Forecast the recurring events expected on ``day``."""
+        if not self._patterns:
+            raise ValueError("predictor has not been fitted")
+        is_weekend = self._forest.calendar.is_weekend(day)
+        forecasts = [
+            PredictedEvent(
+                pattern=pattern,
+                day=day,
+                probability=pattern.probability(is_weekend),
+                expected_severity=pattern.mean_severity
+                * pattern.probability(is_weekend),
+            )
+            for pattern in self._patterns
+        ]
+        return [f for f in forecasts if f.probability >= min_probability]
+
+    # ------------------------------------------------------------------
+    def score(
+        self,
+        day: int,
+        min_probability: float = 0.5,
+        min_actual_severity: Optional[float] = None,
+    ) -> PredictionScore:
+        """Evaluate the forecast for a built ``day`` against reality.
+
+        A prediction *hits* when some actual cluster of the day shares a
+        sensor with the pattern's footprint; actual clusters above the
+        severity floor with no matching prediction count as misses.
+        """
+        floor = (
+            min_actual_severity
+            if min_actual_severity is not None
+            else self._min_daily_severity
+        )
+        predicted = self.predict(day, min_probability)
+        actual = [
+            c for c in self._forest.day_clusters(day) if c.severity() >= floor
+        ]
+        matched_actual: set[int] = set()
+        hits = 0
+        false_alarms = 0
+        for forecast in predicted:
+            footprint = forecast.pattern.sensor_ids
+            matches = [
+                c for c in actual if c.sensor_ids & footprint
+            ]
+            if matches:
+                hits += 1
+                matched_actual.update(c.cluster_id for c in matches)
+            else:
+                false_alarms += 1
+        misses = sum(1 for c in actual if c.cluster_id not in matched_actual)
+        return PredictionScore(
+            day=day, hits=hits, misses=misses, false_alarms=false_alarms
+        )

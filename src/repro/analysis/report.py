@@ -1,0 +1,157 @@
+"""Analyst-facing reports answering the questions of Example 1.
+
+"(1) Where do the traffic congestions usually happen in the city?
+ (2) When and how do they start?
+ (3) On which road segment (or time period) is the congestion most
+ serious?"
+
+The report module turns significant clusters into structured answers and
+supports the context-dimension joins of Sec. V-D (weather by date).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.cluster import AtypicalCluster
+from repro.core.query import QueryResult
+from repro.spatial.network import SensorNetwork
+from repro.temporal.windows import WindowSpec
+
+__all__ = ["ClusterReport", "CongestionReport", "build_report", "weather_breakdown"]
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Structured answers for one significant cluster."""
+
+    cluster_id: int
+    severity: float
+    num_sensors: int
+    highways: Tuple[str, ...]
+    worst_sensor: int
+    worst_sensor_severity: float
+    start_label: str
+    peak_label: str
+    top_sensors: Tuple[Tuple[int, float], ...]
+    top_windows: Tuple[Tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """A full query report: the clusters, most severe first."""
+
+    strategy: str
+    num_days: int
+    clusters: Tuple[ClusterReport, ...]
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def to_text(self) -> str:
+        """Render the report as readable text (used by the examples)."""
+        lines = [
+            f"Significant congestion clusters "
+            f"({self.strategy} strategy, {self.num_days} days):"
+        ]
+        if not self.clusters:
+            lines.append("  (none)")
+        for i, c in enumerate(self.clusters, start=1):
+            roads = ", ".join(c.highways)
+            lines.append(
+                f"  {i}. cluster {c.cluster_id}: {c.severity:.0f} min over "
+                f"{c.num_sensors} sensors on {roads}"
+            )
+            lines.append(
+                f"     starts ~{c.start_label}, peaks {c.peak_label}, "
+                f"worst segment s{c.worst_sensor} ({c.worst_sensor_severity:.0f} min)"
+            )
+        return "\n".join(lines)
+
+
+def _window_label(window: int, spec: WindowSpec) -> str:
+    minute = spec.minute_of_day(window % spec.windows_per_day)
+    end = minute + spec.width_minutes
+    return (
+        f"{minute // 60:02d}:{minute % 60:02d}-"
+        f"{(end // 60) % 24:02d}:{end % 60:02d}"
+    )
+
+
+def describe_cluster(
+    cluster: AtypicalCluster,
+    network: SensorNetwork,
+    spec: WindowSpec,
+    top_k: int = 5,
+) -> ClusterReport:
+    """Summarize one cluster's spatial and temporal features."""
+    worst_sensor, worst_sev = cluster.most_serious_sensor()
+    peak_window, _peak_sev = cluster.peak_window()
+    highway_ids = sorted(
+        {network[s].highway_id for s in cluster.spatial}
+    )
+    highway_names = tuple(
+        network.highways[h].name if h in network.highways else f"hw {h}"
+        for h in highway_ids
+    )
+    return ClusterReport(
+        cluster_id=cluster.cluster_id,
+        severity=cluster.severity(),
+        num_sensors=len(cluster.spatial),
+        highways=highway_names,
+        worst_sensor=worst_sensor,
+        worst_sensor_severity=worst_sev,
+        start_label=_window_label(cluster.start_window(), spec),
+        peak_label=_window_label(peak_window, spec),
+        top_sensors=tuple(cluster.spatial.top(top_k)),
+        top_windows=tuple(
+            (_window_label(w, spec), sev) for w, sev in cluster.temporal.top(top_k)
+        ),
+    )
+
+
+def build_report(
+    result: QueryResult,
+    network: SensorNetwork,
+    spec: WindowSpec,
+    limit: Optional[int] = None,
+) -> CongestionReport:
+    """Report over the significant clusters of a query result."""
+    clusters = result.significant()
+    if limit is not None:
+        clusters = clusters[:limit]
+    return CongestionReport(
+        strategy=result.strategy,
+        num_days=len(result.query.days),
+        clusters=tuple(
+            describe_cluster(c, network, spec) for c in clusters
+        ),
+    )
+
+
+def weather_breakdown(
+    day_severities: Mapping[int, float],
+    weather_of_day: Mapping[int, str],
+) -> Dict[str, Tuple[int, float]]:
+    """Join severity with the weather context dimension (Sec. V-D).
+
+    Parameters
+    ----------
+    day_severities:
+        Total severity per day (e.g. from the severity cube).
+    weather_of_day:
+        Weather state name per day.
+
+    Returns
+    -------
+    Mapping from weather state to ``(number of days, mean daily severity)``.
+    """
+    totals: Dict[str, List[float]] = {}
+    for day, severity in day_severities.items():
+        state = weather_of_day.get(day, "unknown")
+        totals.setdefault(state, []).append(severity)
+    return {
+        state: (len(values), sum(values) / len(values))
+        for state, values in totals.items()
+    }

@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+The CLI mirrors the system framework of Fig. 2 as a three-step workflow::
+
+    python -m repro generate --out data/           # synthesize a trace
+    python -m repro build    --data data/ --model model/
+    python -m repro query    --data data/ --model model/ --days 7
+
+plus ``info`` for the dataset inventory. The trace directory carries the
+simulation config, so every later step rebuilds the same sensor network
+and district partition from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.engine import AnalysisEngine, EngineConfig
+from repro.analysis.evaluation import score_strategy
+from repro.analysis.report import build_report
+from repro.simulate.generator import SimulationConfig, TrafficSimulator
+from repro.storage.catalog import DatasetCatalog
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Atypical-cluster analysis of cyber-physical data "
+        "(Tang et al., ICDE 2012 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="materialize a synthetic CPS trace to disk"
+    )
+    generate.add_argument("--out", required=True, type=Path, help="target directory")
+    generate.add_argument(
+        "--profile",
+        choices=("small", "benchmark"),
+        default="small",
+        help="simulation scale (default: small)",
+    )
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument(
+        "--months", type=int, default=None, help="limit to the first N months"
+    )
+
+    build = commands.add_parser(
+        "build", help="construct the atypical forest from a stored trace"
+    )
+    build.add_argument("--data", required=True, type=Path, help="trace directory")
+    build.add_argument("--model", required=True, type=Path, help="model output dir")
+    build.add_argument(
+        "--days", type=int, default=None, help="build only the first N days"
+    )
+    _add_engine_arguments(build)
+
+    query = commands.add_parser(
+        "query", help="run an analytical query against a built model"
+    )
+    query.add_argument("--data", required=True, type=Path, help="trace directory")
+    query.add_argument("--model", required=True, type=Path, help="model directory")
+    query.add_argument("--first-day", type=int, default=0)
+    query.add_argument("--days", type=int, default=7)
+    query.add_argument(
+        "--strategy", choices=("all", "pru", "gui"), default="gui"
+    )
+    query.add_argument("--delta-s", type=float, default=None)
+    query.add_argument(
+        "--final-check",
+        action="store_true",
+        help="drop returned clusters below the significance bar",
+    )
+    query.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the other strategies and score them",
+    )
+    query.add_argument("--limit", type=int, default=10, help="clusters to print")
+    _add_engine_arguments(query)
+
+    info = commands.add_parser("info", help="describe a stored trace")
+    info.add_argument("--data", required=True, type=Path)
+
+    return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--distance", type=float, default=1.5, help="delta_d (miles)")
+    parser.add_argument("--time-gap", type=float, default=15.0, help="delta_t (min)")
+    parser.add_argument(
+        "--similarity", type=float, default=0.5, help="delta_sim threshold"
+    )
+    parser.add_argument(
+        "--balance",
+        choices=("max", "min", "avg", "geo", "har"),
+        default="avg",
+        help="balance function g",
+    )
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    return EngineConfig(
+        distance_miles=args.distance,
+        time_gap_minutes=args.time_gap,
+        similarity_threshold=args.similarity,
+        balance_function=args.balance,
+        delta_s=getattr(args, "delta_s", None) or 0.05,
+    )
+
+
+def _simulator_for(data_dir: Path) -> TrafficSimulator:
+    return TrafficSimulator.from_catalog_dir(data_dir)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    base = (
+        SimulationConfig.small(seed=args.seed)
+        if args.profile == "small"
+        else SimulationConfig.benchmark(seed=args.seed)
+    )
+    if args.months is not None:
+        if not 1 <= args.months <= len(base.month_lengths):
+            print(f"error: --months must be in 1..{len(base.month_lengths)}")
+            return 2
+        base = SimulationConfig.from_dict(
+            {**base.to_dict(), "month_lengths": tuple(base.month_lengths[: args.months])}
+        )
+    simulator = TrafficSimulator(base)
+    catalog = simulator.materialize_catalog(args.out)
+    print(
+        f"generated {len(catalog)} monthly datasets "
+        f"({catalog.total_readings():,} readings, "
+        f"{catalog.total_size_bytes() / 1e6:.0f} MB) under {args.out}"
+    )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    simulator = _simulator_for(args.data)
+    catalog = DatasetCatalog(args.data)
+    engine = AnalysisEngine.from_simulator(simulator, _engine_config(args))
+    days = range(args.days) if args.days is not None else None
+    built = engine.build_from_catalog(catalog, days)
+    engine.save(args.model)
+    stats = engine.forest.stats()
+    print(
+        f"built {built} days: {stats.num_micro} micro-clusters, "
+        f"model saved to {args.model}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    simulator = _simulator_for(args.data)
+    config = _engine_config(args)
+    engine = AnalysisEngine.load(
+        args.model, simulator.network, simulator.districts(), config
+    )
+    result = engine.query(
+        engine.whole_city(),
+        args.first_day,
+        args.days,
+        strategy=args.strategy,
+        final_check=args.final_check,
+        delta_s=args.delta_s,
+    )
+    print(
+        f"Q(city, days {args.first_day}..{args.first_day + args.days - 1}) "
+        f"via {args.strategy}: {result.stats.input_clusters} inputs, "
+        f"{len(result.returned)} clusters, "
+        f"{result.stats.elapsed_seconds:.2f}s"
+    )
+    report = build_report(
+        result, engine.network, simulator.window_spec, limit=args.limit
+    )
+    print(report.to_text())
+
+    if args.compare:
+        results = {args.strategy: result}
+        for strategy in ("all", "pru", "gui"):
+            if strategy not in results:
+                results[strategy] = engine.query(
+                    engine.whole_city(),
+                    args.first_day,
+                    args.days,
+                    strategy=strategy,
+                    delta_s=args.delta_s,
+                )
+        print("\nstrategy   time(s)  inputs  precision  recall")
+        for strategy in ("all", "pru", "gui"):
+            r = results[strategy]
+            score = score_strategy(r, results["all"])
+            print(
+                f"{strategy:>8}  {r.stats.elapsed_seconds:7.2f}  "
+                f"{r.stats.input_clusters:6d}  {score.precision:9.2f}  "
+                f"{score.recall:6.2f}"
+            )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    catalog = DatasetCatalog(args.data)
+    simulator = _simulator_for(args.data)
+    print(f"trace: {args.data}")
+    print(f"sensors: {len(simulator.network)}")
+    print(f"{'dataset':>8}  {'days':>5}  {'readings':>10}  {'atypical':>8}")
+    for dataset in catalog:
+        atypical = sum(len(dataset.atypical_day(d)) for d in dataset.days)
+        readings = dataset.total_readings()
+        print(
+            f"{dataset.meta.name:>8}  {dataset.meta.num_days:>5}  "
+            f"{readings:>10,}  {atypical / readings:>8.2%}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "build": cmd_build,
+    "query": cmd_query,
+    "info": cmd_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

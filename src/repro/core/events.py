@@ -1,0 +1,431 @@
+"""Atypical event extraction (Definitions 1-3, Algorithm 1).
+
+Two atypical records are *direct atypical related* when their sensors are
+within ``delta_d`` miles and their windows within ``delta_t`` minutes
+(Def. 1); *atypical related* is the transitive closure (Def. 2); an
+*atypical event* is a maximal connected set of atypical records (Def. 3).
+
+Events are therefore the connected components of the record graph. The
+extractor computes them with a union-find over record indices:
+
+* the ``"grid"`` method enumerates only sensor pairs within ``delta_d``
+  (via :class:`~repro.spatial.grid.SensorGridIndex`) and matches their
+  per-sensor window lists with a two-pointer sweep — the "with index" bound
+  of Proposition 1, ``O(N + n log n)``;
+* the ``"naive"`` method checks all record pairs — the ``O(N + n^2)``
+  baseline, kept for the ablation benchmark and for cross-validation tests.
+
+Micro-clusters (Def. 4) are built in the same pass by aggregating severity
+per sensor and per window inside each component, as Algorithm 1 does.
+
+Temporal feature keys
+---------------------
+Event *connectivity* always uses absolute windows (Def. 1 relates records
+by wall-clock interval). The temporal features of the resulting clusters,
+however, default to **time-of-day** window keys (0..windows_per_day-1),
+matching the paper's presentation (Fig. 4/5 label windows as
+``8:05am - 8:10am``) and, crucially, enabling the day -> week -> month
+integration of Sec. III-C: recurring events on different days share
+time-of-day windows, so their temporal similarity (Eq. 4) is positive and
+Algorithm 3 can merge them. Pass ``time_of_day_features=False`` to keep
+absolute window keys (single-day analyses, ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components
+
+from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
+from repro.core.features import SpatialFeature, TemporalFeature
+from repro.core.records import RecordBatch
+from repro.spatial.grid import SensorGridIndex
+from repro.spatial.network import SensorNetwork
+from repro.temporal.windows import WindowSpec
+
+__all__ = ["ExtractionParams", "AtypicalEvent", "EventExtractor", "UnionFind"]
+
+
+@dataclass(frozen=True)
+class ExtractionParams:
+    """Thresholds of Definition 1 (defaults follow Fig. 14)."""
+
+    distance_miles: float = 1.5
+    time_gap_minutes: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.distance_miles <= 0:
+            raise ValueError("distance threshold must be positive")
+        if self.time_gap_minutes <= 0:
+            raise ValueError("time-gap threshold must be positive")
+
+
+class UnionFind:
+    """Union-find with path halving and union by size."""
+
+    __slots__ = ("_parent", "_size")
+
+    def __init__(self, n: int):
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; return True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def labels(self) -> List[int]:
+        """Canonical component label per element (root index)."""
+        return [self.find(i) for i in range(len(self._parent))]
+
+
+class AtypicalEvent:
+    """A maximal set of atypical-related records (Def. 3).
+
+    The event is the *holistic* model (Property 1): it stores every member
+    record, so its size is unbounded. It exists as an intermediate object
+    and for model-size accounting (Fig. 16); analytical processing uses the
+    micro-cluster summary instead.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records: RecordBatch):
+        if not len(records):
+            raise ValueError("an atypical event must contain records")
+        self._records = records
+
+    @property
+    def records(self) -> RecordBatch:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def sensor_ids(self) -> frozenset[int]:
+        return frozenset(int(s) for s in np.unique(self._records.sensor_ids))
+
+    @property
+    def windows(self) -> frozenset[int]:
+        return frozenset(int(w) for w in np.unique(self._records.windows))
+
+    def total_severity(self) -> float:
+        return self._records.total_severity()
+
+    def to_micro_cluster(
+        self,
+        ids: Optional[ClusterIdGenerator] = None,
+        windows_per_day: Optional[int] = None,
+    ) -> AtypicalCluster:
+        """Summarize this event as a micro-cluster (Algorithm 1, lines 6-12).
+
+        ``windows_per_day`` folds temporal keys to time-of-day (see module
+        docstring); None keeps absolute window keys.
+        """
+        spatial, temporal = _aggregate_features(self._records, windows_per_day)
+        if ids is None:
+            return AtypicalCluster.micro(spatial, temporal)
+        return AtypicalCluster.micro(spatial, temporal, ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AtypicalEvent({len(self)} records, {len(self.sensor_ids)} sensors, "
+            f"severity={self.total_severity():.1f})"
+        )
+
+
+def _aggregate_features(
+    records: RecordBatch,
+    tf_modulo: Optional[int] = None,
+) -> Tuple[SpatialFeature, TemporalFeature]:
+    """Aggregate severities per sensor (``mu_i``) and window (``nu_j``).
+
+    ``tf_modulo`` folds absolute window indices to time-of-day keys.
+    """
+    spatial: Dict[int, float] = {}
+    temporal: Dict[int, float] = {}
+    for sid, window, severity in zip(
+        records.sensor_ids.tolist(),
+        records.windows.tolist(),
+        records.severities.tolist(),
+    ):
+        key = window % tf_modulo if tf_modulo else window
+        spatial[sid] = spatial.get(sid, 0.0) + severity
+        temporal[key] = temporal.get(key, 0.0) + severity
+    return SpatialFeature(spatial), TemporalFeature(temporal)
+
+
+class EventExtractor:
+    """Retrieves atypical events / micro-clusters from a record batch.
+
+    Parameters
+    ----------
+    network:
+        The sensor network (fixed sensor locations).
+    params:
+        The ``delta_d`` / ``delta_t`` thresholds.
+    window_spec:
+        Window width used to convert ``delta_t`` minutes into a window gap.
+    method:
+        ``"grid"`` (indexed, default) or ``"naive"`` (all pairs).
+    """
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        params: ExtractionParams = ExtractionParams(),
+        window_spec: WindowSpec = WindowSpec(),
+        method: str = "grid",
+        time_of_day_features: bool = True,
+    ):
+        if method not in ("grid", "naive"):
+            raise ValueError(f"unknown extraction method: {method!r}")
+        self._network = network
+        self._params = params
+        self._spec = window_spec
+        self._method = method
+        self._tf_modulo: Optional[int] = (
+            window_spec.windows_per_day if time_of_day_features else None
+        )
+        self._max_gap = window_spec.windows_within(params.time_gap_minutes)
+        self._grid = (
+            SensorGridIndex(network, params.distance_miles)
+            if method == "grid"
+            else None
+        )
+
+    @property
+    def params(self) -> ExtractionParams:
+        return self._params
+
+    # ------------------------------------------------------------------
+    def label_components(self, batch: RecordBatch) -> np.ndarray:
+        """Component label (an arbitrary canonical index) per record."""
+        n = len(batch)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._max_gap < 0:
+            # delta_t smaller than one window: nothing is related, every
+            # record is its own event.
+            return np.arange(n, dtype=np.int64)
+        if self._method == "naive":
+            uf = self._link_naive(batch)
+            return np.asarray(uf.labels(), dtype=np.int64)
+        return self._label_grid(batch)
+
+    def _link_naive(self, batch: RecordBatch) -> UnionFind:
+        n = len(batch)
+        uf = UnionFind(n)
+        sensors = batch.sensor_ids
+        windows = batch.windows
+        network = self._network
+        delta_d = self._params.distance_miles
+        max_gap = self._max_gap
+        for i in range(n):
+            for j in range(i + 1, n):
+                if abs(int(windows[i]) - int(windows[j])) > max_gap:
+                    continue
+                if network.distance(int(sensors[i]), int(sensors[j])) < delta_d:
+                    uf.union(i, j)
+        return uf
+
+    def _label_grid(self, batch: RecordBatch) -> np.ndarray:
+        """Vectorized component labelling.
+
+        Builds the direct-relation graph sparsely and labels components
+        with :func:`scipy.sparse.csgraph.connected_components`. Edges are
+        generated per neighbouring sensor pair, but only a constant number
+        per record: within one sensor, records are pre-grouped into
+        temporal *runs* (consecutive records within the gap), and a record
+        of sensor ``a`` is linked to at most one record of each run of
+        sensor ``b`` intersecting its window range. At most three runs can
+        intersect a ``2*gap + 1`` window (runs are separated by more than
+        ``gap``), so three links per record pair suffice for exactly the
+        same connectivity as all-pairs linking.
+        """
+        n = len(batch)
+        max_gap = self._max_gap
+        order = np.lexsort((batch.windows, batch.sensor_ids))
+        sensors_sorted = batch.sensor_ids[order].astype(np.int64)
+        windows_sorted = batch.windows[order].astype(np.int64)
+
+        # per-sensor slices
+        boundaries = np.flatnonzero(np.diff(sensors_sorted)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        slice_of: Dict[int, Tuple[int, int]] = {
+            int(sensors_sorted[s]): (int(s), int(e)) for s, e in zip(starts, ends)
+        }
+
+        # temporal runs per sensor (vectorized over the whole sorted array)
+        same_sensor = sensors_sorted[1:] == sensors_sorted[:-1]
+        close = np.diff(windows_sorted) <= max_gap
+        linked_to_prev = same_sensor & close
+        run_id = np.concatenate(([0], np.cumsum(~linked_to_prev)))
+
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+
+        # self links: each record to its predecessor within the run
+        self_targets = np.flatnonzero(linked_to_prev) + 1
+        if len(self_targets):
+            rows.append(self_targets - 1)
+            cols.append(self_targets)
+
+        # run start position for every global run id
+        run_starts = np.concatenate(
+            ([0], np.flatnonzero(~linked_to_prev) + 1)
+        )
+
+        grid = self._grid
+        assert grid is not None
+        for sid_a, (a_start, a_end) in slice_of.items():
+            wa = windows_sorted[a_start:a_end]
+            a_min = int(wa[0])
+            a_max = int(wa[-1])
+            for sid_b in grid.neighbours(sid_a):
+                if sid_b <= sid_a:
+                    continue
+                b_slice = slice_of.get(sid_b)
+                if b_slice is None:
+                    continue
+                b_start, b_end = b_slice
+                # cheap reject: the sensors were never active within the
+                # same gap window (e.g. AM vs PM rush on co-located
+                # opposite directions)
+                if (
+                    int(windows_sorted[b_start]) > a_max + max_gap
+                    or int(windows_sorted[b_end - 1]) < a_min - max_gap
+                ):
+                    continue
+                wb = windows_sorted[b_start:b_end]
+                lo = np.searchsorted(wb, wa - max_gap, side="left")
+                hi = np.searchsorted(wb, wa + max_gap, side="right")
+                valid = hi > lo
+                a_pos = np.flatnonzero(valid)
+                if not len(a_pos):
+                    continue
+                lo_v = lo[a_pos] + b_start
+                hi_v = hi[a_pos] + b_start
+                a_pos = a_pos + a_start
+                # first matched record (covers the first intersecting run)
+                rows.append(a_pos)
+                cols.append(lo_v)
+                # last matched record (covers the last intersecting run)
+                rows.append(a_pos)
+                cols.append(hi_v - 1)
+                # start of the middle run, when a third run intersects
+                first_run = run_id[lo_v]
+                next_run = first_run + 1
+                has_next = next_run < len(run_starts)
+                mid = np.where(has_next, run_starts[np.minimum(next_run, len(run_starts) - 1)], n)
+                in_window = mid < hi_v
+                if in_window.any():
+                    rows.append(a_pos[in_window])
+                    cols.append(mid[in_window])
+
+        if rows:
+            row_idx = np.concatenate(rows)
+            col_idx = np.concatenate(cols)
+            graph = coo_matrix(
+                (np.ones(len(row_idx), dtype=np.int8), (row_idx, col_idx)),
+                shape=(n, n),
+            )
+            _, sorted_labels = connected_components(graph, directed=False)
+        else:
+            sorted_labels = np.arange(n, dtype=np.int64)
+
+        labels = np.empty(n, dtype=np.int64)
+        labels[order] = sorted_labels
+        return labels
+
+    # ------------------------------------------------------------------
+    def extract_events(self, batch: RecordBatch) -> List[AtypicalEvent]:
+        """All atypical events of ``batch`` (Def. 3), largest first."""
+        labels = self.label_components(batch)
+        events: List[AtypicalEvent] = []
+        for indices in _group_indices(labels):
+            events.append(AtypicalEvent(batch.select(indices)))
+        events.sort(key=lambda e: (-e.total_severity(), min(e.windows)))
+        return events
+
+    def extract_micro_clusters(
+        self,
+        batch: RecordBatch,
+        ids: Optional[ClusterIdGenerator] = None,
+    ) -> List[AtypicalCluster]:
+        """Algorithm 1: micro-clusters of all events in ``batch``.
+
+        Severity aggregation happens directly on the component labels with
+        vectorized group-bys, so the holistic event objects are never
+        materialized.
+        """
+        if not len(batch):
+            return []
+        labels = self.label_components(batch)
+        generator = ids if ids is not None else ClusterIdGenerator()
+        _, cluster_idx = np.unique(labels, return_inverse=True)
+        severities = batch.severities
+
+        def grouped_sums(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+            """(cluster, key) -> summed severity, cluster-major order."""
+            span = int(keys.max()) + 1
+            combo = cluster_idx.astype(np.int64) * span + keys.astype(np.int64)
+            unique_combo, inverse = np.unique(combo, return_inverse=True)
+            sums = np.zeros(len(unique_combo))
+            np.add.at(sums, inverse, severities)
+            return unique_combo // span, unique_combo % span, sums
+
+        tf_keys = (
+            batch.windows % self._tf_modulo if self._tf_modulo else batch.windows
+        )
+        s_cluster, s_key, s_sum = grouped_sums(batch.sensor_ids)
+        t_cluster, t_key, t_sum = grouped_sums(np.asarray(tf_keys))
+
+        num_clusters = int(cluster_idx.max()) + 1
+        s_splits = np.searchsorted(s_cluster, np.arange(1, num_clusters))
+        t_splits = np.searchsorted(t_cluster, np.arange(1, num_clusters))
+        s_key_groups = np.split(s_key, s_splits)
+        s_sum_groups = np.split(s_sum, s_splits)
+        t_key_groups = np.split(t_key, t_splits)
+        t_sum_groups = np.split(t_sum, t_splits)
+
+        clusters: List[AtypicalCluster] = []
+        for c in range(num_clusters):
+            spatial = SpatialFeature(
+                zip(s_key_groups[c].tolist(), s_sum_groups[c].tolist())
+            )
+            temporal = TemporalFeature(
+                zip(t_key_groups[c].tolist(), t_sum_groups[c].tolist())
+            )
+            clusters.append(AtypicalCluster.micro(spatial, temporal, generator))
+        clusters.sort(key=lambda c: (-c.severity(), c.start_window()))
+        return clusters
+
+
+def _group_indices(labels: np.ndarray) -> List[np.ndarray]:
+    """Index arrays of each distinct label, in first-seen order."""
+    if len(labels) == 0:
+        return []
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+    return np.split(order, boundaries)

@@ -1,0 +1,181 @@
+"""Spatial and temporal features of atypical clusters (Definition 4).
+
+A micro-cluster summarizes an atypical event with two algebraic features:
+
+* the **spatial feature** ``SF = {<s_i, mu_i>}`` where ``mu_i`` is the
+  aggregated severity of sensor ``s_i`` over the event, and
+* the **temporal feature** ``TF = {<t_j, nu_j>}`` where ``nu_j`` is the
+  aggregated severity over all sensors during window ``t_j``.
+
+Both are severity-weighted multisets over integer keys and share one
+implementation, :class:`SeverityFeature`. The merge operation implements
+Equations 5/6 and is commutative and associative (Properties 2-3), which the
+test suite verifies with property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+__all__ = ["SeverityFeature", "SpatialFeature", "TemporalFeature"]
+
+
+class SeverityFeature:
+    """An immutable mapping ``key -> aggregated severity`` (minutes).
+
+    Keys are sensor ids for spatial features and window indices for temporal
+    features. Severities are strictly positive; merging sums severities on
+    common keys and keeps the non-overlapping ones (Eq. 5/6).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Mapping[int, float] | Iterable[Tuple[int, float]] = ()):
+        data: Dict[int, float] = {}
+        pairs = items.items() if isinstance(items, Mapping) else items
+        for key, severity in pairs:
+            severity = float(severity)
+            if severity <= 0:
+                raise ValueError(
+                    f"feature severities must be positive, got {severity} for key {key}"
+                )
+            data[int(key)] = data.get(int(key), 0.0) + severity
+        self._items = data
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._items
+
+    def __getitem__(self, key: int) -> float:
+        return self._items[key]
+
+    def get(self, key: int, default: float = 0.0) -> float:
+        return self._items.get(key, default)
+
+    def keys(self) -> frozenset[int]:
+        return frozenset(self._items)
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        return iter(self._items.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SeverityFeature):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._items.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = ", ".join(
+            f"<{k}, {v:g}>" for k, v in sorted(self._items.items())[:4]
+        )
+        suffix = ", ..." if len(self._items) > 4 else ""
+        return f"{type(self).__name__}({{{preview}{suffix}}})"
+
+    # ------------------------------------------------------------------
+    # Severity arithmetic
+    # ------------------------------------------------------------------
+    def total(self) -> float:
+        """Total severity over all keys; ``severity(C)`` sums this."""
+        return sum(self._items.values())
+
+    def overlap(self, other: "SeverityFeature") -> float:
+        """Severity of *this* feature restricted to keys shared with ``other``.
+
+        This is the numerator of Eq. 3/4: ``sum_{S1 ∩ S2} mu_1``. Note the
+        asymmetry — each side of the similarity uses its own severities.
+        """
+        if len(self) <= len(other):
+            return sum(v for k, v in self._items.items() if k in other._items)
+        return sum(self._items[k] for k in other._items if k in self._items)
+
+    def overlap_fraction(self, other: "SeverityFeature") -> float:
+        """``overlap(other) / total()`` — one argument of the balance function."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return self.overlap(other) / total
+
+    def merge(self, other: "SeverityFeature") -> "SeverityFeature":
+        """Eq. 5/6: sum severities on common keys, keep the rest (Algorithm 2)."""
+        merged = dict(self._items)
+        for key, severity in other._items.items():
+            merged[key] = merged.get(key, 0.0) + severity
+        result = SeverityFeature()
+        result._items = merged
+        return result
+
+    def restricted(self, keys: Iterable[int]) -> "SeverityFeature":
+        """Sub-feature on the given keys (used by query-range clipping)."""
+        wanted = set(int(k) for k in keys)
+        result = SeverityFeature()
+        result._items = {k: v for k, v in self._items.items() if k in wanted}
+        return result
+
+    def argmax(self) -> Tuple[int, float]:
+        """The most severe key, e.g. 'on which road segment is the
+        congestion most serious' from Example 1."""
+        if not self._items:
+            raise ValueError("empty feature has no argmax")
+        key = max(self._items, key=lambda k: (self._items[k], -k))
+        return key, self._items[key]
+
+    def min_key(self) -> int:
+        """Smallest key (e.g. the start window of an event)."""
+        if not self._items:
+            raise ValueError("empty feature has no keys")
+        return min(self._items)
+
+    def max_key(self) -> int:
+        if not self._items:
+            raise ValueError("empty feature has no keys")
+        return max(self._items)
+
+    def top(self, k: int) -> list[Tuple[int, float]]:
+        """The ``k`` most severe entries, most severe first."""
+        return sorted(self._items.items(), key=lambda item: (-item[1], item[0]))[:k]
+
+
+class SpatialFeature(SeverityFeature):
+    """``SF``: aggregated severity per sensor (Def. 4)."""
+
+    __slots__ = ()
+
+    def merge(self, other: "SeverityFeature") -> "SpatialFeature":
+        merged = super().merge(other)
+        result = SpatialFeature()
+        result._items = merged._items
+        return result
+
+    def restricted(self, keys: Iterable[int]) -> "SpatialFeature":
+        base = super().restricted(keys)
+        result = SpatialFeature()
+        result._items = base._items
+        return result
+
+
+class TemporalFeature(SeverityFeature):
+    """``TF``: aggregated severity per time window (Def. 4)."""
+
+    __slots__ = ()
+
+    def merge(self, other: "SeverityFeature") -> "TemporalFeature":
+        merged = super().merge(other)
+        result = TemporalFeature()
+        result._items = merged._items
+        return result
+
+    def restricted(self, keys: Iterable[int]) -> "TemporalFeature":
+        base = super().restricted(keys)
+        result = TemporalFeature()
+        result._items = base._items
+        return result

@@ -1,0 +1,247 @@
+"""Clustering trees and the atypical forest (Sec. III-C, Fig. 10).
+
+Micro-clusters are the leaves; macro-clusters integrate them level by level
+(day -> week -> month), and the hierarchy of different aggregation paths
+forms the *atypical forest*. In practical deployments only the lower levels
+are materialized (Sec. IV) and higher levels are integrated on demand by
+the query processor.
+
+The forest keeps a registry of every cluster it has produced, so the
+clustering tree of any macro-cluster can be traversed through the
+``members`` provenance links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
+from repro.core.integration import ClusterIntegrator
+from repro.spatial.regions import QueryRegion
+from repro.temporal.hierarchy import Calendar
+from repro.temporal.windows import WindowSpec
+
+__all__ = ["AtypicalForest", "ForestStats"]
+
+
+@dataclass(frozen=True)
+class ForestStats:
+    """Cluster counts per materialized level (feeds Fig. 20)."""
+
+    num_days: int
+    num_micro: int
+    num_week_macro: int
+    num_month_macro: int
+
+
+class AtypicalForest:
+    """Partially materialized hierarchy of atypical clusters.
+
+    Day-level micro-clusters are always stored; week and month levels are
+    materialized lazily through :meth:`week_clusters` / :meth:`month_clusters`
+    using the configured integrator (Algorithm 3).
+    """
+
+    def __init__(
+        self,
+        calendar: Calendar,
+        window_spec: WindowSpec = WindowSpec(),
+        integrator: Optional[ClusterIntegrator] = None,
+        ids: Optional[ClusterIdGenerator] = None,
+    ):
+        self._calendar = calendar
+        self._spec = window_spec
+        self._integrator = integrator if integrator is not None else ClusterIntegrator()
+        self._ids = ids if ids is not None else ClusterIdGenerator()
+        self._micro_by_day: Dict[int, List[AtypicalCluster]] = {}
+        self._week_cache: Dict[int, List[AtypicalCluster]] = {}
+        self._month_cache: Dict[int, List[AtypicalCluster]] = {}
+        self._registry: Dict[int, AtypicalCluster] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def calendar(self) -> Calendar:
+        return self._calendar
+
+    @property
+    def window_spec(self) -> WindowSpec:
+        return self._spec
+
+    @property
+    def ids(self) -> ClusterIdGenerator:
+        return self._ids
+
+    @property
+    def integrator(self) -> ClusterIntegrator:
+        return self._integrator
+
+    @property
+    def days(self) -> List[int]:
+        return sorted(self._micro_by_day)
+
+    # ------------------------------------------------------------------
+    def add_day(self, day: int, clusters: Sequence[AtypicalCluster]) -> None:
+        """Store the micro-clusters extracted for ``day``.
+
+        Invalidates any cached week/month materialization covering the day.
+        """
+        if day in self._micro_by_day:
+            raise ValueError(f"day {day} already added to the forest")
+        self._micro_by_day[day] = list(clusters)
+        for cluster in clusters:
+            self._register(cluster)
+        self._week_cache.pop(self._calendar.week_of_day(day), None)
+        self._month_cache.pop(self._calendar.month_of_day(day), None)
+
+    def _register(self, cluster: AtypicalCluster) -> None:
+        existing = self._registry.get(cluster.cluster_id)
+        if existing is not None and existing is not cluster:
+            raise ValueError(f"duplicate cluster id in forest: {cluster.cluster_id}")
+        self._registry[cluster.cluster_id] = cluster
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def day_clusters(self, day: int) -> List[AtypicalCluster]:
+        """Micro-clusters of one day (empty if the day was never added)."""
+        return list(self._micro_by_day.get(day, ()))
+
+    def micro_clusters(
+        self,
+        days: Iterable[int],
+        region: Optional[QueryRegion] = None,
+    ) -> List[AtypicalCluster]:
+        """Micro-clusters of the given days, optionally region-filtered.
+
+        A cluster qualifies when at least one of its sensors lies in the
+        query region — events straddling the region boundary still
+        contribute severity inside it.
+        """
+        result: List[AtypicalCluster] = []
+        for day in days:
+            for cluster in self._micro_by_day.get(day, ()):
+                if region is None or cluster.intersects_sensors(region.sensor_ids):
+                    result.append(cluster)
+        return result
+
+    def week_clusters(self, week: int) -> List[AtypicalCluster]:
+        """Macro-clusters of one calendar week (materialized on demand)."""
+        cached = self._week_cache.get(week)
+        if cached is None:
+            micro = self.micro_clusters(self._calendar.week_day_range(week))
+            cached = self._integrate_and_register(micro)
+            self._week_cache[week] = cached
+        return list(cached)
+
+    def month_clusters(self, month: int) -> List[AtypicalCluster]:
+        """Macro-clusters of one calendar month.
+
+        Follows the day -> week -> month aggregation path of Fig. 10: the
+        month level integrates the materialized week clusters, exercising
+        the associativity of the merge (Property 3).
+        """
+        cached = self._month_cache.get(month)
+        if cached is None:
+            weeks = sorted(
+                {
+                    self._calendar.week_of_day(day)
+                    for day in self._calendar.month_day_range(month)
+                    if day in self._micro_by_day
+                }
+            )
+            inputs: List[AtypicalCluster] = []
+            for week in weeks:
+                inputs.extend(self.week_clusters(week))
+            cached = self._integrate_and_register(inputs)
+            self._month_cache[month] = cached
+        return list(cached)
+
+    def _integrate_and_register(
+        self, clusters: List[AtypicalCluster]
+    ) -> List[AtypicalCluster]:
+        result = self._integrator.integrate(clusters, self._ids)
+        # register intermediate merge products too: the clustering tree
+        # walks ``members`` links through them down to the micro leaves
+        for cluster in result.created.values():
+            self._register(cluster)
+        for cluster in result.clusters:
+            self._register(cluster)
+        return result.clusters
+
+    # ------------------------------------------------------------------
+    # Provenance (clustering trees)
+    # ------------------------------------------------------------------
+    def lookup(self, cluster_id: int) -> AtypicalCluster:
+        return self._registry[cluster_id]
+
+    def children_of(self, cluster: AtypicalCluster) -> List[AtypicalCluster]:
+        return [self._registry[m] for m in cluster.members if m in self._registry]
+
+    def leaves_of(self, cluster: AtypicalCluster) -> List[AtypicalCluster]:
+        """Micro-cluster leaves of a macro-cluster's clustering tree."""
+        if cluster.is_micro:
+            return [cluster]
+        leaves: List[AtypicalCluster] = []
+        stack = [cluster]
+        while stack:
+            node = stack.pop()
+            if node.is_micro:
+                leaves.append(node)
+            else:
+                stack.extend(self.children_of(node))
+        return leaves
+
+    # ------------------------------------------------------------------
+    # Persistence support (see repro.storage.forest_io)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Structural snapshot: every registered cluster plus the id maps."""
+        return {
+            "clusters": list(self._registry.values()),
+            "micro_by_day": {
+                day: [c.cluster_id for c in clusters]
+                for day, clusters in self._micro_by_day.items()
+            },
+            "week_cache": {
+                week: [c.cluster_id for c in clusters]
+                for week, clusters in self._week_cache.items()
+            },
+            "month_cache": {
+                month: [c.cluster_id for c in clusters]
+                for month, clusters in self._month_cache.items()
+            },
+        }
+
+    def import_state(
+        self,
+        clusters: Sequence[AtypicalCluster],
+        micro_by_day: Dict[int, List[int]],
+        week_cache: Dict[int, List[int]],
+        month_cache: Dict[int, List[int]],
+    ) -> None:
+        """Restore a snapshot into an empty forest."""
+        if self._registry or self._micro_by_day:
+            raise ValueError("import_state requires an empty forest")
+        for cluster in clusters:
+            self._register(cluster)
+        for day, ids in micro_by_day.items():
+            self._micro_by_day[day] = [self._registry[i] for i in ids]
+        for week, ids in week_cache.items():
+            self._week_cache[week] = [self._registry[i] for i in ids]
+        for month, ids in month_cache.items():
+            self._month_cache[month] = [self._registry[i] for i in ids]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ForestStats:
+        """Counts of materialized clusters at each level."""
+        return ForestStats(
+            num_days=len(self._micro_by_day),
+            num_micro=sum(len(v) for v in self._micro_by_day.values()),
+            num_week_macro=sum(len(v) for v in self._week_cache.values()),
+            num_month_macro=sum(len(v) for v in self._month_cache.values()),
+        )
+
+    def __iter__(self) -> Iterator[AtypicalCluster]:
+        for day in sorted(self._micro_by_day):
+            yield from self._micro_by_day[day]

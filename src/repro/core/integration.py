@@ -1,0 +1,256 @@
+"""Atypical cluster integration (Algorithm 3).
+
+Repeatedly merges every cluster pair whose similarity exceeds ``delta_sim``
+until no pair qualifies, turning micro-clusters into macro-clusters. Two
+implementations are provided:
+
+* ``"naive"`` — the literal Algorithm 3: scan all pairs, merge, repeat.
+  Quadratic per pass; kept for cross-validation and the ablation bench.
+* ``"indexed"`` — maintains inverted indexes ``sensor -> clusters`` and
+  ``window -> clusters``. Only clusters sharing a sensor or a window can
+  have non-zero similarity (see
+  :meth:`~repro.core.similarity.ClusterSimilarity.can_be_similar`), so each
+  cluster only ever compares against its index candidates. This is the
+  production path.
+
+The paper notes (Sec. V-D) that hard clustering makes the result order-
+dependent in principle but that the influence is limited; both
+implementations here use deterministic tie-breaking (highest similarity,
+then lowest id) so results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
+from repro.core.merge import merge_clusters
+from repro.core.similarity import ClusterSimilarity
+
+__all__ = ["IntegrationResult", "ClusterIntegrator", "integrate"]
+
+
+@dataclass
+class IntegrationResult:
+    """Outcome of one integration run.
+
+    ``created`` maps the id of every intermediate merge product to its
+    cluster, so callers can walk full provenance chains (the clustering
+    tree) even for clusters that were merged again later.
+    """
+
+    clusters: List[AtypicalCluster]
+    merges: int = 0
+    comparisons: int = 0
+    created: Dict[int, AtypicalCluster] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+
+class ClusterIntegrator:
+    """Configured Algorithm 3 runner.
+
+    Parameters
+    ----------
+    threshold:
+        ``delta_sim``; a pair merges when ``sim > threshold`` (strict, as in
+        Algorithm 3 line 3). Default 0.5, the value the paper recommends.
+    similarity:
+        The configured Eq. 2 measure (balance function choice).
+    method:
+        ``"indexed"`` (default) or ``"naive"``.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        similarity: ClusterSimilarity | str = "avg",
+        method: str = "indexed",
+    ):
+        if not 0 <= threshold <= 1:
+            raise ValueError(f"similarity threshold must be in [0, 1]: {threshold}")
+        if method not in ("indexed", "naive"):
+            raise ValueError(f"unknown integration method: {method!r}")
+        self._threshold = float(threshold)
+        self._sim = (
+            similarity
+            if isinstance(similarity, ClusterSimilarity)
+            else ClusterSimilarity(similarity)
+        )
+        self._method = method
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def similarity(self) -> ClusterSimilarity:
+        return self._sim
+
+    # ------------------------------------------------------------------
+    def integrate(
+        self,
+        clusters: Iterable[AtypicalCluster],
+        ids: Optional[ClusterIdGenerator] = None,
+    ) -> IntegrationResult:
+        """Run Algorithm 3 over ``clusters`` and return the macro-cluster set."""
+        cluster_list = list(clusters)
+        if ids is None:
+            start = max((c.cluster_id for c in cluster_list), default=-1) + 1
+            ids = ClusterIdGenerator(start)
+        if len(cluster_list) <= 1:
+            return IntegrationResult(clusters=cluster_list)
+        if self._method == "naive":
+            result = self._integrate_naive(cluster_list, ids)
+        else:
+            result = self._integrate_indexed(cluster_list, ids)
+        result.clusters.sort(key=lambda c: (-c.severity(), c.cluster_id))
+        return result
+
+    # ------------------------------------------------------------------
+    def _integrate_naive(
+        self, clusters: List[AtypicalCluster], ids: ClusterIdGenerator
+    ) -> IntegrationResult:
+        active = list(clusters)
+        created: Dict[int, AtypicalCluster] = {}
+        merges = 0
+        comparisons = 0
+        changed = True
+        while changed:
+            changed = False
+            n = len(active)
+            best: Optional[Tuple[int, int]] = None
+            best_key: Optional[Tuple[float, int, int]] = None
+            for i in range(n):
+                for j in range(i + 1, n):
+                    comparisons += 1
+                    sim = self._sim(active[i], active[j])
+                    if sim > self._threshold:
+                        key = (-sim, active[i].cluster_id, active[j].cluster_id)
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            best = (i, j)
+            if best is not None:
+                i, j = best
+                merged = merge_clusters(active[i], active[j], ids)
+                created[merged.cluster_id] = merged
+                # remove j first (j > i) to keep indexes valid
+                del active[j]
+                del active[i]
+                active.append(merged)
+                merges += 1
+                changed = True
+        return IntegrationResult(
+            clusters=active, merges=merges, comparisons=comparisons, created=created
+        )
+
+    # ------------------------------------------------------------------
+    def _integrate_indexed(
+        self, clusters: List[AtypicalCluster], ids: ClusterIdGenerator
+    ) -> IntegrationResult:
+        active: Dict[int, AtypicalCluster] = {c.cluster_id: c for c in clusters}
+        if len(active) != len(clusters):
+            raise ValueError("duplicate cluster ids in integration input")
+        by_sensor: Dict[int, Set[int]] = {}
+        by_window: Dict[int, Set[int]] = {}
+
+        def index_add(cluster: AtypicalCluster) -> None:
+            for sensor in cluster.spatial:
+                by_sensor.setdefault(sensor, set()).add(cluster.cluster_id)
+            for window in cluster.temporal:
+                by_window.setdefault(window, set()).add(cluster.cluster_id)
+
+        def index_remove(cluster: AtypicalCluster) -> None:
+            for sensor in cluster.spatial:
+                bucket = by_sensor.get(sensor)
+                if bucket is not None:
+                    bucket.discard(cluster.cluster_id)
+                    if not bucket:
+                        del by_sensor[sensor]
+            for window in cluster.temporal:
+                bucket = by_window.get(window)
+                if bucket is not None:
+                    bucket.discard(cluster.cluster_id)
+                    if not bucket:
+                        del by_window[window]
+
+        for cluster in clusters:
+            index_add(cluster)
+
+        # Sensor-disjoint clusters have spatial similarity 0 under every
+        # balance function, so Eq. 2 bounds their similarity by 1/2. When
+        # the merge threshold is at least 0.5 only clusters sharing a
+        # sensor can merge, and the window index would only produce
+        # candidates that are rejected anyway — skip it entirely.
+        use_window_candidates = self._threshold < 0.5
+
+        created: Dict[int, AtypicalCluster] = {}
+        merges = 0
+        comparisons = 0
+        # Process lowest ids first for determinism.
+        queue: List[int] = sorted(active)
+        queued: Set[int] = set(queue)
+        head = 0
+        while head < len(queue):
+            cid = queue[head]
+            head += 1
+            queued.discard(cid)
+            cluster = active.get(cid)
+            if cluster is None:
+                continue
+            candidates: Set[int] = set()
+            for sensor in cluster.spatial:
+                candidates.update(by_sensor.get(sensor, ()))
+            if use_window_candidates:
+                for window in cluster.temporal:
+                    candidates.update(by_window.get(window, ()))
+            candidates.discard(cid)
+
+            best_sim = self._threshold
+            best_id: Optional[int] = None
+            for other_id in sorted(candidates):
+                comparisons += 1
+                sim = self._sim(cluster, active[other_id])
+                # strict improvement: ties resolve to the lowest id because
+                # candidates are visited in ascending id order
+                if sim > best_sim:
+                    best_sim = sim
+                    best_id = other_id
+            if best_id is None:
+                continue
+
+            other = active.pop(best_id)
+            active.pop(cid)
+            index_remove(cluster)
+            index_remove(other)
+            merged = merge_clusters(cluster, other, ids)
+            created[merged.cluster_id] = merged
+            active[merged.cluster_id] = merged
+            index_add(merged)
+            merges += 1
+            if merged.cluster_id not in queued:
+                queue.append(merged.cluster_id)
+                queued.add(merged.cluster_id)
+
+        return IntegrationResult(
+            clusters=list(active.values()),
+            merges=merges,
+            comparisons=comparisons,
+            created=created,
+        )
+
+
+def integrate(
+    clusters: Iterable[AtypicalCluster],
+    threshold: float = 0.5,
+    similarity: ClusterSimilarity | str = "avg",
+    method: str = "indexed",
+    ids: Optional[ClusterIdGenerator] = None,
+) -> IntegrationResult:
+    """Functional wrapper around :class:`ClusterIntegrator` (Algorithm 3)."""
+    return ClusterIntegrator(threshold, similarity, method).integrate(clusters, ids)

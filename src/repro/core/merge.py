@@ -1,0 +1,69 @@
+"""Merging two atypical clusters (Algorithm 2, Equations 5-6).
+
+The merged macro-cluster accumulates the severities of common sensors and
+time windows and keeps the non-overlapping entries; a fresh id is assigned.
+The operation is commutative and associative (Property 3), which makes the
+integration result independent of merge order at the feature level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
+
+__all__ = ["merge_clusters", "merge_many"]
+
+
+def merge_clusters(
+    a: AtypicalCluster,
+    b: AtypicalCluster,
+    ids: Optional[ClusterIdGenerator] = None,
+) -> AtypicalCluster:
+    """Algorithm 2: merge ``a`` and ``b`` into a new macro-cluster.
+
+    The returned cluster's features follow Eq. 5/6; its ``members`` records
+    the two input ids (provenance for the clustering tree), and its level is
+    one above the deeper input.
+    """
+    generator = ids if ids is not None else ClusterIdGenerator(
+        max(a.cluster_id, b.cluster_id) + 1
+    )
+    return AtypicalCluster(
+        cluster_id=generator.next_id(),
+        spatial=a.spatial.merge(b.spatial),
+        temporal=a.temporal.merge(b.temporal),
+        level=max(a.level, b.level) + 1,
+        members=(a.cluster_id, b.cluster_id),
+    )
+
+
+def merge_many(
+    clusters: Iterable[AtypicalCluster],
+    ids: Optional[ClusterIdGenerator] = None,
+) -> AtypicalCluster:
+    """Fold a non-empty collection of clusters into one macro-cluster.
+
+    Associativity (Property 3) guarantees the resulting features do not
+    depend on the fold order; the provenance lists every input id.
+    """
+    cluster_list = list(clusters)
+    if not cluster_list:
+        raise ValueError("merge_many needs at least one cluster")
+    if len(cluster_list) == 1:
+        return cluster_list[0]
+    generator = ids if ids is not None else ClusterIdGenerator(
+        max(c.cluster_id for c in cluster_list) + 1
+    )
+    spatial = cluster_list[0].spatial
+    temporal = cluster_list[0].temporal
+    for cluster in cluster_list[1:]:
+        spatial = spatial.merge(cluster.spatial)
+        temporal = temporal.merge(cluster.temporal)
+    return AtypicalCluster(
+        cluster_id=generator.next_id(),
+        spatial=spatial,
+        temporal=temporal,
+        level=max(c.level for c in cluster_list) + 1,
+        members=tuple(c.cluster_id for c in cluster_list),
+    )

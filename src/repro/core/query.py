@@ -1,0 +1,284 @@
+"""Analytical query processing (Sec. IV).
+
+A query ``Q(W, T)`` asks for the significant atypical clusters in region
+``W`` during time range ``T``. The processor selects the relevant
+micro-clusters from the (partially materialized) atypical forest and
+integrates them online, using one of three strategies from the evaluation:
+
+* ``"all"`` — integrate every micro-cluster in range (the accuracy
+  baseline; its significant clusters are the ground truth);
+* ``"pru"`` — *beforehand pruning*: keep only micro-clusters significant at
+  the daily scale before integrating (fast, but misses significant
+  macro-clusters — no recall guarantee);
+* ``"gui"`` — the paper's red-zone guided clustering (Algorithm 4):
+  bottom-up region totals identify red zones (Property 5), clusters outside
+  every red zone are pruned, and an optional final severity check removes
+  false positives.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, Tuple
+
+from repro.core.cluster import AtypicalCluster
+from repro.core.forest import AtypicalForest
+from repro.core.integration import ClusterIntegrator
+from repro.core.redzone import compute_red_zones, filter_by_red_zones
+from repro.core.significance import SignificanceThreshold, significant_clusters
+from repro.spatial.regions import District, DistrictGrid, QueryRegion
+
+__all__ = [
+    "AnalyticalQuery",
+    "QueryStats",
+    "QueryResult",
+    "RegionSeverityProvider",
+    "QueryProcessor",
+    "STRATEGIES",
+]
+
+STRATEGIES = ("all", "pru", "gui")
+
+
+class RegionSeverityProvider(Protocol):
+    """Bottom-up supplier of ``F(W_i, T)`` for pre-defined regions.
+
+    Implemented by the severity cube (:mod:`repro.cube.datacube`); any
+    object with this method can guide the red-zone computation.
+    """
+
+    def district_severity(self, district: District, days: Sequence[int]) -> float:
+        """Total severity of ``district`` over the given days."""
+        ...
+
+
+@dataclass(frozen=True)
+class AnalyticalQuery:
+    """``Q(W, T)``: a spatial region and a day range."""
+
+    region: QueryRegion
+    days: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.days:
+            raise ValueError("query needs at least one day")
+        if len(set(self.days)) != len(self.days):
+            raise ValueError("query days must be distinct")
+
+    @classmethod
+    def over_days(
+        cls, region: QueryRegion, first_day: int, num_days: int
+    ) -> "AnalyticalQuery":
+        return cls(region, tuple(range(first_day, first_day + num_days)))
+
+    @property
+    def length_hours(self) -> float:
+        """``length(T)`` in hours (days are contiguous in wall time)."""
+        return len(self.days) * 24.0
+
+    def threshold(self, delta_s: float) -> SignificanceThreshold:
+        """The Def. 5 threshold bound to this query's scale."""
+        return SignificanceThreshold(delta_s, self.length_hours, len(self.region))
+
+
+@dataclass
+class QueryStats:
+    """Cost accounting of one query execution (Fig. 17)."""
+
+    elapsed_seconds: float = 0.0
+    input_clusters: int = 0
+    pruned_clusters: int = 0
+    red_zones: int = 0
+    candidate_districts: int = 0
+    comparisons: int = 0
+    merges: int = 0
+    final_check_removed: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Macro-clusters returned by one strategy, plus provenance."""
+
+    query: AnalyticalQuery
+    strategy: str
+    returned: List[AtypicalCluster]
+    threshold: SignificanceThreshold
+    stats: QueryStats
+    registry: Dict[int, AtypicalCluster] = field(default_factory=dict)
+
+    def significant(self) -> List[AtypicalCluster]:
+        """The returned clusters that meet Def. 5."""
+        return significant_clusters(self.returned, self.threshold)
+
+    def leaf_ids(self, cluster: AtypicalCluster) -> FrozenSet[int]:
+        """Micro-cluster leaf ids of ``cluster`` within this result.
+
+        Used by the evaluation to match clusters across strategies: two
+        strategies' clusters describe the same events when their leaf sets
+        overlap.
+        """
+        if cluster.is_micro:
+            return frozenset((cluster.cluster_id,))
+        leaves: set[int] = set()
+        stack: List[AtypicalCluster] = [cluster]
+        while stack:
+            node = stack.pop()
+            if node.is_micro:
+                leaves.add(node.cluster_id)
+                continue
+            for member in node.members:
+                child = self.registry.get(member)
+                if child is None:
+                    # the member was itself a pre-materialized macro-cluster;
+                    # treat it as a leaf of this result
+                    leaves.add(member)
+                else:
+                    stack.append(child)
+        return frozenset(leaves)
+
+
+class QueryProcessor:
+    """Online analytical query engine over an atypical forest."""
+
+    def __init__(
+        self,
+        forest: AtypicalForest,
+        districts: DistrictGrid,
+        severity_provider: RegionSeverityProvider,
+        delta_s: float = 0.05,
+        integrator: Optional[ClusterIntegrator] = None,
+    ):
+        self._forest = forest
+        self._districts = districts
+        self._provider = severity_provider
+        self._delta_s = float(delta_s)
+        self._integrator = (
+            integrator if integrator is not None else forest.integrator
+        )
+
+    @property
+    def delta_s(self) -> float:
+        return self._delta_s
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: AnalyticalQuery,
+        strategy: str = "gui",
+        final_check: bool = False,
+        delta_s: Optional[float] = None,
+        use_materialized: bool = False,
+    ) -> QueryResult:
+        """Process ``query`` with the chosen strategy.
+
+        ``final_check`` enables Algorithm 4 lines 5-7 (drop returned
+        clusters below the significance bar). The paper disables it in the
+        precision experiments "for a fair play", so it defaults to off.
+
+        ``use_materialized`` consumes pre-computed week-level
+        macro-clusters for the whole calendar weeks covered by the query
+        (Sec. III-C: "Such a forest (or parts of it) can be pre-computed
+        to help process the analytical queries"), integrating only the
+        leftover days' micro-clusters on top. Associativity of the merge
+        (Property 3) keeps the resulting features identical up to merge
+        order. Not combined with the Pru/Gui input filters — those operate
+        on micro-clusters.
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected {STRATEGIES}")
+        if use_materialized and strategy != "all":
+            raise ValueError(
+                "use_materialized only applies to the integrate-all strategy"
+            )
+        threshold = query.threshold(delta_s if delta_s is not None else self._delta_s)
+        stats = QueryStats()
+        started = time.perf_counter()
+
+        if use_materialized:
+            micro = self._materialized_inputs(query)
+        else:
+            micro = self._forest.micro_clusters(query.days, query.region)
+        if strategy == "all":
+            qualified = micro
+        elif strategy == "pru":
+            qualified = self._prune_beforehand(micro, threshold, stats)
+        else:
+            qualified = self._red_zone_filter(query, micro, threshold, stats)
+        stats.input_clusters = len(qualified)
+
+        registry: Dict[int, AtypicalCluster] = {c.cluster_id: c for c in qualified}
+        outcome = self._integrator.integrate(qualified, self._forest.ids)
+        stats.comparisons = outcome.comparisons
+        stats.merges = outcome.merges
+        returned = outcome.clusters
+        # include every intermediate merge product so that leaf_ids() can
+        # walk complete provenance chains
+        registry.update(outcome.created)
+
+        if final_check:
+            kept = [c for c in returned if threshold.is_significant(c)]
+            stats.final_check_removed = len(returned) - len(kept)
+            returned = kept
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        return QueryResult(
+            query=query,
+            strategy=strategy,
+            returned=returned,
+            threshold=threshold,
+            stats=stats,
+            registry=registry,
+        )
+
+    # ------------------------------------------------------------------
+    def _prune_beforehand(
+        self,
+        micro: List[AtypicalCluster],
+        threshold: SignificanceThreshold,
+        stats: QueryStats,
+    ) -> List[AtypicalCluster]:
+        """The Pru baseline: keep micro-clusters significant at day scale."""
+        daily = threshold.scaled(24.0)
+        kept = [c for c in micro if daily.is_significant(c)]
+        stats.pruned_clusters = len(micro) - len(kept)
+        return kept
+
+    def _red_zone_filter(
+        self,
+        query: AnalyticalQuery,
+        micro: List[AtypicalCluster],
+        threshold: SignificanceThreshold,
+        stats: QueryStats,
+    ) -> List[AtypicalCluster]:
+        """Algorithm 4 lines 1-3: red zones then pruning."""
+        candidates = self._districts.districts_in(query.region)
+        stats.candidate_districts = len(candidates)
+        zones = compute_red_zones(
+            candidates,
+            lambda district: self._provider.district_severity(district, query.days),
+            threshold,
+        )
+        stats.red_zones = zones.num_zones
+        kept, pruned = filter_by_red_zones(micro, zones)
+        stats.pruned_clusters = pruned
+        return kept
+
+    def _materialized_inputs(self, query: AnalyticalQuery) -> List[AtypicalCluster]:
+        """Week macro-clusters for fully covered weeks + leftover micros."""
+        calendar = self._forest.calendar
+        query_days = set(query.days)
+        inputs: List[AtypicalCluster] = []
+        consumed: set[int] = set()
+        for week in sorted({calendar.week_of_day(d) for d in query.days}):
+            week_days = set(calendar.week_day_range(week))
+            if week_days <= query_days:
+                inputs.extend(
+                    c
+                    for c in self._forest.week_clusters(week)
+                    if c.intersects_sensors(query.region.sensor_ids)
+                )
+                consumed |= week_days
+        leftover = sorted(query_days - consumed)
+        inputs.extend(self._forest.micro_clusters(leftover, query.region))
+        return inputs

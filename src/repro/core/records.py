@@ -1,0 +1,165 @@
+"""Atypical records — the input tuples of the whole pipeline.
+
+Sec. II-A: "The atypical records are represented in the format of
+``(s, t, f(s, t))``, where the severity measure ``f(s, t)`` is a numerical
+value collected from sensor ``s`` in time window ``t``. Without loss of
+generality, we adopt the atypical duration as the severity measure."
+
+Records are exposed both as a lightweight :class:`AtypicalRecord` value type
+for API-level use and as a columnar :class:`RecordBatch` (numpy arrays) for
+the bulk paths: event extraction, the bottom-up cube, and the storage layer
+all operate on batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["AtypicalRecord", "RecordBatch"]
+
+
+@dataclass(frozen=True, order=True)
+class AtypicalRecord:
+    """One atypical reading ``(s, t, f(s, t))``.
+
+    ``severity`` is the atypical duration in minutes within the window,
+    e.g. ``AtypicalRecord(1, 97, 4.0)`` means sensor 1 reported atypical
+    readings for 4 minutes during window 97.
+    """
+
+    sensor_id: int
+    window: int
+    severity: float
+
+    def __post_init__(self) -> None:
+        if self.severity <= 0:
+            raise ValueError(
+                f"atypical record must have positive severity, got {self.severity}"
+            )
+
+
+class RecordBatch:
+    """A columnar batch of atypical records.
+
+    Columns: ``sensor_ids`` (int32), ``windows`` (int32) and ``severities``
+    (float64, minutes). Batches are immutable; all transformation helpers
+    return new batches.
+    """
+
+    __slots__ = ("_sensor_ids", "_windows", "_severities")
+
+    def __init__(
+        self,
+        sensor_ids: np.ndarray | Sequence[int],
+        windows: np.ndarray | Sequence[int],
+        severities: np.ndarray | Sequence[float],
+    ):
+        sensor_arr = np.asarray(sensor_ids, dtype=np.int32)
+        window_arr = np.asarray(windows, dtype=np.int32)
+        severity_arr = np.asarray(severities, dtype=np.float64)
+        if not (len(sensor_arr) == len(window_arr) == len(severity_arr)):
+            raise ValueError("record batch columns must have equal lengths")
+        for arr in (sensor_arr, window_arr, severity_arr):
+            arr.flags.writeable = False
+        self._sensor_ids = sensor_arr
+        self._windows = window_arr
+        self._severities = severity_arr
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "RecordBatch":
+        return cls(np.empty(0, np.int32), np.empty(0, np.int32), np.empty(0, np.float64))
+
+    @classmethod
+    def from_records(cls, records: Iterable[AtypicalRecord]) -> "RecordBatch":
+        records = list(records)
+        return cls(
+            np.array([r.sensor_id for r in records], dtype=np.int32),
+            np.array([r.window for r in records], dtype=np.int32),
+            np.array([r.severity for r in records], dtype=np.float64),
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["RecordBatch"]) -> "RecordBatch":
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty()
+        return cls(
+            np.concatenate([b.sensor_ids for b in batches]),
+            np.concatenate([b.windows for b in batches]),
+            np.concatenate([b.severities for b in batches]),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def sensor_ids(self) -> np.ndarray:
+        return self._sensor_ids
+
+    @property
+    def windows(self) -> np.ndarray:
+        return self._windows
+
+    @property
+    def severities(self) -> np.ndarray:
+        return self._severities
+
+    def __len__(self) -> int:
+        return len(self._sensor_ids)
+
+    def __iter__(self) -> Iterator[AtypicalRecord]:
+        for sid, window, severity in zip(
+            self._sensor_ids, self._windows, self._severities
+        ):
+            yield AtypicalRecord(int(sid), int(window), float(severity))
+
+    def __getitem__(self, index: int) -> AtypicalRecord:
+        return AtypicalRecord(
+            int(self._sensor_ids[index]),
+            int(self._windows[index]),
+            float(self._severities[index]),
+        )
+
+    # ------------------------------------------------------------------
+    def total_severity(self) -> float:
+        """``F`` over the batch: the distributive total-severity measure."""
+        return float(self._severities.sum())
+
+    def select(self, mask: np.ndarray) -> "RecordBatch":
+        """New batch with rows where ``mask`` is true."""
+        return RecordBatch(
+            self._sensor_ids[mask], self._windows[mask], self._severities[mask]
+        )
+
+    def restrict_windows(self, first: int, last: int) -> "RecordBatch":
+        """Rows with ``first <= window <= last``."""
+        mask = (self._windows >= first) & (self._windows <= last)
+        return self.select(mask)
+
+    def restrict_sensors(self, sensor_ids: Iterable[int]) -> "RecordBatch":
+        """Rows whose sensor is in ``sensor_ids``."""
+        wanted = np.fromiter(
+            (int(s) for s in sensor_ids), dtype=np.int64, count=-1
+        )
+        mask = np.isin(self._sensor_ids, wanted)
+        return self.select(mask)
+
+    def sorted_by_window(self) -> "RecordBatch":
+        order = np.lexsort((self._sensor_ids, self._windows))
+        return RecordBatch(
+            self._sensor_ids[order], self._windows[order], self._severities[order]
+        )
+
+    def validate(self) -> None:
+        """Raise if any record violates the atypical-record contract."""
+        if len(self) and float(self._severities.min()) <= 0:
+            raise ValueError("atypical records must have positive severity")
+        if len(self) and int(self._windows.min()) < 0:
+            raise ValueError("windows must be non-negative")
+        if len(self) and int(self._sensor_ids.min()) < 0:
+            raise ValueError("sensor ids must be non-negative")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RecordBatch({len(self)} records)"

@@ -1,0 +1,97 @@
+"""Red-zone guided clustering (Property 5, Algorithm 4).
+
+The total severity ``F(W, T)`` is distributive (Property 4), so it can be
+aggregated bottom-up over *pre-defined* regions. Property 5 connects this
+cheap measure to the cluster model: if a region's total severity over the
+query time is below the significance bar ``delta_s * length(T) * N``, no
+significant macro-cluster can live inside that region. Regions above the
+bar are the **red zones**; micro-clusters that do not intersect any red
+zone are pruned before integration, with no false negatives.
+
+This module implements the red-zone computation and the pruning step; the
+surrounding query strategies (All / Pru / Gui) live in
+:mod:`repro.core.query`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.cluster import AtypicalCluster
+from repro.core.significance import SignificanceThreshold
+from repro.spatial.regions import District
+
+__all__ = ["RedZones", "compute_red_zones", "filter_by_red_zones"]
+
+
+@dataclass(frozen=True)
+class RedZones:
+    """The set of regions that may contain significant clusters."""
+
+    districts: Tuple[District, ...]
+    sensor_ids: frozenset[int]
+    severities: Mapping[int, float]
+
+    @property
+    def num_zones(self) -> int:
+        return len(self.districts)
+
+    def covers(self, cluster: AtypicalCluster) -> bool:
+        """True if the cluster intersects any red zone.
+
+        Example 7: clusters *inside* a zone are kept, clusters that merely
+        *intersect* one are also kept (they may contribute severity to a
+        significant macro-cluster), only fully-outside clusters are pruned.
+        """
+        return any(sensor in self.sensor_ids for sensor in cluster.spatial)
+
+
+def compute_red_zones(
+    districts: Sequence[District],
+    district_severity: Callable[[District], float],
+    threshold: SignificanceThreshold,
+) -> RedZones:
+    """Property 5: keep districts with ``F(W_i, T) >= delta_s*length(T)*N``.
+
+    ``district_severity`` supplies the bottom-up total ``F(W_i, T)`` for
+    each pre-defined region, typically from the severity cube.
+
+    Note the comparison is *non-strict* on the region total: Property 5
+    only licenses pruning when ``F(W', T) < bar``, so regions exactly at
+    the bar must be kept to preserve the no-false-negative guarantee.
+    """
+    kept: List[District] = []
+    severities: dict[int, float] = {}
+    sensor_ids: set[int] = set()
+    bar = threshold.min_severity
+    for district in districts:
+        total = district_severity(district)
+        severities[district.district_id] = total
+        if total >= bar:
+            kept.append(district)
+            sensor_ids.update(district.sensor_ids)
+    return RedZones(
+        districts=tuple(kept),
+        sensor_ids=frozenset(sensor_ids),
+        severities=severities,
+    )
+
+
+def filter_by_red_zones(
+    clusters: Iterable[AtypicalCluster],
+    zones: RedZones,
+) -> Tuple[List[AtypicalCluster], int]:
+    """Algorithm 4 lines 2-3: drop clusters outside every red zone.
+
+    Returns the qualified clusters and the number pruned.
+    """
+    kept: List[AtypicalCluster] = []
+    pruned = 0
+    zone_sensors = zones.sensor_ids
+    for cluster in clusters:
+        if any(sensor in zone_sensors for sensor in cluster.spatial):
+            kept.append(cluster)
+        else:
+            pruned += 1
+    return kept, pruned

@@ -1,0 +1,159 @@
+"""Cluster similarity (Equations 2-4) and balance functions ``g``.
+
+The similarity between two atypical clusters averages a spatial and a
+temporal component. Each component computes, for both clusters, the
+fraction of the cluster's severity that falls on *common* sensors (or
+windows), and balances the two fractions with a function ``g``:
+max, min, arithmetic mean, geometric mean or harmonic mean (Sec. III-C).
+
+The paper motivates the choice of ``g``: when a large cluster is compared
+with a small one the common-severity fraction of the large cluster is
+inevitably small, so ``max`` keeps such pairs similar while ``min`` is the
+most conservative. Fig. 21 sweeps all five functions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+from repro.core.cluster import AtypicalCluster
+
+__all__ = [
+    "BALANCE_FUNCTIONS",
+    "balance_function",
+    "spatial_similarity",
+    "temporal_similarity",
+    "similarity",
+    "ClusterSimilarity",
+]
+
+BalanceFn = Callable[[float, float], float]
+
+
+def _balance_max(p1: float, p2: float) -> float:
+    return max(p1, p2)
+
+
+def _balance_min(p1: float, p2: float) -> float:
+    return min(p1, p2)
+
+
+def _balance_arithmetic(p1: float, p2: float) -> float:
+    return (p1 + p2) / 2.0
+
+
+def _balance_geometric(p1: float, p2: float) -> float:
+    return math.sqrt(p1 * p2)
+
+
+def _balance_harmonic(p1: float, p2: float) -> float:
+    if p1 + p2 == 0:
+        return 0.0
+    return 2.0 * p1 * p2 / (p1 + p2)
+
+
+#: The five balance functions of the paper (Fig. 14 / Fig. 21), keyed by the
+#: short names used in the figures.
+BALANCE_FUNCTIONS: Mapping[str, BalanceFn] = {
+    "max": _balance_max,
+    "min": _balance_min,
+    "avg": _balance_arithmetic,
+    "geo": _balance_geometric,
+    "har": _balance_harmonic,
+}
+
+
+def balance_function(name: str) -> BalanceFn:
+    """Look up a balance function by its figure name (``avg`` is the default
+    used throughout the evaluation)."""
+    try:
+        return BALANCE_FUNCTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown balance function {name!r}; "
+            f"expected one of {sorted(BALANCE_FUNCTIONS)}"
+        ) from None
+
+
+def spatial_similarity(
+    a: AtypicalCluster, b: AtypicalCluster, g: BalanceFn
+) -> float:
+    """Eq. 3: balanced common-sensor severity fractions."""
+    p1 = a.spatial.overlap_fraction(b.spatial)
+    p2 = b.spatial.overlap_fraction(a.spatial)
+    return g(p1, p2)
+
+
+def temporal_similarity(
+    a: AtypicalCluster, b: AtypicalCluster, g: BalanceFn
+) -> float:
+    """Eq. 4: balanced common-window severity fractions."""
+    p1 = a.temporal.overlap_fraction(b.temporal)
+    p2 = b.temporal.overlap_fraction(a.temporal)
+    return g(p1, p2)
+
+
+def similarity(a: AtypicalCluster, b: AtypicalCluster, g: BalanceFn) -> float:
+    """Eq. 2: the average of spatial and temporal similarity."""
+    return 0.5 * (spatial_similarity(a, b, g) + temporal_similarity(a, b, g))
+
+
+class ClusterSimilarity:
+    """Configured similarity measure: a balance function plus Eq. 2.
+
+    A small convenience wrapper so algorithms carry one object instead of a
+    bare callable; also exposes a fast *reject* test — two clusters with no
+    common sensor and no common window have similarity 0 under every
+    balance function, which the integration index exploits.
+    """
+
+    def __init__(self, g: str | BalanceFn = "avg"):
+        if callable(g):
+            self._g = g
+            self._name = getattr(g, "__name__", "custom")
+        else:
+            self._g = balance_function(g)
+            self._name = g
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def g(self) -> BalanceFn:
+        return self._g
+
+    def spatial(self, a: AtypicalCluster, b: AtypicalCluster) -> float:
+        return spatial_similarity(a, b, self._g)
+
+    def temporal(self, a: AtypicalCluster, b: AtypicalCluster) -> float:
+        return temporal_similarity(a, b, self._g)
+
+    def __call__(self, a: AtypicalCluster, b: AtypicalCluster) -> float:
+        return similarity(a, b, self._g)
+
+    @staticmethod
+    def can_be_similar(a: AtypicalCluster, b: AtypicalCluster) -> bool:
+        """False only when similarity is guaranteed to be 0.
+
+        With disjoint sensor sets the spatial component is 0 for every
+        ``g`` (both fractions are 0); likewise for windows. A positive
+        similarity therefore requires a shared sensor or a shared window.
+        """
+        small_s, large_s = (
+            (a.spatial, b.spatial)
+            if len(a.spatial) <= len(b.spatial)
+            else (b.spatial, a.spatial)
+        )
+        if any(key in large_s for key in small_s):
+            return True
+        small_t, large_t = (
+            (a.temporal, b.temporal)
+            if len(a.temporal) <= len(b.temporal)
+            else (b.temporal, a.temporal)
+        )
+        return any(key in large_t for key in small_t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusterSimilarity(g={self._name!r})"

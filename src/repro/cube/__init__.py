@@ -1,0 +1,44 @@
+"""Bottom-up cube substrate: measures, severity cube and CubeView baselines."""
+
+from repro.cube.cubeview import (
+    ConstructionReport,
+    PreprocessResult,
+    build_cube_mc,
+    build_cube_oc,
+    preprocess,
+)
+from repro.cube.datacube import SeverityCube
+from repro.cube.sensorcube import RTreeSeverityProvider, SensorDayCube
+from repro.cube.measures import (
+    AlgebraicMeasure,
+    AverageMeasure,
+    CountMeasure,
+    DistributiveMeasure,
+    HolisticMeasure,
+    MaxMeasure,
+    Measure,
+    MedianMeasure,
+    MinMeasure,
+    SumMeasure,
+)
+
+__all__ = [
+    "ConstructionReport",
+    "PreprocessResult",
+    "build_cube_mc",
+    "build_cube_oc",
+    "preprocess",
+    "SeverityCube",
+    "RTreeSeverityProvider",
+    "SensorDayCube",
+    "AlgebraicMeasure",
+    "AverageMeasure",
+    "CountMeasure",
+    "DistributiveMeasure",
+    "HolisticMeasure",
+    "MaxMeasure",
+    "Measure",
+    "MedianMeasure",
+    "MinMeasure",
+    "SumMeasure",
+]

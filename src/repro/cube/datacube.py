@@ -1,0 +1,170 @@
+"""The severity cube: bottom-up aggregation over pre-defined hierarchies.
+
+Sec. II-A: "Some existing methods aggregate the severity measures in a
+bottom-up style ... They pre-define aggregation hierarchies on temporal,
+spatial and other related dimensions and accumulate the value of severity
+measure following such hierarchies."
+
+The :class:`SeverityCube` materializes the base cuboid ``(district, day)``
+of the total-severity measure ``F`` and answers rollups along the
+pre-defined hierarchies (district -> city, day -> week -> month). It is
+
+* the core of the CubeView baselines (OC / MC, Fig. 15-16), and
+* the :class:`~repro.core.query.RegionSeverityProvider` that guides the
+  red-zone computation of Algorithm 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.records import RecordBatch
+from repro.spatial.regions import District, DistrictGrid
+from repro.temporal.hierarchy import Calendar
+from repro.temporal.windows import WindowSpec
+
+__all__ = ["SeverityCube"]
+
+
+class SeverityCube:
+    """Base cuboid ``district x day`` of total severity, with rollups.
+
+    The cube is distributive (Property 4): a cell is the plain sum of its
+    records' severities, and every rollup is a sum of cells.
+    """
+
+    def __init__(
+        self,
+        districts: DistrictGrid,
+        calendar: Calendar,
+        window_spec: WindowSpec = WindowSpec(),
+    ):
+        self._districts = districts
+        self._calendar = calendar
+        self._spec = window_spec
+        self._cells = np.zeros(
+            (len(districts), calendar.num_days), dtype=np.float64
+        )
+        self._district_of_sensor = np.full(
+            max(s.sensor_id for s in districts.network) + 1, -1, dtype=np.int64
+        )
+        for sensor_id, district_id in districts.sensor_district_map().items():
+            self._district_of_sensor[sensor_id] = district_id
+        self._records_added = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._cells.shape
+
+    @property
+    def records_added(self) -> int:
+        return self._records_added
+
+    @property
+    def calendar(self) -> Calendar:
+        return self._calendar
+
+    def cells(self) -> np.ndarray:
+        """Read-only view of the base cuboid."""
+        view = self._cells.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def add_records(self, batch: RecordBatch) -> None:
+        """Accumulate a batch of atypical records into the base cuboid."""
+        self.add_readings(batch.sensor_ids, batch.windows, batch.severities)
+
+    def add_readings(
+        self,
+        sensor_ids: np.ndarray,
+        windows: np.ndarray,
+        severities: np.ndarray,
+    ) -> None:
+        """Accumulate raw reading columns; zero severities are allowed.
+
+        The OC baseline routes *every* reading (normal ones carry zero
+        severity) through this path, so the aggregation work is
+        proportional to the full trace.
+        """
+        if len(sensor_ids) == 0:
+            return
+        district_ids = self._district_of_sensor[np.asarray(sensor_ids)]
+        if np.any(district_ids < 0):
+            raise ValueError("record references a sensor outside the district grid")
+        days = np.asarray(windows) // self._spec.windows_per_day
+        if int(days.max()) >= self._calendar.num_days:
+            raise ValueError("record window beyond the cube's calendar")
+        np.add.at(self._cells, (district_ids, days), np.asarray(severities, dtype=np.float64))
+        self._records_added += len(sensor_ids)
+
+    # ------------------------------------------------------------------
+    # Base lookups and rollups
+    # ------------------------------------------------------------------
+    def cell(self, district_id: int, day: int) -> float:
+        return float(self._cells[district_id, day])
+
+    def district_severity(self, district: District, days: Sequence[int]) -> float:
+        """``F(W_i, T)`` — the RegionSeverityProvider protocol method."""
+        day_idx = np.asarray(list(days), dtype=np.int64)
+        return float(self._cells[district.district_id, day_idx].sum())
+
+    def day_severity(self, day: int) -> float:
+        """City-wide total for one day (rollup over districts)."""
+        return float(self._cells[:, day].sum())
+
+    def week_severity(self, week: int, district_id: Optional[int] = None) -> float:
+        days = np.asarray(list(self._calendar.week_day_range(week)), dtype=np.int64)
+        if district_id is None:
+            return float(self._cells[:, days].sum())
+        return float(self._cells[district_id, days].sum())
+
+    def month_severity(self, month: int, district_id: Optional[int] = None) -> float:
+        days = np.asarray(list(self._calendar.month_day_range(month)), dtype=np.int64)
+        if district_id is None:
+            return float(self._cells[:, days].sum())
+        return float(self._cells[district_id, days].sum())
+
+    def total_severity(self) -> float:
+        """``F`` over the whole cube (apex cuboid)."""
+        return float(self._cells.sum())
+
+    def region_severity(self, district_ids: Iterable[int], days: Sequence[int]) -> float:
+        """``F(W, T)`` for a union of pre-defined districts."""
+        rows = np.asarray(list(district_ids), dtype=np.int64)
+        cols = np.asarray(list(days), dtype=np.int64)
+        if len(rows) == 0 or len(cols) == 0:
+            return 0.0
+        return float(self._cells[np.ix_(rows, cols)].sum())
+
+    # ------------------------------------------------------------------
+    def combine(self, other: "SeverityCube") -> "SeverityCube":
+        """Distributivity in action: cell-wise sum of two disjoint loads."""
+        if self.shape != other.shape:
+            raise ValueError("cannot combine cubes with different shapes")
+        result = SeverityCube(self._districts, self._calendar, self._spec)
+        result._cells = self._cells + other._cells
+        result._records_added = self._records_added + other._records_added
+        return result
+
+    def import_cells(self, cells: np.ndarray, records_added: int) -> None:
+        """Restore a persisted base cuboid (see repro.storage.forest_io)."""
+        if cells.shape != self._cells.shape:
+            raise ValueError("imported cells have the wrong shape")
+        self._cells = np.array(cells, dtype=np.float64)
+        self._records_added = int(records_added)
+
+    def storage_bytes(self) -> int:
+        """Size of the materialized base cuboid (model-size accounting)."""
+        return int(self._cells.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SeverityCube({self.shape[0]} districts x {self.shape[1]} days, "
+            f"{self._records_added} records)"
+        )

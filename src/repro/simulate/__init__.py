@@ -1,0 +1,29 @@
+"""Synthetic CPS trace generation (the PeMS-replacement substrate)."""
+
+from repro.simulate.city import CityLayout, build_highways
+from repro.simulate.congestion import (
+    MIN_CONGESTED_MINUTES,
+    HotspotSpec,
+    IncidentProcess,
+    apply_hotspot,
+    apply_incidents,
+    finalize_day,
+)
+from repro.simulate.generator import SimulationConfig, TrafficSimulator
+from repro.simulate.weather import DayWeather, WeatherModel, WeatherState
+
+__all__ = [
+    "CityLayout",
+    "build_highways",
+    "HotspotSpec",
+    "IncidentProcess",
+    "MIN_CONGESTED_MINUTES",
+    "apply_hotspot",
+    "apply_incidents",
+    "finalize_day",
+    "SimulationConfig",
+    "TrafficSimulator",
+    "DayWeather",
+    "WeatherModel",
+    "WeatherState",
+]

@@ -1,0 +1,286 @@
+"""Congestion event processes for the synthetic traces.
+
+The simulator reproduces the structural phenomenology the paper describes
+(Sec. III-A): "the atypical event of a congestion usually starts from a
+single street ... then swiftly expands along the street and influences
+nearby sensors. A serious congestion usually lasts for a few hours and
+covers hundreds of sensors when reaching the full size."
+
+Two event processes feed each day:
+
+* **recurring hotspots** — rush-hour congestion anchored at a fixed
+  location of one directed highway, active on most weekdays with jittered
+  start time and extent. A hotspot realization consists of one or more
+  *pulses* (stop-and-go waves) separated by quiet gaps; gaps longer than
+  ``delta_t`` fragment the day's activity into several micro-clusters,
+  which is precisely what makes beforehand pruning lose recall (Sec. IV).
+* **incidents** — one-off accidents at random locations and times,
+  producing the long tail of small clusters that dilutes precision at
+  large query ranges.
+
+All severities are written into a dense ``(sensors, windows-per-day)``
+minutes matrix, later flattened into raw readings by the generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "HotspotSpec",
+    "IncidentProcess",
+    "IncidentReport",
+    "apply_hotspot",
+    "apply_incidents",
+]
+
+#: congestion below this many minutes per window is dropped (sensor noise
+#: floor — such readings would not pass the trustworthiness filters the
+#: paper assumes upstream)
+MIN_CONGESTED_MINUTES = 0.5
+
+
+@dataclass(frozen=True)
+class HotspotSpec:
+    """A recurring congestion hotspot on one directed highway.
+
+    Severity knobs are expressed in within-window congested minutes at the
+    spatial core; the spatial profile decays as ``exp(-(d/extent)^2)`` with
+    ``d`` the sensor distance (in deployment steps) from the center.
+    """
+
+    hotspot_id: int
+    highway_id: int
+    center_ordinal: int
+    peak_minute: int  # time of day when congestion tends to start
+    extent_sensors: float  # spatial sigma, in sensor steps
+    pulses: int  # typical number of stop-and-go waves
+    pulse_minutes: float  # typical length of one wave
+    gap_minutes: float  # typical quiet gap between waves
+    core_intensity: float  # congested minutes/window at the core
+    weekday_prob: float
+    weekend_prob: float
+    start_jitter_minutes: float = 8.0
+    day_scale_sigma: float = 0.0  # lognormal sigma of the day-to-day size factor
+    reach_cap_sensors: int = 10_000  # hard cap on spatial reach (chaining control)
+    # episodic presence: the hotspot is live for ``episode_weeks_on`` weeks,
+    # then quiet for ``episode_weeks_off`` (0/0 = always live). Episodes make
+    # cluster severity grow sublinearly with the query range, which is why
+    # precision falls as the range grows (Sec. V-B).
+    episode_weeks_on: int = 0
+    episode_weeks_off: int = 0
+    episode_phase: int = 0
+
+    def in_episode(self, day: int) -> bool:
+        """Whether the hotspot is live during ``day`` (7-day weeks)."""
+        if self.episode_weeks_on <= 0 or self.episode_weeks_off <= 0:
+            return True
+        cycle = self.episode_weeks_on + self.episode_weeks_off
+        return (day // 7 + self.episode_phase) % cycle < self.episode_weeks_on
+
+    def activity_probability(self, is_weekend: bool, weather_activity: float) -> float:
+        base = self.weekend_prob if is_weekend else self.weekday_prob
+        return min(0.98, base * weather_activity)
+
+
+def apply_hotspot(
+    matrix: np.ndarray,
+    highway_sensors: Sequence[int],
+    spec: HotspotSpec,
+    rng: np.random.Generator,
+    is_weekend: bool,
+    weather_intensity: float,
+    weather_activity: float,
+    window_minutes: int,
+    day: int = 0,
+) -> int:
+    """Realize ``spec`` for one day into the congested-minutes ``matrix``.
+
+    Returns the number of pulses realized (0 when the hotspot is quiet).
+    ``matrix`` has shape ``(num_sensors, windows_per_day)``.
+    """
+    # consume the activity draw even when out of episode so that the rng
+    # stream stays aligned across parameter sweeps
+    active_draw = rng.random()
+    if not spec.in_episode(day):
+        return 0
+    if active_draw >= spec.activity_probability(is_weekend, weather_activity):
+        return 0
+
+    # Day-to-day size factor: scales both duration and extent, so the
+    # realized severity varies roughly as its square. This is what makes
+    # beforehand pruning lose days of a recurring event (Sec. IV).
+    day_scale = math.exp(rng.normal(0.0, spec.day_scale_sigma))
+
+    start_minute = spec.peak_minute + rng.normal(0.0, spec.start_jitter_minutes)
+    extent = max(0.8, spec.extent_sensors * day_scale * (1.0 + rng.normal(0.0, 0.08)))
+    extent *= math.sqrt(weather_intensity)
+    num_pulses = spec.pulses
+
+    cursor = start_minute
+    realized = 0
+    for pulse_index in range(num_pulses):
+        length = max(
+            window_minutes * 2.0,
+            spec.pulse_minutes * day_scale * (1.0 + rng.normal(0.0, 0.08)),
+        )
+        # the wave center wobbles slightly pulse to pulse
+        center = spec.center_ordinal + int(rng.integers(-1, 2))
+        _apply_pulse(
+            matrix,
+            highway_sensors,
+            center=center,
+            extent=extent,
+            start_minute=cursor,
+            length_minutes=length,
+            core_intensity=spec.core_intensity * weather_intensity,
+            rng=rng,
+            window_minutes=window_minutes,
+            reach_cap=spec.reach_cap_sensors,
+        )
+        realized += 1
+        # quiet gap between stop-and-go waves; the floor keeps it above
+        # the default delta_t so pulses become distinct micro-clusters
+        gap = max(
+            16.0,
+            spec.gap_minutes * (1.0 + rng.normal(0.0, 0.10)),
+        )
+        cursor += length + gap
+    return realized
+
+
+def _apply_pulse(
+    matrix: np.ndarray,
+    highway_sensors: Sequence[int],
+    center: int,
+    extent: float,
+    start_minute: float,
+    length_minutes: float,
+    core_intensity: float,
+    rng: np.random.Generator,
+    window_minutes: int,
+    reach_cap: int = 10_000,
+) -> None:
+    """Add one congestion wave to the day matrix.
+
+    Temporal profile: trapezoid (20 % ramp up, 60 % plateau, 20 % ramp
+    down) — queues saturate quickly and hold, rather than following a sine.
+    Spatial profile: Gaussian decay truncated at ``2.2 * extent`` — real
+    queues have a back end; the truncation (plus the noise floor) bounds
+    the event's spatial reach, which keeps separately-placed events from
+    chaining into one through Definition 1 connectivity.
+    """
+    windows_per_day = matrix.shape[1]
+    first_window = int(start_minute // window_minutes)
+    last_window = int((start_minute + length_minutes) // window_minutes)
+    if last_window < 0 or first_window >= windows_per_day:
+        return
+    first_window = max(0, first_window)
+    last_window = min(windows_per_day - 1, last_window)
+    num_windows = last_window - first_window + 1
+
+    reach = min(int(math.ceil(2.2 * extent)), reach_cap)
+    lo = max(0, center - reach)
+    hi = min(len(highway_sensors) - 1, center + reach)
+    if lo > hi:
+        return
+    ordinals = np.arange(lo, hi + 1)
+    sensor_ids = np.asarray([highway_sensors[o] for o in ordinals], dtype=np.int64)
+    spatial = np.exp(-(((ordinals - center) / extent) ** 2))
+
+    ramp = max(1, int(0.2 * num_windows))
+    for window in range(first_window, last_window + 1):
+        position = window - first_window
+        if position < ramp:
+            temporal = (position + 1) / (ramp + 1)
+        elif position >= num_windows - ramp:
+            temporal = (num_windows - position) / (ramp + 1)
+        else:
+            temporal = 1.0
+        contribution = core_intensity * temporal * spatial
+        contribution = contribution + rng.normal(0.0, 0.25, size=len(contribution))
+        np.clip(contribution, 0.0, window_minutes, out=contribution)
+        column = matrix[sensor_ids, window] + contribution
+        matrix[sensor_ids, window] = np.minimum(column, window_minutes)
+
+
+@dataclass(frozen=True)
+class IncidentReport:
+    """Ground truth of one realized incident (the accident log of
+    Sec. V-D's context-dimension discussion)."""
+
+    highway_id: int
+    center_ordinal: int
+    start_minute: float
+    duration_minutes: float
+
+
+@dataclass(frozen=True)
+class IncidentProcess:
+    """Poisson process of one-off incidents over the whole network."""
+
+    rate_per_day: float = 2.5
+    min_start_minute: int = 0
+    max_start_minute: int = 23 * 60
+    min_duration: float = 25.0
+    max_duration: float = 80.0
+    min_extent: float = 1.2
+    max_extent: float = 3.0
+    core_intensity: float = 3.8
+
+
+def apply_incidents(
+    matrix: np.ndarray,
+    highways_sensors: List[Sequence[int]],
+    process: IncidentProcess,
+    rng: np.random.Generator,
+    weather_intensity: float,
+    window_minutes: int,
+) -> List[IncidentReport]:
+    """Realize the day's incidents; returns their ground-truth reports."""
+    count = int(rng.poisson(process.rate_per_day * weather_intensity))
+    reports: List[IncidentReport] = []
+    for _ in range(count):
+        highway_index = int(rng.integers(0, len(highways_sensors)))
+        sensors = highways_sensors[highway_index]
+        center = int(rng.integers(0, len(sensors)))
+        start = float(
+            rng.uniform(process.min_start_minute, process.max_start_minute)
+        )
+        duration = float(rng.uniform(process.min_duration, process.max_duration))
+        extent = float(rng.uniform(process.min_extent, process.max_extent))
+        _apply_pulse(
+            matrix,
+            sensors,
+            center=center,
+            extent=extent,
+            start_minute=start,
+            length_minutes=duration,
+            core_intensity=process.core_intensity * weather_intensity,
+            rng=rng,
+            window_minutes=window_minutes,
+            reach_cap=4,
+        )
+        reports.append(
+            IncidentReport(
+                highway_id=highway_index,
+                center_ordinal=center,
+                start_minute=start,
+                duration_minutes=duration,
+            )
+        )
+    return reports
+
+
+def finalize_day(matrix: np.ndarray, window_minutes: int) -> None:
+    """Apply the sensor noise floor and the physical per-window cap."""
+    np.clip(matrix, 0.0, window_minutes, out=matrix)
+    matrix[matrix < MIN_CONGESTED_MINUTES] = 0.0
+
+
+__all__.append("finalize_day")
+__all__.append("MIN_CONGESTED_MINUTES")

@@ -1,0 +1,88 @@
+"""Weather context dimension for the synthetic traces.
+
+Sec. V-D notes that users may analyze congestions jointly with context
+dimensions such as weather, joined with the temporal dimension by date.
+The simulator therefore generates a per-day weather state that modulates
+congestion (rain and storms make events more likely, longer and more
+severe), and the analysis engine can join it back in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["WeatherState", "DayWeather", "WeatherModel"]
+
+#: The three weather states with their congestion multipliers.
+WEATHER_STATES: Dict[str, Dict[str, float]] = {
+    "clear": {"intensity": 1.0, "activity": 1.0},
+    "rain": {"intensity": 1.25, "activity": 1.15},
+    "storm": {"intensity": 1.55, "activity": 1.30},
+}
+
+#: First-order Markov transition probabilities between weather states.
+_TRANSITIONS: Dict[str, List[tuple[str, float]]] = {
+    "clear": [("clear", 0.82), ("rain", 0.15), ("storm", 0.03)],
+    "rain": [("clear", 0.45), ("rain", 0.45), ("storm", 0.10)],
+    "storm": [("clear", 0.35), ("rain", 0.45), ("storm", 0.20)],
+}
+
+
+@dataclass(frozen=True)
+class WeatherState:
+    """Multipliers applied to congestion processes for one state."""
+
+    name: str
+    intensity: float
+    activity: float
+
+
+@dataclass(frozen=True)
+class DayWeather:
+    """The weather of one day."""
+
+    day: int
+    state: WeatherState
+
+
+class WeatherModel:
+    """Seeded Markov-chain weather sequence over the trace days."""
+
+    def __init__(self, num_days: int, seed: int = 0):
+        if num_days <= 0:
+            raise ValueError("weather model needs at least one day")
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 0xEA]))
+        states: List[str] = []
+        current = "clear"
+        for _ in range(num_days):
+            states.append(current)
+            names = [name for name, _ in _TRANSITIONS[current]]
+            probs = [p for _, p in _TRANSITIONS[current]]
+            current = str(rng.choice(names, p=probs))
+        self._days: List[DayWeather] = [
+            DayWeather(
+                day=day,
+                state=WeatherState(
+                    name=name,
+                    intensity=WEATHER_STATES[name]["intensity"],
+                    activity=WEATHER_STATES[name]["activity"],
+                ),
+            )
+            for day, name in enumerate(states)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._days)
+
+    def day(self, day: int) -> DayWeather:
+        return self._days[day]
+
+    def states(self) -> Sequence[DayWeather]:
+        return tuple(self._days)
+
+    def rainy_days(self) -> List[int]:
+        """Days with rain or storm (for the context-join example)."""
+        return [dw.day for dw in self._days if dw.state.name != "clear"]

@@ -1,0 +1,25 @@
+"""Spatial substrate: geometry, road network, regions and indexes."""
+
+from repro.spatial.geometry import BBox, Point, distance, polyline_length, walk_polyline
+from repro.spatial.grid import SensorGridIndex
+from repro.spatial.network import Highway, Sensor, SensorNetwork, deploy_sensors
+from repro.spatial.regions import District, DistrictGrid, QueryRegion
+from repro.spatial.rtree import RTree, RTreeNode
+
+__all__ = [
+    "BBox",
+    "Point",
+    "distance",
+    "polyline_length",
+    "walk_polyline",
+    "Highway",
+    "Sensor",
+    "SensorNetwork",
+    "deploy_sensors",
+    "District",
+    "DistrictGrid",
+    "QueryRegion",
+    "SensorGridIndex",
+    "RTree",
+    "RTreeNode",
+]

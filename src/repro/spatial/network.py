@@ -1,0 +1,173 @@
+"""Road network and sensor deployment.
+
+A CPS deploys fixed sensors on a road network; "with the help of a topology
+graph mapping the sensors to different regions, the spatial coverage can be
+represented by a set of sensors" (Sec. II-A). This module models highways as
+polylines with direction, and the :class:`SensorNetwork` as the set of fixed
+sensors with fast position lookups used by the event-extraction grid index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.spatial.geometry import BBox, Point, walk_polyline
+
+__all__ = ["Highway", "Sensor", "SensorNetwork", "deploy_sensors"]
+
+
+@dataclass(frozen=True)
+class Highway:
+    """A directed freeway, e.g. ``I-10 E``.
+
+    Attributes
+    ----------
+    name:
+        Display name such as ``"Fwy 10E"``. Opposite directions of the same
+        physical road are distinct highways, matching the paper's Example 2
+        where freeway 10W congests in the morning and 10E in the evening.
+    points:
+        Polyline vertices in mile coordinates, ordered in travel direction.
+    """
+
+    highway_id: int
+    name: str
+    points: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError(f"highway {self.name} needs at least two points")
+
+
+@dataclass(frozen=True)
+class Sensor:
+    """A fixed loop sensor on a highway."""
+
+    sensor_id: int
+    location: Point
+    highway_id: int
+    milepost: float
+    position_on_highway: int  # 0-based ordinal along the highway
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"s{self.sensor_id}"
+
+
+class SensorNetwork:
+    """The set of fixed sensors of a CPS deployment.
+
+    Provides id-indexed access, numpy position arrays for vectorized
+    distance computations, and per-highway sensor ordering used by the
+    congestion simulator to propagate events along a road.
+    """
+
+    def __init__(self, sensors: Sequence[Sensor], highways: Sequence[Highway] = ()):
+        if not sensors:
+            raise ValueError("a sensor network needs at least one sensor")
+        self._sensors = tuple(sorted(sensors, key=lambda s: s.sensor_id))
+        ids = [s.sensor_id for s in self._sensors]
+        if ids != list(range(len(ids))):
+            raise ValueError("sensor ids must be dense 0..n-1")
+        self._highways: dict[int, Highway] = {h.highway_id: h for h in highways}
+        self._positions = np.array(
+            [[s.location.x, s.location.y] for s in self._sensors], dtype=np.float64
+        )
+        by_highway: dict[int, list[int]] = {}
+        for sensor in self._sensors:
+            by_highway.setdefault(sensor.highway_id, []).append(sensor.sensor_id)
+        for sensor_ids in by_highway.values():
+            sensor_ids.sort(key=lambda sid: self._sensors[sid].position_on_highway)
+        self._by_highway: dict[int, tuple[int, ...]] = {
+            hid: tuple(sids) for hid, sids in by_highway.items()
+        }
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def __iter__(self) -> Iterator[Sensor]:
+        return iter(self._sensors)
+
+    def __getitem__(self, sensor_id: int) -> Sensor:
+        return self._sensors[sensor_id]
+
+    @property
+    def sensors(self) -> tuple[Sensor, ...]:
+        return self._sensors
+
+    @property
+    def positions(self) -> np.ndarray:
+        """``(n, 2)`` float array of sensor coordinates (read-only view)."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def highways(self) -> Mapping[int, Highway]:
+        return dict(self._highways)
+
+    def highway_sensors(self, highway_id: int) -> tuple[int, ...]:
+        """Sensor ids along ``highway_id`` ordered by milepost."""
+        return self._by_highway[highway_id]
+
+    def location(self, sensor_id: int) -> Point:
+        return self._sensors[sensor_id].location
+
+    def distance(self, sensor_a: int, sensor_b: int) -> float:
+        """Euclidean distance in miles between two sensors."""
+        return self._sensors[sensor_a].location.distance_to(
+            self._sensors[sensor_b].location
+        )
+
+    def bounding_box(self) -> BBox:
+        return BBox.around(s.location for s in self._sensors)
+
+    def sensors_in(self, bbox: BBox) -> list[int]:
+        """Sensor ids whose location falls inside ``bbox`` (closed bounds)."""
+        xs = self._positions[:, 0]
+        ys = self._positions[:, 1]
+        mask = (
+            (xs >= bbox.min_x)
+            & (xs <= bbox.max_x)
+            & (ys >= bbox.min_y)
+            & (ys <= bbox.max_y)
+        )
+        return [int(i) for i in np.nonzero(mask)[0]]
+
+
+def deploy_sensors(
+    highways: Iterable[Highway],
+    spacing_miles: float,
+    spacing_overrides: Mapping[int, float] | None = None,
+) -> SensorNetwork:
+    """Deploy sensors along each highway every ``spacing_miles`` miles.
+
+    Mirrors real loop-detector deployments (PeMS spaces detectors roughly
+    every half mile on urban freeways); the paper's Fig. 14 reports ~4,000
+    sensors over 38 highways. ``spacing_overrides`` maps highway ids to a
+    different spacing — arterial roads carry sparser instrumentation than
+    main freeways.
+    """
+    sensors: list[Sensor] = []
+    highway_list = list(highways)
+    overrides = dict(spacing_overrides or {})
+    next_id = 0
+    for highway in highway_list:
+        spacing = overrides.get(highway.highway_id, spacing_miles)
+        for ordinal, (milepost, point) in enumerate(
+            walk_polyline(highway.points, spacing)
+        ):
+            sensors.append(
+                Sensor(
+                    sensor_id=next_id,
+                    location=point,
+                    highway_id=highway.highway_id,
+                    milepost=milepost,
+                    position_on_highway=ordinal,
+                )
+            )
+            next_id += 1
+    return SensorNetwork(sensors, highway_list)

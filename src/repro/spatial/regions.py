@@ -1,0 +1,184 @@
+"""Pre-defined spatial regions (the zipcode-area stand-in).
+
+The bottom-up baseline and the red-zone filter of Algorithm 4 both operate
+on *pre-defined* spatial partitions: "The spatial regions are partitioned by
+zipcode areas, streets, highway mileages, or the R-tree rectangles"
+(Sec. II-A). For the synthetic city we partition the bounding box into a
+rectangular grid of districts; each district knows its member sensors via
+the topology graph, exactly as the paper assumes.
+
+A :class:`QueryRegion` represents the ``W`` of an analytical query
+``Q(W, T)`` — a set of sensors with a sensor count ``N`` used by the
+significance threshold (Def. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.spatial.geometry import BBox, Point
+from repro.spatial.network import SensorNetwork
+
+__all__ = ["District", "DistrictGrid", "QueryRegion"]
+
+
+@dataclass(frozen=True)
+class District:
+    """One pre-defined region (a "zipcode area")."""
+
+    district_id: int
+    name: str
+    bbox: BBox
+    sensor_ids: tuple[int, ...]
+
+    @property
+    def num_sensors(self) -> int:
+        return len(self.sensor_ids)
+
+
+class DistrictGrid:
+    """Rectangular partition of the city into districts.
+
+    The partition is exhaustive and disjoint over the sensor set: every
+    sensor belongs to exactly one district. This is the invariant Property 5
+    needs so that ``F(W, T) = sum_i F(W_i, T)`` over the districts covering
+    a query region.
+    """
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        cols: int,
+        rows: int,
+        bbox: BBox | None = None,
+    ):
+        if cols <= 0 or rows <= 0:
+            raise ValueError("district grid needs positive cols and rows")
+        self._network = network
+        base = bbox if bbox is not None else network.bounding_box()
+        # Expand slightly so edge sensors fall inside a half-open cell.
+        self._bbox = BBox(base.min_x, base.min_y, base.max_x + 1e-9, base.max_y + 1e-9)
+        self._cols = cols
+        self._rows = rows
+        self._cell_w = self._bbox.width / cols
+        self._cell_h = self._bbox.height / rows
+
+        members: list[list[int]] = [[] for _ in range(cols * rows)]
+        self._district_of_sensor: dict[int, int] = {}
+        for sensor in network:
+            district_id = self._cell_of(sensor.location)
+            members[district_id].append(sensor.sensor_id)
+            self._district_of_sensor[sensor.sensor_id] = district_id
+
+        self._districts: tuple[District, ...] = tuple(
+            District(
+                district_id=i,
+                name=f"district-{i % cols}-{i // cols}",
+                bbox=self._cell_bbox(i),
+                sensor_ids=tuple(sorted(member_ids)),
+            )
+            for i, member_ids in enumerate(members)
+        )
+
+    # ------------------------------------------------------------------
+    def _cell_of(self, point: Point) -> int:
+        col = int((point.x - self._bbox.min_x) / self._cell_w)
+        row = int((point.y - self._bbox.min_y) / self._cell_h)
+        col = min(max(col, 0), self._cols - 1)
+        row = min(max(row, 0), self._rows - 1)
+        return row * self._cols + col
+
+    def _cell_bbox(self, district_id: int) -> BBox:
+        col = district_id % self._cols
+        row = district_id // self._cols
+        return BBox(
+            self._bbox.min_x + col * self._cell_w,
+            self._bbox.min_y + row * self._cell_h,
+            self._bbox.min_x + (col + 1) * self._cell_w,
+            self._bbox.min_y + (row + 1) * self._cell_h,
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._districts)
+
+    def __iter__(self) -> Iterator[District]:
+        return iter(self._districts)
+
+    def __getitem__(self, district_id: int) -> District:
+        return self._districts[district_id]
+
+    @property
+    def network(self) -> SensorNetwork:
+        return self._network
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._cols, self._rows)
+
+    def district_of(self, sensor_id: int) -> int:
+        """District id containing ``sensor_id``."""
+        return self._district_of_sensor[sensor_id]
+
+    def sensor_district_map(self) -> Mapping[int, int]:
+        return dict(self._district_of_sensor)
+
+    def districts_in(self, region: "QueryRegion") -> list[District]:
+        """Districts with at least one sensor inside ``region``."""
+        hit_ids = sorted(
+            {self._district_of_sensor[sid] for sid in region.sensor_ids}
+        )
+        return [self._districts[i] for i in hit_ids]
+
+
+class QueryRegion:
+    """The spatial range ``W`` of an analytical query ``Q(W, T)``.
+
+    A region is defined by the set of sensors it covers; ``N = len(region)``
+    feeds the significance threshold ``delta_s * length(T) * N`` of Def. 5.
+    """
+
+    def __init__(self, name: str, sensor_ids: Iterable[int]):
+        self._name = name
+        self._sensor_ids = frozenset(int(s) for s in sensor_ids)
+        if not self._sensor_ids:
+            raise ValueError(f"query region {name!r} covers no sensors")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def whole_network(cls, network: SensorNetwork, name: str = "city") -> "QueryRegion":
+        return cls(name, (s.sensor_id for s in network))
+
+    @classmethod
+    def from_bbox(
+        cls, network: SensorNetwork, bbox: BBox, name: str = "bbox"
+    ) -> "QueryRegion":
+        return cls(name, network.sensors_in(bbox))
+
+    @classmethod
+    def from_districts(
+        cls, districts: Sequence[District], name: str = "districts"
+    ) -> "QueryRegion":
+        sensor_ids: set[int] = set()
+        for district in districts:
+            sensor_ids.update(district.sensor_ids)
+        return cls(name, sensor_ids)
+
+    # -- protocol ---------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def sensor_ids(self) -> frozenset[int]:
+        return self._sensor_ids
+
+    def __len__(self) -> int:
+        return len(self._sensor_ids)
+
+    def __contains__(self, sensor_id: int) -> bool:
+        return sensor_id in self._sensor_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryRegion({self._name!r}, {len(self)} sensors)"

@@ -1,0 +1,104 @@
+"""Catalog of monthly datasets (the D1..D12 layout of Fig. 14).
+
+A catalog is a directory of ``*.cps`` files plus a ``catalog.json`` index.
+It hands out :class:`~repro.storage.dataset.CPSDataset` handles by month
+and resolves absolute day indices to the dataset that stores them, so the
+query layer can pull micro-cluster inputs across month boundaries (the
+84-day queries of Fig. 17 span three monthly datasets).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.records import RecordBatch
+from repro.storage.dataset import CPSDataset
+
+__all__ = ["DatasetCatalog"]
+
+_INDEX_NAME = "catalog.json"
+
+
+class DatasetCatalog:
+    """Directory-backed collection of monthly CPS datasets."""
+
+    def __init__(self, directory: Path | str):
+        self._dir = Path(directory)
+        index_path = self._dir / _INDEX_NAME
+        if not index_path.exists():
+            raise FileNotFoundError(f"no catalog index at {index_path}")
+        index = json.loads(index_path.read_text())
+        self._files: List[str] = list(index["datasets"])
+        self._open: Dict[int, CPSDataset] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, directory: Path | str, dataset_files: Sequence[str]) -> "DatasetCatalog":
+        """Write the index for already-created dataset files."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        index = {"datasets": list(dataset_files)}
+        (directory / _INDEX_NAME).write_text(json.dumps(index, indent=2))
+        return cls(directory)
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def dataset(self, month: int) -> CPSDataset:
+        """The dataset of month index ``month`` (0-based), opened lazily."""
+        if not 0 <= month < len(self._files):
+            raise ValueError(f"month out of range: {month}")
+        cached = self._open.get(month)
+        if cached is None:
+            cached = CPSDataset(self._dir / self._files[month])
+            self._open[month] = cached
+        return cached
+
+    def __iter__(self) -> Iterator[CPSDataset]:
+        for month in range(len(self._files)):
+            yield self.dataset(month)
+
+    # ------------------------------------------------------------------
+    def dataset_for_day(self, day: int) -> Optional[CPSDataset]:
+        """The dataset storing absolute day ``day``, or None."""
+        for dataset in self:
+            if day in dataset.days:
+                return dataset
+        return None
+
+    def atypical_records(self, days: Sequence[int]) -> RecordBatch:
+        """PR over an arbitrary day range, spanning datasets as needed."""
+        batches: List[RecordBatch] = []
+        remaining = sorted(days)
+        for dataset in self:
+            in_this = [d for d in remaining if d in dataset.days]
+            if in_this:
+                batches.append(dataset.atypical_records(in_this))
+        return RecordBatch.concat(batches)
+
+    def total_readings(self) -> int:
+        return sum(ds.total_readings() for ds in self)
+
+    def total_size_bytes(self) -> int:
+        return sum(ds.file_size_bytes() for ds in self)
+
+    def reset_io(self) -> None:
+        for dataset in self._open.values():
+            dataset.io.reset()
+
+    def io_totals(self) -> Dict[str, int]:
+        """Aggregated I/O counters over all opened datasets."""
+        return {
+            "bytes_read": sum(ds.io.bytes_read for ds in self._open.values()),
+            "records_scanned": sum(
+                ds.io.records_scanned for ds in self._open.values()
+            ),
+            "chunks_read": sum(ds.io.chunks_read for ds in self._open.values()),
+        }

@@ -1,0 +1,113 @@
+"""Binary codec for CPS reading chunks.
+
+A CPS dataset is tens of gigabytes of fixed-width records (Sec. I:
+"Massive Data"); the storage layer keeps readings in a compact columnar
+binary format so scans are a single ``frombuffer`` per chunk. Each chunk
+encodes four columns:
+
+========  =======  ====================================================
+column    dtype    meaning
+========  =======  ====================================================
+sensor    int32    sensor id
+window    int32    time-window index from the start of the trace
+speed     float32  mean speed observed in the window (mph)
+congested float32  atypical duration within the window (minutes);
+                   0 means a normal reading
+========  =======  ====================================================
+
+Chunks carry a magic number, a version, the record count and a CRC-32 of
+the payload, so corrupted files fail loudly instead of silently skewing
+experiment results.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ReadingChunk", "encode_chunk", "decode_chunk", "CodecError", "CHUNK_HEADER_SIZE"]
+
+_MAGIC = b"CPSC"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHII")  # magic, version, reserved, count, crc32
+CHUNK_HEADER_SIZE = _HEADER.size
+_BYTES_PER_RECORD = 16
+
+
+class CodecError(ValueError):
+    """Raised when a chunk fails structural or checksum validation."""
+
+
+@dataclass(frozen=True)
+class ReadingChunk:
+    """A columnar batch of raw CPS readings."""
+
+    sensor_ids: np.ndarray  # int32
+    windows: np.ndarray  # int32
+    speeds: np.ndarray  # float32
+    congested: np.ndarray  # float32 minutes, 0 for normal readings
+
+    def __post_init__(self) -> None:
+        n = len(self.sensor_ids)
+        if not (len(self.windows) == len(self.speeds) == len(self.congested) == n):
+            raise ValueError("reading chunk columns must have equal lengths")
+
+    def __len__(self) -> int:
+        return len(self.sensor_ids)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self) * _BYTES_PER_RECORD
+
+    def atypical_mask(self) -> np.ndarray:
+        """The atypical criterion: positive congested duration (Sec. II-A
+        assumes the criterion is given and trustworthy)."""
+        return self.congested > 0
+
+
+def encode_chunk(chunk: ReadingChunk) -> bytes:
+    """Serialize a chunk to bytes (header + columnar payload)."""
+    payload = b"".join(
+        (
+            np.ascontiguousarray(chunk.sensor_ids, dtype=np.int32).tobytes(),
+            np.ascontiguousarray(chunk.windows, dtype=np.int32).tobytes(),
+            np.ascontiguousarray(chunk.speeds, dtype=np.float32).tobytes(),
+            np.ascontiguousarray(chunk.congested, dtype=np.float32).tobytes(),
+        )
+    )
+    header = _HEADER.pack(_MAGIC, _VERSION, 0, len(chunk), zlib.crc32(payload))
+    return header + payload
+
+
+def decode_chunk(data: bytes) -> ReadingChunk:
+    """Deserialize bytes produced by :func:`encode_chunk`."""
+    if len(data) < CHUNK_HEADER_SIZE:
+        raise CodecError("chunk shorter than its header")
+    magic, version, _, count, crc = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise CodecError(f"bad chunk magic: {magic!r}")
+    if version != _VERSION:
+        raise CodecError(f"unsupported chunk version: {version}")
+    payload = data[CHUNK_HEADER_SIZE:]
+    expected = count * _BYTES_PER_RECORD
+    if len(payload) != expected:
+        raise CodecError(
+            f"chunk payload size mismatch: {len(payload)} != {expected}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CodecError("chunk checksum mismatch")
+    offsets = _column_offsets(count)
+    return ReadingChunk(
+        sensor_ids=np.frombuffer(payload, np.int32, count, offsets[0]).copy(),
+        windows=np.frombuffer(payload, np.int32, count, offsets[1]).copy(),
+        speeds=np.frombuffer(payload, np.float32, count, offsets[2]).copy(),
+        congested=np.frombuffer(payload, np.float32, count, offsets[3]).copy(),
+    )
+
+
+def _column_offsets(count: int) -> Tuple[int, int, int, int]:
+    return (0, 4 * count, 8 * count, 12 * count)

@@ -1,0 +1,229 @@
+"""On-disk CPS datasets with chunked scans and I/O accounting.
+
+One :class:`CPSDataset` file stores the raw readings of one monthly trace
+(matching the paper's D1..D12 layout, Fig. 14): a JSON metadata header
+followed by one binary chunk per day. Scans stream the file chunk by chunk
+so even the "integrate twelve months" experiments never hold a full trace
+in memory, and an :class:`IOStats` counter records bytes and records read —
+the evaluation's I/O cost metric (Fig. 17 b).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.records import RecordBatch
+from repro.storage.codec import (
+    CHUNK_HEADER_SIZE,
+    CodecError,
+    ReadingChunk,
+    decode_chunk,
+    encode_chunk,
+)
+
+__all__ = ["DatasetMeta", "IOStats", "CPSDataset", "CPSDatasetWriter"]
+
+_FILE_MAGIC = b"CPSD\x01\n"
+_LEN_STRUCT = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class DatasetMeta:
+    """Metadata of one stored trace."""
+
+    name: str
+    num_sensors: int
+    first_day: int
+    num_days: int
+    window_minutes: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "num_sensors": self.num_sensors,
+            "first_day": self.first_day,
+            "num_days": self.num_days,
+            "window_minutes": self.window_minutes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DatasetMeta":
+        return cls(
+            name=str(data["name"]),
+            num_sensors=int(data["num_sensors"]),  # type: ignore[arg-type]
+            first_day=int(data["first_day"]),  # type: ignore[arg-type]
+            num_days=int(data["num_days"]),  # type: ignore[arg-type]
+            window_minutes=int(data["window_minutes"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class IOStats:
+    """Counters for scan cost accounting."""
+
+    bytes_read: int = 0
+    records_scanned: int = 0
+    chunks_read: int = 0
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.records_scanned = 0
+        self.chunks_read = 0
+
+
+class CPSDatasetWriter:
+    """Streaming writer: metadata first, then one chunk per day."""
+
+    def __init__(self, path: Path | str, meta: DatasetMeta):
+        self._path = Path(path)
+        self._meta = meta
+        self._file = open(self._path, "wb")
+        self._file.write(_FILE_MAGIC)
+        meta_bytes = json.dumps(meta.to_dict()).encode("utf-8")
+        self._file.write(_LEN_STRUCT.pack(len(meta_bytes)))
+        self._file.write(meta_bytes)
+        self._days_written = 0
+        self._closed = False
+
+    def append_day(self, chunk: ReadingChunk) -> None:
+        """Append the readings of the next day."""
+        if self._closed:
+            raise ValueError("writer already closed")
+        if self._days_written >= self._meta.num_days:
+            raise ValueError("more days appended than declared in metadata")
+        encoded = encode_chunk(chunk)
+        self._file.write(_LEN_STRUCT.pack(len(encoded)))
+        self._file.write(encoded)
+        self._days_written += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._file.close()
+        self._closed = True
+        if self._days_written != self._meta.num_days:
+            raise ValueError(
+                f"dataset {self._meta.name}: wrote {self._days_written} days, "
+                f"metadata declares {self._meta.num_days}"
+            )
+
+    def __enter__(self) -> "CPSDatasetWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # do not mask the original error with the day-count check
+            self._file.close()
+            self._closed = True
+
+
+class CPSDataset:
+    """A readable monthly trace.
+
+    Opening reads only the metadata; day chunks are loaded lazily during
+    scans. One day chunk per file position, indexed once at open time.
+    """
+
+    def __init__(self, path: Path | str):
+        self._path = Path(path)
+        self.io = IOStats()
+        with open(self._path, "rb") as handle:
+            magic = handle.read(len(_FILE_MAGIC))
+            if magic != _FILE_MAGIC:
+                raise CodecError(f"{self._path}: not a CPS dataset file")
+            (meta_len,) = _LEN_STRUCT.unpack(handle.read(_LEN_STRUCT.size))
+            self._meta = DatasetMeta.from_dict(
+                json.loads(handle.read(meta_len).decode("utf-8"))
+            )
+            self._offsets: List[tuple[int, int]] = []
+            while True:
+                raw = handle.read(_LEN_STRUCT.size)
+                if not raw:
+                    break
+                (chunk_len,) = _LEN_STRUCT.unpack(raw)
+                self._offsets.append((handle.tell(), chunk_len))
+                handle.seek(chunk_len, os.SEEK_CUR)
+        if len(self._offsets) != self._meta.num_days:
+            raise CodecError(
+                f"{self._path}: found {len(self._offsets)} day chunks, "
+                f"metadata declares {self._meta.num_days}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def meta(self) -> DatasetMeta:
+        return self._meta
+
+    @property
+    def days(self) -> range:
+        return range(self._meta.first_day, self._meta.first_day + self._meta.num_days)
+
+    def file_size_bytes(self) -> int:
+        return self._path.stat().st_size
+
+    # ------------------------------------------------------------------
+    def read_day(self, day: int) -> ReadingChunk:
+        """Load the readings of one absolute day index."""
+        if day not in self.days:
+            raise ValueError(
+                f"day {day} outside dataset {self._meta.name} ({self.days})"
+            )
+        offset, length = self._offsets[day - self._meta.first_day]
+        with open(self._path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read(length)
+        chunk = decode_chunk(data)
+        self.io.bytes_read += length
+        self.io.records_scanned += len(chunk)
+        self.io.chunks_read += 1
+        return chunk
+
+    def scan(self, days: Optional[Sequence[int]] = None) -> Iterator[tuple[int, ReadingChunk]]:
+        """Stream ``(day, chunk)`` pairs, whole dataset by default."""
+        for day in days if days is not None else self.days:
+            yield day, self.read_day(day)
+
+    # ------------------------------------------------------------------
+    def atypical_day(self, day: int) -> RecordBatch:
+        """The pre-processing step PR for one day: select atypical records.
+
+        Scans the raw readings and keeps those with positive congested
+        duration, producing the ``(s, t, f(s, t))`` batch that feeds both
+        the atypical-cluster pipeline and the modified CubeView baseline.
+        """
+        chunk = self.read_day(day)
+        mask = chunk.atypical_mask()
+        return RecordBatch(
+            chunk.sensor_ids[mask],
+            chunk.windows[mask],
+            chunk.congested[mask].astype(np.float64),
+        )
+
+    def atypical_records(self, days: Optional[Sequence[int]] = None) -> RecordBatch:
+        """PR over a day range (whole dataset by default)."""
+        batches = [self.atypical_day(day) for day in (days if days is not None else self.days)]
+        return RecordBatch.concat(batches)
+
+    def total_readings(self) -> int:
+        """Number of raw readings (by metadata, without scanning)."""
+        return sum(
+            (length - CHUNK_HEADER_SIZE) // 16 for _, length in self._offsets
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CPSDataset({self._meta.name!r}, days {self.days.start}-"
+            f"{self.days.stop - 1}, {self._meta.num_sensors} sensors)"
+        )

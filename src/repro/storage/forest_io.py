@@ -1,0 +1,139 @@
+"""Persistence for the atypical forest and the severity cube.
+
+Fig. 2 splits the system into an *offline* construction component and an
+*online* query component; in a deployment they are separate processes, so
+the constructed model must be durable. This module serializes
+
+* the atypical forest — every registered cluster (micro leaves,
+  materialized week/month macro-clusters and their intermediate merge
+  products, so clustering trees stay walkable), the day partition and the
+  materialization caches — into a single binary file, and
+* the severity cube — its base cuboid — into a sidecar ``.npy`` blob.
+
+File layout (forest)::
+
+    magic  b"CPSF\\x01\\n"
+    uint64 header length | JSON header
+    uint64 blob length   | encode_clusters(all registered clusters)
+
+The JSON header stores the structural maps as cluster-id lists.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cluster import ClusterIdGenerator
+from repro.core.forest import AtypicalForest
+from repro.core.integration import ClusterIntegrator
+from repro.cube.datacube import SeverityCube
+from repro.spatial.regions import DistrictGrid
+from repro.storage.codec import CodecError
+from repro.storage.serialize import decode_clusters, encode_clusters
+from repro.temporal.hierarchy import Calendar
+from repro.temporal.windows import WindowSpec
+
+__all__ = ["save_forest", "load_forest", "save_cube", "load_cube"]
+
+_MAGIC = b"CPSF\x01\n"
+_LEN = struct.Struct("<Q")
+
+
+def save_forest(forest: AtypicalForest, path: Path | str) -> None:
+    """Serialize ``forest`` (clusters, day partition, caches) to ``path``."""
+    state = forest.export_state()
+    header = {
+        "month_lengths": list(forest.calendar.month_lengths),
+        "month_names": list(forest.calendar.month_names),
+        "first_weekday": forest.calendar.first_weekday,
+        "window_minutes": forest.window_spec.width_minutes,
+        "micro_by_day": {str(k): v for k, v in state["micro_by_day"].items()},
+        "week_cache": {str(k): v for k, v in state["week_cache"].items()},
+        "month_cache": {str(k): v for k, v in state["month_cache"].items()},
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    blob = encode_clusters(state["clusters"])
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(_LEN.pack(len(header_bytes)))
+        handle.write(header_bytes)
+        handle.write(_LEN.pack(len(blob)))
+        handle.write(blob)
+
+
+def load_forest(
+    path: Path | str,
+    integrator: Optional[ClusterIntegrator] = None,
+) -> AtypicalForest:
+    """Rebuild a forest saved by :func:`save_forest`.
+
+    The id generator resumes above the highest persisted id, so query-time
+    integration never collides with stored clusters.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise CodecError(f"{path}: not a forest file")
+        (header_len,) = _LEN.unpack(handle.read(_LEN.size))
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+        (blob_len,) = _LEN.unpack(handle.read(_LEN.size))
+        blob = handle.read(blob_len)
+    if len(blob) != blob_len:
+        raise CodecError(f"{path}: truncated cluster blob")
+    clusters = decode_clusters(blob)
+
+    calendar = Calendar(
+        month_lengths=tuple(header["month_lengths"]),
+        month_names=tuple(header["month_names"]),
+        first_weekday=header["first_weekday"],
+    )
+    next_id = max((c.cluster_id for c in clusters), default=-1) + 1
+    forest = AtypicalForest(
+        calendar,
+        WindowSpec(header["window_minutes"]),
+        integrator if integrator is not None else ClusterIntegrator(),
+        ClusterIdGenerator(next_id),
+    )
+    forest.import_state(
+        clusters=clusters,
+        micro_by_day={int(k): v for k, v in header["micro_by_day"].items()},
+        week_cache={int(k): v for k, v in header["week_cache"].items()},
+        month_cache={int(k): v for k, v in header["month_cache"].items()},
+    )
+    return forest
+
+
+def save_cube(cube: SeverityCube, path: Path | str) -> None:
+    """Persist the cube's base cuboid and its record counter."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.asarray(cube.cells()))
+    payload = buffer.getvalue()
+    with open(path, "wb") as handle:
+        handle.write(_LEN.pack(cube.records_added))
+        handle.write(payload)
+
+
+def load_cube(
+    path: Path | str,
+    districts: DistrictGrid,
+    calendar: Calendar,
+    window_spec: WindowSpec = WindowSpec(),
+) -> SeverityCube:
+    """Rebuild a cube saved by :func:`save_cube` over the same layout."""
+    with open(path, "rb") as handle:
+        (records_added,) = _LEN.unpack(handle.read(_LEN.size))
+        cells = np.load(io.BytesIO(handle.read()))
+    cube = SeverityCube(districts, calendar, window_spec)
+    if cells.shape != cube.shape:
+        raise CodecError(
+            f"{path}: cube shape {cells.shape} does not match the "
+            f"district/calendar layout {cube.shape}"
+        )
+    cube.import_cells(cells, records_added)
+    return cube

@@ -1,0 +1,130 @@
+"""Serialization and model-size accounting for atypical clusters.
+
+Fig. 16 compares the constructed model sizes of the original CubeView (OC),
+the modified CubeView (MC), the atypical-cluster model (AC) and the raw
+atypical events (AE). This module provides the binary encoding of clusters
+that defines AC's on-disk footprint, plus the size accounting for the other
+models, so the experiment measures real serialized bytes rather than
+Python object overhead.
+
+Binary cluster layout (little endian)::
+
+    int64   cluster id
+    int32   level
+    int32   number of member ids        m
+    int32   spatial entries             p
+    int32   temporal entries            q
+    m*int64 member ids
+    p*(int32 sensor, float64 severity)
+    q*(int32 window, float64 severity)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.cluster import AtypicalCluster
+from repro.core.events import AtypicalEvent
+from repro.core.features import SpatialFeature, TemporalFeature
+
+__all__ = [
+    "encode_cluster",
+    "decode_cluster",
+    "encode_clusters",
+    "decode_clusters",
+    "clusters_size_bytes",
+    "events_size_bytes",
+]
+
+_HEAD = struct.Struct("<qiiii")
+_MEMBER = struct.Struct("<q")
+_ENTRY = struct.Struct("<id")
+_RECORD_BYTES = 16  # one raw record in the dataset codec
+
+
+def encode_cluster(cluster: AtypicalCluster) -> bytes:
+    """Serialize one cluster to its compact binary form."""
+    parts: List[bytes] = [
+        _HEAD.pack(
+            cluster.cluster_id,
+            cluster.level,
+            len(cluster.members),
+            len(cluster.spatial),
+            len(cluster.temporal),
+        )
+    ]
+    parts.extend(_MEMBER.pack(member) for member in cluster.members)
+    parts.extend(
+        _ENTRY.pack(sensor, severity)
+        for sensor, severity in sorted(cluster.spatial.items())
+    )
+    parts.extend(
+        _ENTRY.pack(window, severity)
+        for window, severity in sorted(cluster.temporal.items())
+    )
+    return b"".join(parts)
+
+
+def decode_cluster(data: bytes, offset: int = 0) -> Tuple[AtypicalCluster, int]:
+    """Decode one cluster; returns the cluster and the next offset."""
+    cluster_id, level, m, p, q = _HEAD.unpack_from(data, offset)
+    offset += _HEAD.size
+    members = []
+    for _ in range(m):
+        (member,) = _MEMBER.unpack_from(data, offset)
+        members.append(member)
+        offset += _MEMBER.size
+    spatial_items = []
+    for _ in range(p):
+        sensor, severity = _ENTRY.unpack_from(data, offset)
+        spatial_items.append((sensor, severity))
+        offset += _ENTRY.size
+    temporal_items = []
+    for _ in range(q):
+        window, severity = _ENTRY.unpack_from(data, offset)
+        temporal_items.append((window, severity))
+        offset += _ENTRY.size
+    spatial = SpatialFeature(spatial_items)
+    temporal = TemporalFeature(temporal_items)
+    cluster = AtypicalCluster(
+        cluster_id=cluster_id,
+        spatial=spatial,
+        temporal=temporal,
+        level=level,
+        members=tuple(members),
+    )
+    return cluster, offset
+
+
+def encode_clusters(clusters: Iterable[AtypicalCluster]) -> bytes:
+    """Serialize a cluster collection (count-prefixed)."""
+    blobs = [encode_cluster(c) for c in clusters]
+    return struct.pack("<I", len(blobs)) + b"".join(blobs)
+
+
+def decode_clusters(data: bytes) -> List[AtypicalCluster]:
+    (count,) = struct.unpack_from("<I", data, 0)
+    offset = 4
+    clusters: List[AtypicalCluster] = []
+    for _ in range(count):
+        cluster, offset = decode_cluster(data, offset)
+        clusters.append(cluster)
+    return clusters
+
+
+def clusters_size_bytes(clusters: Sequence[AtypicalCluster]) -> int:
+    """Serialized size of the AC model without materializing the bytes."""
+    total = 4
+    for cluster in clusters:
+        total += (
+            _HEAD.size
+            + _MEMBER.size * len(cluster.members)
+            + _ENTRY.size * (len(cluster.spatial) + len(cluster.temporal))
+        )
+    return total
+
+
+def events_size_bytes(events: Sequence[AtypicalEvent]) -> int:
+    """Size of the raw atypical events (AE): every member record stored."""
+    return sum(len(event) * _RECORD_BYTES for event in events)

@@ -1,0 +1,23 @@
+"""Temporal substrate: time windows and aggregation hierarchies."""
+
+from repro.temporal.hierarchy import (
+    PEMS_CALENDAR,
+    PEMS_MONTH_LENGTHS,
+    PEMS_MONTH_NAMES,
+    Calendar,
+)
+from repro.temporal.windows import (
+    DEFAULT_WINDOW_MINUTES,
+    MINUTES_PER_DAY,
+    WindowSpec,
+)
+
+__all__ = [
+    "Calendar",
+    "PEMS_CALENDAR",
+    "PEMS_MONTH_LENGTHS",
+    "PEMS_MONTH_NAMES",
+    "WindowSpec",
+    "DEFAULT_WINDOW_MINUTES",
+    "MINUTES_PER_DAY",
+]

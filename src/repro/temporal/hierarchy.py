@@ -1,0 +1,152 @@
+"""Temporal aggregation hierarchy.
+
+The paper aggregates clusters along temporal hierarchies, e.g.
+``day -> week -> month`` (Sec. III-C, Fig. 10) and the bottom-up baseline
+sums severities "by hour, day, month and year" (Sec. II-A). This module
+provides a :class:`Calendar` that maps day indices to weeks and calendar
+months, mirroring the 12 monthly PeMS datasets (Oct. 2008 - Sep. 2009,
+Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = ["Calendar", "PEMS_MONTH_LENGTHS", "PEMS_MONTH_NAMES"]
+
+#: Day counts of the twelve months covered by the paper's datasets
+#: (October 2008 through September 2009; February 2009 has 28 days).
+PEMS_MONTH_LENGTHS: tuple[int, ...] = (31, 30, 31, 31, 28, 31, 30, 31, 30, 31, 31, 30)
+
+PEMS_MONTH_NAMES: tuple[str, ...] = (
+    "Oct 2008",
+    "Nov 2008",
+    "Dec 2008",
+    "Jan 2009",
+    "Feb 2009",
+    "Mar 2009",
+    "Apr 2009",
+    "May 2009",
+    "Jun 2009",
+    "Jul 2009",
+    "Aug 2009",
+    "Sep 2009",
+)
+
+#: Oct 1, 2008 was a Wednesday; weekday index 0 = Monday.
+_FIRST_WEEKDAY = 2
+
+
+@dataclass(frozen=True)
+class Calendar:
+    """Calendar over consecutive day indices starting at day 0.
+
+    Day 0 corresponds to the first day of ``month_lengths[0]``. Weeks are
+    7-day blocks aligned to day 0 by default (the paper's weekly rollup does
+    not pin weeks to Mondays; only *relative* grouping matters for the
+    clustering trees).
+    """
+
+    month_lengths: tuple[int, ...] = PEMS_MONTH_LENGTHS
+    month_names: tuple[str, ...] = PEMS_MONTH_NAMES
+    first_weekday: int = _FIRST_WEEKDAY
+    _month_starts: tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.month_lengths:
+            raise ValueError("calendar needs at least one month")
+        if any(length <= 0 for length in self.month_lengths):
+            raise ValueError("month lengths must be positive")
+        if len(self.month_names) != len(self.month_lengths):
+            raise ValueError("month_names must match month_lengths")
+        starts = [0]
+        for length in self.month_lengths[:-1]:
+            starts.append(starts[-1] + length)
+        object.__setattr__(self, "_month_starts", tuple(starts))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_months(self) -> int:
+        return len(self.month_lengths)
+
+    @property
+    def num_days(self) -> int:
+        return sum(self.month_lengths)
+
+    @property
+    def num_weeks(self) -> int:
+        return -(-self.num_days // 7)
+
+    def month_of_day(self, day: int) -> int:
+        """Month index (0-based) containing ``day``."""
+        self._check_day(day)
+        # months are few (<=12 typically); linear scan is clear and fast
+        for month in range(self.num_months - 1, -1, -1):
+            if day >= self._month_starts[month]:
+                return month
+        raise AssertionError("unreachable")
+
+    def week_of_day(self, day: int) -> int:
+        """Week index (0-based, 7-day blocks from day 0) containing ``day``."""
+        self._check_day(day)
+        return day // 7
+
+    def weekday_of_day(self, day: int) -> int:
+        """Weekday (0=Monday .. 6=Sunday) of ``day``."""
+        self._check_day(day)
+        return (self.first_weekday + day) % 7
+
+    def is_weekend(self, day: int) -> bool:
+        return self.weekday_of_day(day) >= 5
+
+    def month_day_range(self, month: int) -> range:
+        """Day indices belonging to ``month``."""
+        self._check_month(month)
+        start = self._month_starts[month]
+        return range(start, start + self.month_lengths[month])
+
+    def week_day_range(self, week: int) -> range:
+        """Day indices belonging to ``week`` (clipped to the calendar)."""
+        if not 0 <= week < self.num_weeks:
+            raise ValueError(f"week out of range: {week}")
+        start = week * 7
+        return range(start, min(start + 7, self.num_days))
+
+    def month_name(self, month: int) -> str:
+        self._check_month(month)
+        return self.month_names[month]
+
+    def iter_months(self) -> Iterator[tuple[int, range]]:
+        """Yield ``(month index, day range)`` pairs."""
+        for month in range(self.num_months):
+            yield month, self.month_day_range(month)
+
+    def weeks_in_days(self, days: Sequence[int]) -> list[int]:
+        """Distinct week indices covering ``days``, in order."""
+        seen: list[int] = []
+        for day in days:
+            week = self.week_of_day(day)
+            if not seen or seen[-1] != week:
+                if week not in seen:
+                    seen.append(week)
+        return seen
+
+    # ------------------------------------------------------------------
+    def _check_day(self, day: int) -> None:
+        if not 0 <= day < self.num_days:
+            raise ValueError(f"day out of range: {day} (calendar has {self.num_days})")
+
+    def _check_month(self, month: int) -> None:
+        if not 0 <= month < self.num_months:
+            raise ValueError(f"month out of range: {month}")
+
+
+def _build_default() -> Calendar:
+    return Calendar()
+
+
+#: The calendar of the paper's experiment year (Oct 2008 - Sep 2009).
+PEMS_CALENDAR = _build_default()
+
+__all__.append("PEMS_CALENDAR")

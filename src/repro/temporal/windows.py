@@ -1,0 +1,146 @@
+"""Time windows for CPS data.
+
+The paper represents atypical records as ``(s, t, f(s, t))`` where ``t`` is a
+fixed-width time window (5 minutes in the PeMS traces, e.g. ``8:05am-8:10am``).
+This module provides the window arithmetic used throughout the library:
+windows are plain integer indices counted from the start of the trace, and a
+:class:`WindowSpec` carries the width and calendar conversions.
+
+Keeping windows as bare integers keeps the temporal features of atypical
+clusters (Def. 4) compact: a ``TF`` is a mapping ``window index -> severity``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "WindowSpec",
+    "DEFAULT_WINDOW_MINUTES",
+    "MINUTES_PER_DAY",
+]
+
+MINUTES_PER_DAY = 24 * 60
+DEFAULT_WINDOW_MINUTES = 5
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Fixed-width time window specification.
+
+    Parameters
+    ----------
+    width_minutes:
+        Width of one window in minutes. The PeMS trace (and the paper's
+        examples, e.g. ``<s1, 8:05am - 8:10am, 4 min>``) use 5 minutes.
+    """
+
+    width_minutes: int = DEFAULT_WINDOW_MINUTES
+
+    def __post_init__(self) -> None:
+        if self.width_minutes <= 0:
+            raise ValueError("window width must be positive")
+        if MINUTES_PER_DAY % self.width_minutes != 0:
+            raise ValueError(
+                "window width must divide a day "
+                f"({self.width_minutes} does not divide {MINUTES_PER_DAY})"
+            )
+
+    @property
+    def windows_per_day(self) -> int:
+        """Number of windows in one day (288 for 5-minute windows)."""
+        return MINUTES_PER_DAY // self.width_minutes
+
+    @property
+    def windows_per_hour(self) -> int:
+        """Number of windows in one hour (12 for 5-minute windows)."""
+        return 60 // self.width_minutes if self.width_minutes <= 60 else 0
+
+    # ------------------------------------------------------------------
+    # Conversions between windows, minutes and calendar units
+    # ------------------------------------------------------------------
+    def window_of_minute(self, minute: int) -> int:
+        """Window index containing absolute ``minute`` (from trace start)."""
+        return minute // self.width_minutes
+
+    def start_minute(self, window: int) -> int:
+        """Absolute start minute of ``window``."""
+        return window * self.width_minutes
+
+    def end_minute(self, window: int) -> int:
+        """Absolute end minute (exclusive) of ``window``."""
+        return (window + 1) * self.width_minutes
+
+    def day_of_window(self, window: int) -> int:
+        """Day index (0-based) containing ``window``."""
+        return window // self.windows_per_day
+
+    def hour_of_window(self, window: int) -> int:
+        """Absolute hour index (0-based from trace start) of ``window``."""
+        return self.start_minute(window) // 60
+
+    def hour_of_day(self, window: int) -> int:
+        """Hour within the day (0..23) at which ``window`` starts."""
+        return (self.start_minute(window) % MINUTES_PER_DAY) // 60
+
+    def minute_of_day(self, window: int) -> int:
+        """Minute within the day (0..1439) at which ``window`` starts."""
+        return self.start_minute(window) % MINUTES_PER_DAY
+
+    def window_in_day(self, window: int) -> int:
+        """Offset of ``window`` within its day (0..windows_per_day-1)."""
+        return window % self.windows_per_day
+
+    def day_window_range(self, day: int) -> range:
+        """All window indices belonging to ``day``."""
+        first = day * self.windows_per_day
+        return range(first, first + self.windows_per_day)
+
+    def window_at(self, day: int, hour: int, minute: int = 0) -> int:
+        """Window index for a (day, hour, minute) triple."""
+        if not 0 <= hour < 24:
+            raise ValueError(f"hour out of range: {hour}")
+        if not 0 <= minute < 60:
+            raise ValueError(f"minute out of range: {minute}")
+        absolute = day * MINUTES_PER_DAY + hour * 60 + minute
+        return absolute // self.width_minutes
+
+    # ------------------------------------------------------------------
+    # Interval arithmetic (Definition 1 uses interval(t_i, t_j) < delta_t)
+    # ------------------------------------------------------------------
+    def interval_minutes(self, window_a: int, window_b: int) -> int:
+        """Gap in minutes between two windows, as used in Definition 1.
+
+        The interval is measured between window start times, so adjacent
+        windows are ``width_minutes`` apart and a window has interval 0 with
+        itself.
+        """
+        return abs(window_a - window_b) * self.width_minutes
+
+    def windows_within(self, minutes: float) -> int:
+        """Largest window-index gap whose interval is strictly below ``minutes``.
+
+        Two windows ``t_i, t_j`` satisfy ``interval(t_i, t_j) < minutes`` iff
+        ``|t_i - t_j| <= windows_within(minutes)``.
+        """
+        if minutes <= 0:
+            return -1
+        # |ti - tj| * width < minutes  <=>  |ti - tj| <= ceil(minutes/width)-1
+        gap = int(minutes // self.width_minutes)
+        if minutes % self.width_minutes == 0:
+            gap -= 1
+        return gap
+
+    # ------------------------------------------------------------------
+    # Formatting helpers (used by reports and examples)
+    # ------------------------------------------------------------------
+    def label(self, window: int) -> str:
+        """Human readable label, e.g. ``'day 3 08:05-08:10'``."""
+        day = self.day_of_window(window)
+        start = self.minute_of_day(window)
+        end = start + self.width_minutes
+        return (
+            f"day {day} "
+            f"{start // 60:02d}:{start % 60:02d}-"
+            f"{(end // 60) % 24:02d}:{end % 60:02d}"
+        )

@@ -1,0 +1,122 @@
+"""Tests for context-dimension joins (incidents)."""
+
+import pytest
+
+from repro.analysis.dimensions import IncidentDimension, match_incidents
+from repro.simulate.congestion import IncidentReport
+from repro.temporal.windows import WindowSpec
+
+from tests.conftest import line_network, make_cluster
+
+
+def cluster_at(sensors, start_hour, hours=1.0):
+    spec = WindowSpec()
+    first = spec.window_at(0, start_hour, 0) % spec.windows_per_day
+    windows = {first + k: 5.0 for k in range(int(hours * 12))}
+    total = sum(windows.values())
+    spatial = {s: total / len(sensors) for s in sensors}
+    return make_cluster(spatial, windows)
+
+
+class TestMatchIncidents:
+    def test_colocated_cotemporal_matches(self):
+        net = line_network(10)
+        cluster = cluster_at([3, 4], start_hour=8)
+        incident = IncidentReport(0, 4, 8 * 60 + 10, 30.0)
+        matches = match_incidents(cluster, 0, [incident], net)
+        assert len(matches) == 1
+        assert matches[0].distance_miles == 0.0
+        assert matches[0].minutes_apart == 0.0
+
+    def test_far_away_rejected(self):
+        net = line_network(10)
+        cluster = cluster_at([0, 1], start_hour=8)
+        incident = IncidentReport(0, 9, 8 * 60, 30.0)  # 8 miles away
+        assert match_incidents(cluster, 0, [incident], net) == []
+
+    def test_wrong_time_rejected(self):
+        net = line_network(10)
+        cluster = cluster_at([3, 4], start_hour=8)
+        incident = IncidentReport(0, 4, 18 * 60, 30.0)  # evening
+        assert match_incidents(cluster, 0, [incident], net) == []
+
+    def test_lagged_report_within_tolerance(self):
+        net = line_network(10)
+        cluster = cluster_at([3, 4], start_hour=8, hours=1.0)
+        # incident 20 minutes before the congestion starts
+        incident = IncidentReport(0, 4, 7 * 60 + 30, 10.0)
+        matches = match_incidents(cluster, 0, [incident], net, max_minutes=30.0)
+        assert len(matches) == 1
+        assert matches[0].minutes_apart == pytest.approx(20.0)
+
+    def test_ordinal_clipped_to_highway(self):
+        net = line_network(10)
+        cluster = cluster_at([9], start_hour=8)
+        incident = IncidentReport(0, 99, 8 * 60, 30.0)  # bogus ordinal
+        matches = match_incidents(cluster, 0, [incident], net)
+        assert len(matches) == 1
+
+    def test_sorted_by_distance(self):
+        net = line_network(10)
+        cluster = cluster_at([3, 4, 5], start_hour=8)
+        near = IncidentReport(0, 4, 8 * 60, 20.0)
+        far = IncidentReport(0, 6, 8 * 60, 20.0)
+        matches = match_incidents(cluster, 0, [near, far], net)
+        assert [m.incident for m in matches] == [near, far]
+
+
+class TestIncidentDimension:
+    def test_add_and_count(self):
+        net = line_network(10)
+        dim = IncidentDimension(net)
+        dim.add_day(0, [IncidentReport(0, 1, 60, 30.0)])
+        dim.add_day(0, [IncidentReport(0, 2, 90, 30.0)])
+        assert dim.total_incidents() == 2
+        assert len(dim.day_incidents(0)) == 2
+        assert dim.day_incidents(5) == []
+
+    def test_attribute_across_days(self):
+        net = line_network(10)
+        dim = IncidentDimension(net)
+        dim.add_day(0, [IncidentReport(0, 4, 8 * 60, 30.0)])
+        dim.add_day(1, [IncidentReport(0, 4, 8 * 60, 30.0)])
+        cluster = cluster_at([3, 4], start_hour=8)
+        matches = dim.attribute(cluster, [0, 1])
+        assert {m.day for m in matches} == {0, 1}
+
+    def test_split_clusters(self):
+        net = line_network(10)
+        dim = IncidentDimension(net)
+        dim.add_day(0, [IncidentReport(0, 4, 8 * 60, 30.0)])
+        related_cluster = cluster_at([4], start_hour=8)
+        recurring_cluster = cluster_at([9], start_hour=17)
+        related, recurring = dim.split_clusters(
+            [related_cluster, recurring_cluster], [0]
+        )
+        assert related == [related_cluster]
+        assert recurring == [recurring_cluster]
+
+    def test_simulator_log_joins(self, small_sim):
+        # at least some incidents of a simulated day should be attributable
+        # to that day's extracted clusters
+        import numpy as np
+
+        from repro.core.events import EventExtractor
+        from repro.core.records import RecordBatch
+
+        day = 2
+        chunk = small_sim.simulate_day(day)
+        mask = chunk.atypical_mask()
+        batch = RecordBatch(
+            chunk.sensor_ids[mask],
+            chunk.windows[mask],
+            chunk.congested[mask].astype(np.float64),
+        )
+        clusters = EventExtractor(
+            small_sim.network, window_spec=small_sim.window_spec
+        ).extract_micro_clusters(batch)
+        dim = IncidentDimension(small_sim.network, small_sim.window_spec)
+        dim.add_day(day, small_sim.incident_log(day))
+        if dim.total_incidents():
+            related, _ = dim.split_clusters(clusters, [day])
+            assert related, "expected incident congestion to be attributed"

@@ -1,0 +1,96 @@
+"""Tests for the high-level analysis engine."""
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine, EngineConfig
+from repro.core.records import RecordBatch
+from repro.simulate import SimulationConfig, TrafficSimulator
+
+
+@pytest.fixture(scope="module")
+def engine(small_sim):
+    eng = AnalysisEngine.from_simulator(small_sim)
+    eng.build_from_simulator(small_sim, days=range(7))
+    return eng
+
+
+# session-scoped small_sim is defined in conftest; redeclare module fixture
+@pytest.fixture(scope="module")
+def small_sim():
+    return TrafficSimulator(SimulationConfig.small())
+
+
+class TestBuild:
+    def test_built_days(self, engine):
+        assert engine.built_days == frozenset(range(7))
+
+    def test_forest_populated(self, engine):
+        assert engine.forest.stats().num_micro > 0
+
+    def test_cube_populated(self, engine):
+        assert engine.cube.total_severity() > 0
+
+    def test_duplicate_day_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.add_day_records(0, RecordBatch.empty())
+
+    def test_build_from_catalog(self, tmp_path):
+        config = SimulationConfig.from_dict(
+            {**SimulationConfig.small().to_dict(), "month_lengths": (3,)}
+        )
+        sim = TrafficSimulator(config)
+        catalog = sim.materialize_catalog(tmp_path)
+        eng = AnalysisEngine.from_simulator(sim)
+        built = eng.build_from_catalog(catalog)
+        assert built == 3
+        assert eng.built_days == frozenset(range(3))
+
+
+class TestQuery:
+    def test_query_requires_built_days(self, engine):
+        with pytest.raises(ValueError):
+            engine.query(engine.whole_city(), first_day=0, num_days=30)
+
+    def test_all_strategies_run(self, engine):
+        for strategy in ("all", "pru", "gui"):
+            result = engine.query(
+                engine.whole_city(), 0, 7, strategy=strategy
+            )
+            assert result.strategy == strategy
+
+    def test_default_delta_s_from_config(self, small_sim):
+        eng = AnalysisEngine.from_simulator(
+            small_sim, EngineConfig(delta_s=0.10)
+        )
+        eng.build_from_simulator(small_sim, days=range(2))
+        result = eng.query(eng.whole_city(), 0, 2)
+        assert result.threshold.delta_s == 0.10
+
+    def test_final_check_guarantees_precision(self, engine):
+        result = engine.query(
+            engine.whole_city(), 0, 7, strategy="gui", final_check=True
+        )
+        assert all(result.threshold.is_significant(c) for c in result.returned)
+
+    def test_describe_mentions_highway(self, engine):
+        result = engine.query(engine.whole_city(), 0, 7, strategy="all")
+        sig = result.significant()
+        assert sig, "expected significant clusters in the small world"
+        text = engine.describe(sig[0])
+        assert "Fwy" in text and "severity" in text
+
+
+class TestEngineConfig:
+    def test_defaults_follow_fig14(self):
+        config = EngineConfig()
+        assert config.distance_miles == 1.5
+        assert config.time_gap_minutes == 15.0
+        assert config.similarity_threshold == 0.5
+        assert config.balance_function == "avg"
+        assert config.delta_s == 0.05
+
+    def test_integrator_built_from_config(self):
+        config = EngineConfig(similarity_threshold=0.3, balance_function="max")
+        integrator = config.integrator()
+        assert integrator.threshold == 0.3
+        assert integrator.similarity.name == "max"

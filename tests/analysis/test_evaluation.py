@@ -1,0 +1,111 @@
+"""Tests for precision/recall scoring."""
+
+import pytest
+
+from repro.analysis.evaluation import ground_truth, score_strategy
+from repro.core.query import AnalyticalQuery, QueryResult, QueryStats
+from repro.core.significance import SignificanceThreshold
+from repro.spatial.regions import QueryRegion
+
+from tests.conftest import make_cluster
+
+
+def result_of(strategy, clusters, registry=None, bar_sensors=10):
+    region = QueryRegion("r", list(range(bar_sensors)))
+    query = AnalyticalQuery.over_days(region, 0, 1)
+    return QueryResult(
+        query=query,
+        strategy=strategy,
+        returned=clusters,
+        threshold=SignificanceThreshold(0.05, 24.0, bar_sensors),  # bar = 12
+        stats=QueryStats(),
+        registry=registry or {},
+    )
+
+
+def micro(severity, cid):
+    return make_cluster({1: severity}, cluster_id=cid)
+
+
+def macro(children, cid):
+    total = sum(c.severity() for c in children)
+    return make_cluster(
+        {1: total},
+        cluster_id=cid,
+        members=tuple(c.cluster_id for c in children),
+    )
+
+
+class TestGroundTruth:
+    def test_requires_all_strategy(self):
+        with pytest.raises(ValueError):
+            ground_truth(result_of("gui", []))
+
+    def test_significant_only(self):
+        clusters = [micro(100.0, 1), micro(1.0, 2)]
+        truth = ground_truth(result_of("all", clusters))
+        assert [c.cluster_id for c in truth] == [1]
+
+
+class TestScoring:
+    def test_perfect_strategy(self):
+        big = micro(100.0, 1)
+        small = micro(1.0, 2)
+        all_result = result_of("all", [big, small])
+        score = score_strategy(all_result, all_result)
+        assert score.recall == 1.0
+        assert score.precision == pytest.approx(0.5)
+
+    def test_empty_truth_gives_full_recall(self):
+        all_result = result_of("all", [micro(1.0, 1)])
+        score = score_strategy(result_of("pru", []), all_result)
+        assert score.recall == 1.0
+        assert score.ground_truth == 0
+
+    def test_empty_returned_precision_zero(self):
+        all_result = result_of("all", [micro(100.0, 1)])
+        score = score_strategy(result_of("pru", []), all_result)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+
+    def test_recall_via_leaf_overlap(self):
+        m1, m2 = micro(60.0, 1), micro(60.0, 2)
+        gt_macro = macro([m1, m2], 10)
+        all_result = result_of(
+            "all", [gt_macro], registry={1: m1, 2: m2, 10: gt_macro}
+        )
+        # pru returns a fragment containing only m1, still significant
+        fragment = macro([m1], 20)
+        pru_result = result_of("pru", [fragment], registry={1: m1, 20: fragment})
+        score = score_strategy(pru_result, all_result)
+        assert score.recall == 1.0
+
+    def test_insignificant_fragment_does_not_count(self):
+        m1, m2 = micro(60.0, 1), micro(60.0, 2)
+        gt_macro = macro([m1, m2], 10)
+        all_result = result_of(
+            "all", [gt_macro], registry={1: m1, 2: m2, 10: gt_macro}
+        )
+        weak = micro(5.0, 1)  # shares the leaf but below the bar (12)
+        pru_result = result_of("pru", [weak], registry={1: weak})
+        score = score_strategy(pru_result, all_result)
+        assert score.recall == 0.0
+
+    def test_disjoint_leaves_not_retrieved(self):
+        m1 = micro(60.0, 1)
+        all_result = result_of("all", [m1], registry={1: m1})
+        other = micro(60.0, 99)
+        score = score_strategy(
+            result_of("gui", [other], registry={99: other}), all_result
+        )
+        assert score.recall == 0.0
+        assert score.precision == 1.0
+
+    def test_counts_exposed(self):
+        big, small = micro(100.0, 1), micro(1.0, 2)
+        all_result = result_of("all", [big, small], registry={1: big, 2: small})
+        score = score_strategy(all_result, all_result)
+        assert score.returned == 2
+        assert score.returned_significant == 1
+        assert score.ground_truth == 1
+        assert score.retrieved == 1

@@ -1,0 +1,145 @@
+"""Tests for the recurrence predictor (the paper's future-work extension)."""
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.prediction import RecurrencePredictor
+from repro.core.forest import AtypicalForest
+from repro.core.integration import ClusterIntegrator
+from repro.simulate import SimulationConfig, TrafficSimulator
+from repro.temporal.hierarchy import Calendar
+
+from tests.conftest import make_cluster
+
+
+def toy_forest(num_days=14, weekday_only=True):
+    """A forest with one recurring event (sensors 1-2, windows 100-101)
+    plus one-off noise."""
+    calendar = Calendar(month_lengths=(28,), month_names=("m",))
+    forest = AtypicalForest(calendar, integrator=ClusterIntegrator(0.5))
+    for day in range(num_days):
+        clusters = []
+        if not (weekday_only and calendar.is_weekend(day)):
+            clusters.append(
+                make_cluster(
+                    {1: 60.0, 2: 40.0},
+                    {100: 60.0, 101: 40.0},
+                    cluster_id=forest.ids.next_id(),
+                )
+            )
+        # noise at a different place/time each day (never recurring)
+        clusters.append(
+            make_cluster(
+                {50 + day: 10.0},
+                {200 + day: 10.0},
+                cluster_id=forest.ids.next_id(),
+            )
+        )
+        forest.add_day(day, clusters)
+    return forest, calendar
+
+
+class TestFit:
+    def test_learns_the_recurring_pattern(self):
+        forest, _ = toy_forest()
+        predictor = RecurrencePredictor(forest, min_daily_severity=50.0)
+        patterns = predictor.fit(range(14))
+        assert len(patterns) == 1
+        pattern = patterns[0]
+        assert pattern.sensor_ids == frozenset({1, 2})
+        assert pattern.core_sensor == 1
+        assert pattern.start_window == 100
+
+    def test_weekday_weekend_split(self):
+        forest, calendar = toy_forest()
+        predictor = RecurrencePredictor(forest)
+        pattern = predictor.fit(range(14))[0]
+        assert pattern.weekday_probability == pytest.approx(1.0)
+        assert pattern.weekend_probability == pytest.approx(0.0)
+
+    def test_mean_severity(self):
+        forest, _ = toy_forest()
+        predictor = RecurrencePredictor(forest)
+        pattern = predictor.fit(range(14))[0]
+        assert pattern.mean_severity == pytest.approx(100.0)
+
+    def test_noise_below_support_ignored(self):
+        forest, _ = toy_forest()
+        predictor = RecurrencePredictor(forest, min_support_days=3)
+        patterns = predictor.fit(range(14))
+        assert all(p.mean_severity > 50 for p in patterns)
+
+    def test_empty_training_rejected(self):
+        forest, _ = toy_forest()
+        with pytest.raises(ValueError):
+            RecurrencePredictor(forest).fit([])
+
+
+class TestPredict:
+    def test_unfitted_rejected(self):
+        forest, _ = toy_forest()
+        with pytest.raises(ValueError):
+            RecurrencePredictor(forest).predict(15)
+
+    def test_weekday_forecast(self):
+        forest, calendar = toy_forest()
+        predictor = RecurrencePredictor(forest)
+        predictor.fit(range(14))
+        weekday = next(d for d in range(14, 21) if not calendar.is_weekend(d))
+        forecasts = predictor.predict(weekday)
+        assert len(forecasts) == 1
+        assert forecasts[0].probability == pytest.approx(1.0)
+        assert forecasts[0].expected_severity == pytest.approx(100.0)
+
+    def test_weekend_forecast_suppressed(self):
+        forest, calendar = toy_forest()
+        predictor = RecurrencePredictor(forest)
+        predictor.fit(range(14))
+        weekend = next(d for d in range(14, 21) if calendar.is_weekend(d))
+        assert predictor.predict(weekend) == []
+
+
+class TestScore:
+    def test_hit_on_recurring_day(self):
+        forest, calendar = toy_forest(num_days=21)
+        predictor = RecurrencePredictor(forest)
+        predictor.fit(range(14))
+        weekday = next(d for d in range(14, 21) if not calendar.is_weekend(d))
+        score = predictor.score(weekday)
+        assert score.hits == 1
+        assert score.false_alarms == 0
+        assert score.recall == 1.0
+
+    def test_false_alarm_when_event_absent(self):
+        forest, calendar = toy_forest(num_days=21, weekday_only=True)
+        predictor = RecurrencePredictor(forest)
+        predictor.fit(range(14))
+        # force a forecast onto a weekend day where the event never fires
+        weekend = next(d for d in range(14, 21) if calendar.is_weekend(d))
+        score = predictor.score(weekend, min_probability=0.0)
+        assert score.false_alarms >= 1
+
+
+class TestOnSimulatedCity:
+    def test_dominant_corridor_predictable(self):
+        sim = TrafficSimulator(SimulationConfig.small())
+        engine = AnalysisEngine.from_simulator(sim)
+        engine.build_from_simulator(sim, days=range(21))
+        predictor = RecurrencePredictor(
+            engine.forest, min_support_days=5, min_daily_severity=300.0
+        )
+        patterns = predictor.fit(range(14))
+        assert patterns, "expected recurring patterns in the simulated city"
+        # the dominant corridor (highways 0/1) must be among the patterns
+        dominant = patterns[0]
+        highways = {sim.network[s].highway_id for s in dominant.sensor_ids}
+        assert highways & {0, 1}
+        assert dominant.weekday_probability > 0.5
+
+        # forecasts on held-out weekdays should mostly hit
+        scores = [
+            predictor.score(day)
+            for day in range(14, 21)
+            if not sim.calendar.is_weekend(day)
+        ]
+        assert sum(s.hits for s in scores) >= sum(s.false_alarms for s in scores)

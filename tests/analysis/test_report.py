@@ -1,0 +1,90 @@
+"""Tests for analyst reports."""
+
+import pytest
+
+from repro.analysis.report import build_report, describe_cluster, weather_breakdown
+from repro.core.query import AnalyticalQuery, QueryResult, QueryStats
+from repro.core.significance import SignificanceThreshold
+from repro.spatial.regions import QueryRegion
+from repro.temporal.windows import WindowSpec
+
+from tests.conftest import line_network, make_cluster
+
+
+def sample_result():
+    region = QueryRegion("r", list(range(10)))
+    query = AnalyticalQuery.over_days(region, 0, 1)
+    big = make_cluster(
+        {1: 182.0, 2: 97.0},
+        {97: 150.0, 98: 129.0},
+        cluster_id=1,
+    )
+    small = make_cluster({3: 1.0}, {10: 1.0}, cluster_id=2)
+    return QueryResult(
+        query=query,
+        strategy="all",
+        returned=[big, small],
+        threshold=SignificanceThreshold(0.05, 24.0, 10),  # bar = 12
+        stats=QueryStats(),
+    )
+
+
+class TestDescribeCluster:
+    def test_fields(self):
+        net = line_network(10)
+        cluster = sample_result().returned[0]
+        report = describe_cluster(cluster, net, WindowSpec())
+        assert report.worst_sensor == 1
+        assert report.worst_sensor_severity == 182.0
+        assert report.severity == pytest.approx(279.0)
+        assert report.num_sensors == 2
+        assert report.highways == ("Fwy TestE",)
+
+    def test_start_label_is_8am(self):
+        # window 97 = 8:05am
+        net = line_network(10)
+        cluster = sample_result().returned[0]
+        report = describe_cluster(cluster, net, WindowSpec())
+        assert report.start_label == "08:05-08:10"
+
+    def test_top_lists(self):
+        net = line_network(10)
+        report = describe_cluster(sample_result().returned[0], net, WindowSpec(), top_k=1)
+        assert report.top_sensors == ((1, 182.0),)
+        assert report.top_windows[0][1] == 150.0
+
+
+class TestBuildReport:
+    def test_significant_only(self):
+        net = line_network(10)
+        report = build_report(sample_result(), net, WindowSpec())
+        assert len(report) == 1
+
+    def test_limit(self):
+        net = line_network(10)
+        report = build_report(sample_result(), net, WindowSpec(), limit=0)
+        assert len(report) == 0
+
+    def test_to_text(self):
+        net = line_network(10)
+        text = build_report(sample_result(), net, WindowSpec()).to_text()
+        assert "cluster 1" in text
+        assert "worst segment s1" in text
+
+    def test_to_text_empty(self):
+        net = line_network(10)
+        report = build_report(sample_result(), net, WindowSpec(), limit=0)
+        assert "(none)" in report.to_text()
+
+
+class TestWeatherBreakdown:
+    def test_grouping(self):
+        severities = {0: 10.0, 1: 20.0, 2: 60.0}
+        weather = {0: "clear", 1: "clear", 2: "rain"}
+        result = weather_breakdown(severities, weather)
+        assert result["clear"] == (2, 15.0)
+        assert result["rain"] == (1, 60.0)
+
+    def test_unknown_weather(self):
+        result = weather_breakdown({0: 5.0}, {})
+        assert result["unknown"] == (1, 5.0)

@@ -1,0 +1,254 @@
+"""Tests for event extraction (Definitions 1-3, Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import AtypicalEvent, EventExtractor, ExtractionParams, UnionFind
+from repro.core.records import RecordBatch
+from repro.temporal.windows import WindowSpec
+
+from tests.conftest import line_network, make_batch, two_road_network
+
+
+def components(extractor, batch):
+    """Record index sets of each extracted event."""
+    labels = extractor.label_components(batch)
+    by_label = {}
+    for i, lab in enumerate(labels):
+        by_label.setdefault(int(lab), set()).add(i)
+    return sorted(by_label.values(), key=lambda s: min(s))
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(3)
+        assert uf.find(0) != uf.find(1)
+
+    def test_union(self):
+        uf = UnionFind(3)
+        assert uf.union(0, 2)
+        assert uf.find(0) == uf.find(2)
+
+    def test_union_same_returns_false(self):
+        uf = UnionFind(2)
+        uf.union(0, 1)
+        assert not uf.union(0, 1)
+
+    def test_transitivity(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
+
+    def test_labels_are_canonical(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        labels = uf.labels()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+
+class TestExtractionParams:
+    def test_defaults_follow_fig14(self):
+        params = ExtractionParams()
+        assert params.distance_miles == 1.5
+        assert params.time_gap_minutes == 15.0
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            ExtractionParams(distance_miles=0)
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ValueError):
+            ExtractionParams(time_gap_minutes=-1)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            EventExtractor(line_network(3), method="magic")
+
+
+class TestDirectRelation:
+    """Definition 1: distance < delta_d AND interval < delta_t."""
+
+    def test_same_sensor_adjacent_windows(self):
+        ex = EventExtractor(line_network(5))
+        batch = make_batch([(0, 10, 1.0), (0, 11, 1.0)])
+        assert len(components(ex, batch)) == 1
+
+    def test_same_sensor_gap_too_large(self):
+        ex = EventExtractor(line_network(5))
+        # delta_t = 15 min -> max gap 2 windows; gap of 3 windows = 15 min
+        # is NOT < 15
+        batch = make_batch([(0, 10, 1.0), (0, 13, 1.0)])
+        assert len(components(ex, batch)) == 2
+
+    def test_gap_at_boundary(self):
+        ex = EventExtractor(line_network(5))
+        batch = make_batch([(0, 10, 1.0), (0, 12, 1.0)])  # 10 min < 15
+        assert len(components(ex, batch)) == 1
+
+    def test_neighbouring_sensors_same_window(self):
+        ex = EventExtractor(line_network(5, spacing=1.0))
+        batch = make_batch([(0, 10, 1.0), (1, 10, 1.0)])
+        assert len(components(ex, batch)) == 1
+
+    def test_distant_sensors_same_window(self):
+        ex = EventExtractor(line_network(5, spacing=2.0))
+        batch = make_batch([(0, 10, 1.0), (1, 10, 1.0)])  # 2.0 >= 1.5
+        assert len(components(ex, batch)) == 2
+
+    def test_distance_strictly_less(self):
+        ex = EventExtractor(line_network(5, spacing=1.5))
+        batch = make_batch([(0, 10, 1.0), (1, 10, 1.0)])
+        assert len(components(ex, batch)) == 2
+
+
+class TestTransitivity:
+    """Definitions 2-3: events close under atypical-relation chains."""
+
+    def test_chain_across_sensors(self):
+        # congestion expanding along the street: 0@t10, 1@t11, 2@t12 ...
+        ex = EventExtractor(line_network(6, spacing=1.0))
+        batch = make_batch([(i, 10 + i, 1.0) for i in range(6)])
+        assert len(components(ex, batch)) == 1
+
+    def test_temporal_bridge(self):
+        # a and c are not directly related (gap 4 windows) but b bridges
+        ex = EventExtractor(line_network(3, spacing=1.0))
+        batch = make_batch([(0, 10, 1.0), (0, 12, 1.0), (0, 14, 1.0)])
+        assert len(components(ex, batch)) == 1
+
+    def test_spatial_bridge(self):
+        # sensors 0 and 2 are 2 miles apart; sensor 1 bridges them
+        ex = EventExtractor(line_network(3, spacing=1.0))
+        batch = make_batch([(0, 10, 1.0), (2, 10, 1.0), (1, 10, 1.0)])
+        assert len(components(ex, batch)) == 1
+
+    def test_two_roads_stay_separate(self):
+        ex = EventExtractor(two_road_network(gap=5.0))
+        batch = make_batch([(0, 10, 1.0), (1, 10, 1.0), (6, 10, 1.0), (7, 10, 1.0)])
+        assert len(components(ex, batch)) == 2
+
+    def test_morning_and_evening_separate(self):
+        # paper Example 3: E_A (morning) and E_B (evening) on shared sensors
+        ex = EventExtractor(line_network(4, spacing=1.0))
+        spec = WindowSpec()
+        morning = [(1, spec.window_at(0, 8, 5), 4.0), (2, spec.window_at(0, 8, 10), 5.0)]
+        evening = [(1, spec.window_at(0, 18, 20), 2.0), (2, spec.window_at(0, 18, 25), 5.0)]
+        assert len(components(ex, make_batch(morning + evening))) == 2
+
+
+class TestMicroClusters:
+    def test_features_aggregate_severity(self):
+        ex = EventExtractor(line_network(4, spacing=1.0))
+        batch = make_batch([(1, 97, 4.0), (1, 98, 5.0), (2, 98, 5.0)])
+        clusters = ex.extract_micro_clusters(batch)
+        assert len(clusters) == 1
+        c = clusters[0]
+        assert c.spatial[1] == 9.0
+        assert c.spatial[2] == 5.0
+        assert c.severity() == 14.0
+
+    def test_time_of_day_keys_by_default(self):
+        ex = EventExtractor(line_network(3))
+        spec = WindowSpec()
+        window = spec.window_at(3, 8, 5)  # day 3
+        clusters = ex.extract_micro_clusters(make_batch([(0, window, 4.0)]))
+        assert clusters[0].temporal.min_key() == spec.window_in_day(window)
+
+    def test_absolute_keys_optional(self):
+        ex = EventExtractor(line_network(3), time_of_day_features=False)
+        spec = WindowSpec()
+        window = spec.window_at(3, 8, 5)
+        clusters = ex.extract_micro_clusters(make_batch([(0, window, 4.0)]))
+        assert clusters[0].temporal.min_key() == window
+
+    def test_clusters_sorted_by_severity(self):
+        ex = EventExtractor(line_network(10, spacing=1.0))
+        batch = make_batch([(0, 10, 5.0), (0, 11, 5.0), (9, 100, 1.0)])
+        clusters = ex.extract_micro_clusters(batch)
+        assert clusters[0].severity() >= clusters[1].severity()
+
+    def test_empty_batch(self):
+        ex = EventExtractor(line_network(3))
+        assert ex.extract_micro_clusters(RecordBatch.empty()) == []
+
+    def test_ids_unique(self):
+        ex = EventExtractor(line_network(10, spacing=1.0))
+        batch = make_batch([(0, 10, 1.0), (5, 200, 1.0), (9, 400, 1.0)])
+        clusters = ex.extract_micro_clusters(batch)
+        assert len({c.cluster_id for c in clusters}) == 3
+
+
+class TestEvents:
+    def test_event_is_holistic(self):
+        # Property 1: the event stores every record
+        ex = EventExtractor(line_network(4, spacing=1.0))
+        batch = make_batch([(1, 97, 4.0), (1, 98, 5.0), (2, 98, 5.0)])
+        events = ex.extract_events(batch)
+        assert len(events) == 1
+        assert len(events[0]) == 3
+
+    def test_event_accessors(self):
+        ex = EventExtractor(line_network(4, spacing=1.0))
+        events = ex.extract_events(make_batch([(1, 97, 4.0), (2, 98, 5.0)]))
+        event = events[0]
+        assert event.sensor_ids == frozenset({1, 2})
+        assert event.windows == frozenset({97, 98})
+        assert event.total_severity() == 9.0
+
+    def test_event_to_micro_cluster(self):
+        ex = EventExtractor(line_network(4, spacing=1.0))
+        event = ex.extract_events(make_batch([(1, 97, 4.0), (2, 98, 5.0)]))[0]
+        cluster = event.to_micro_cluster()
+        assert cluster.severity() == 9.0
+
+    def test_event_requires_records(self):
+        with pytest.raises(ValueError):
+            AtypicalEvent(RecordBatch.empty())
+
+    def test_events_sorted_largest_first(self):
+        ex = EventExtractor(line_network(10, spacing=1.0))
+        batch = make_batch([(0, 10, 5.0), (0, 11, 5.0), (9, 400, 1.0)])
+        events = ex.extract_events(batch)
+        assert events[0].total_severity() == 10.0
+
+
+class TestGridVsNaive:
+    """The indexed path must agree exactly with the O(n^2) baseline."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 60), st.floats(0.5, 5)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_same_components(self, records):
+        net = line_network(10, spacing=1.0)
+        batch = make_batch(records)
+        grid = EventExtractor(net, method="grid")
+        naive = EventExtractor(net, method="naive")
+        assert components(grid, batch) == components(naive, batch)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 40), st.floats(0.5, 5)),
+            min_size=1,
+            max_size=30,
+        ),
+        gap=st.floats(1.0, 6.0),
+    )
+    def test_same_components_two_roads(self, records, gap):
+        net = two_road_network(gap=gap)
+        batch = make_batch(records)
+        grid = EventExtractor(net, method="grid")
+        naive = EventExtractor(net, method="naive")
+        assert components(grid, batch) == components(naive, batch)

@@ -1,0 +1,157 @@
+"""Tests for spatial/temporal severity features (Def. 4, Properties 2-3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.features import SeverityFeature, SpatialFeature, TemporalFeature
+
+features = st.dictionaries(
+    st.integers(0, 40), st.floats(0.1, 100), min_size=1, max_size=12
+).map(SeverityFeature)
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        f = SeverityFeature({1: 2.0, 5: 3.0})
+        assert f[1] == 2.0 and f[5] == 3.0
+
+    def test_from_pairs_accumulates_duplicates(self):
+        f = SeverityFeature([(1, 2.0), (1, 3.0)])
+        assert f[1] == 5.0
+
+    def test_rejects_zero_severity(self):
+        with pytest.raises(ValueError):
+            SeverityFeature({1: 0.0})
+
+    def test_rejects_negative_severity(self):
+        with pytest.raises(ValueError):
+            SeverityFeature({1: -1.0})
+
+    def test_empty_allowed(self):
+        assert len(SeverityFeature()) == 0
+
+    def test_keys_coerced_to_int(self):
+        f = SeverityFeature({1: 2.0})
+        assert 1 in f
+
+
+class TestMappingProtocol:
+    def test_len(self):
+        assert len(SeverityFeature({1: 1.0, 2: 1.0})) == 2
+
+    def test_contains(self):
+        f = SeverityFeature({3: 1.0})
+        assert 3 in f and 4 not in f
+
+    def test_get_default(self):
+        assert SeverityFeature({1: 2.0}).get(9) == 0.0
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            SeverityFeature({1: 2.0})[9]
+
+    def test_equality(self):
+        assert SeverityFeature({1: 2.0}) == SeverityFeature({1: 2.0})
+        assert SeverityFeature({1: 2.0}) != SeverityFeature({1: 3.0})
+
+    def test_hashable(self):
+        assert hash(SeverityFeature({1: 2.0})) == hash(SeverityFeature({1: 2.0}))
+
+
+class TestSeverityMath:
+    def test_total(self):
+        assert SeverityFeature({1: 2.0, 2: 3.0}).total() == 5.0
+
+    def test_overlap_asymmetric_numerator(self):
+        # Eq. 3 numerator: this side's severity on common keys
+        a = SeverityFeature({1: 10.0, 2: 5.0})
+        b = SeverityFeature({2: 100.0, 3: 1.0})
+        assert a.overlap(b) == 5.0
+        assert b.overlap(a) == 100.0
+
+    def test_overlap_disjoint(self):
+        a = SeverityFeature({1: 1.0})
+        b = SeverityFeature({2: 1.0})
+        assert a.overlap(b) == 0.0
+
+    def test_overlap_fraction(self):
+        a = SeverityFeature({1: 3.0, 2: 1.0})
+        b = SeverityFeature({1: 99.0})
+        assert a.overlap_fraction(b) == pytest.approx(0.75)
+
+    def test_overlap_fraction_empty(self):
+        assert SeverityFeature().overlap_fraction(SeverityFeature({1: 1.0})) == 0.0
+
+    def test_argmax(self):
+        key, sev = SeverityFeature({1: 3.0, 2: 9.0}).argmax()
+        assert (key, sev) == (2, 9.0)
+
+    def test_argmax_empty_raises(self):
+        with pytest.raises(ValueError):
+            SeverityFeature().argmax()
+
+    def test_min_max_key(self):
+        f = SeverityFeature({4: 1.0, 9: 1.0, 2: 1.0})
+        assert f.min_key() == 2 and f.max_key() == 9
+
+    def test_top(self):
+        f = SeverityFeature({1: 5.0, 2: 9.0, 3: 1.0})
+        assert f.top(2) == [(2, 9.0), (1, 5.0)]
+
+    def test_restricted(self):
+        f = SeverityFeature({1: 2.0, 2: 3.0, 3: 4.0})
+        assert f.restricted([2, 3, 7]) == SeverityFeature({2: 3.0, 3: 4.0})
+
+
+class TestMerge:
+    """Eq. 5/6 and the algebraic properties (Properties 2-3)."""
+
+    def test_merge_sums_common_keeps_rest(self):
+        a = SeverityFeature({1: 2.0, 2: 3.0})
+        b = SeverityFeature({2: 5.0, 3: 7.0})
+        merged = a.merge(b)
+        assert merged == SeverityFeature({1: 2.0, 2: 8.0, 3: 7.0})
+
+    def test_merge_preserves_total(self):
+        a = SeverityFeature({1: 2.0, 2: 3.0})
+        b = SeverityFeature({2: 5.0})
+        assert a.merge(b).total() == pytest.approx(a.total() + b.total())
+
+    @given(a=features, b=features)
+    def test_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(a=features, b=features, c=features)
+    def test_merge_associative(self, a, b, c):
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.keys() == right.keys()
+        for key in left.keys():
+            assert left[key] == pytest.approx(right[key])
+
+    @given(a=features, b=features)
+    def test_merge_total_distributive(self, a, b):
+        assert a.merge(b).total() == pytest.approx(a.total() + b.total())
+
+    @given(a=features, b=features)
+    def test_overlap_bounded_by_total(self, a, b):
+        assert 0.0 <= a.overlap(b) <= a.total() + 1e-9
+
+    @given(a=features)
+    def test_self_overlap_is_total(self, a):
+        assert a.overlap(a) == pytest.approx(a.total())
+
+
+class TestSubclasses:
+    def test_spatial_merge_returns_spatial(self):
+        merged = SpatialFeature({1: 1.0}).merge(SpatialFeature({2: 1.0}))
+        assert isinstance(merged, SpatialFeature)
+
+    def test_temporal_merge_returns_temporal(self):
+        merged = TemporalFeature({1: 1.0}).merge(TemporalFeature({2: 1.0}))
+        assert isinstance(merged, TemporalFeature)
+
+    def test_restricted_preserves_type(self):
+        assert isinstance(SpatialFeature({1: 1.0}).restricted([1]), SpatialFeature)
+        assert isinstance(TemporalFeature({1: 1.0}).restricted([1]), TemporalFeature)

@@ -1,0 +1,225 @@
+"""Tests for analytical query processing (Sec. IV)."""
+
+import pytest
+
+from repro.core.cluster import ClusterIdGenerator
+from repro.core.forest import AtypicalForest
+from repro.core.integration import ClusterIntegrator
+from repro.core.query import AnalyticalQuery, QueryProcessor
+from repro.spatial.regions import DistrictGrid, QueryRegion
+from repro.temporal.hierarchy import Calendar
+
+from tests.conftest import line_network, make_cluster
+
+
+class FakeSeverityCube:
+    """RegionSeverityProvider backed by a plain dict."""
+
+    def __init__(self, per_district_per_day):
+        self._table = per_district_per_day
+
+    def district_severity(self, district, days):
+        return self._table.get(district.district_id, 0.0) * len(days)
+
+
+def build_world(num_days=7):
+    """A 10-sensor line, 5 districts, one recurring strong event at
+    sensors 2-3 (district 1) plus daily noise at sensor 8 (district 4)."""
+    net = line_network(10, spacing=1.0)
+    districts = DistrictGrid(net, cols=5, rows=1)
+    calendar = Calendar(month_lengths=(31,), month_names=("m",))
+    forest = AtypicalForest(calendar, integrator=ClusterIntegrator(0.5))
+    strong_daily = 30.0
+    for day in range(num_days):
+        strong = make_cluster(
+            {2: strong_daily * 0.6, 3: strong_daily * 0.4},
+            {100: strong_daily * 0.5, 101: strong_daily * 0.5},
+            cluster_id=forest.ids.next_id(),
+        )
+        noise = make_cluster(
+            {8: 1.0},
+            {200 + day % 3: 1.0},
+            cluster_id=forest.ids.next_id(),
+        )
+        forest.add_day(day, [strong, noise])
+    cube = FakeSeverityCube({1: strong_daily, 4: 1.0})
+    return net, districts, forest, cube
+
+
+class TestAnalyticalQuery:
+    def test_over_days(self):
+        region = QueryRegion("r", [1])
+        q = AnalyticalQuery.over_days(region, 3, 4)
+        assert q.days == (3, 4, 5, 6)
+
+    def test_length_hours(self):
+        q = AnalyticalQuery.over_days(QueryRegion("r", [1]), 0, 2)
+        assert q.length_hours == 48.0
+
+    def test_rejects_empty_days(self):
+        with pytest.raises(ValueError):
+            AnalyticalQuery(QueryRegion("r", [1]), ())
+
+    def test_rejects_duplicate_days(self):
+        with pytest.raises(ValueError):
+            AnalyticalQuery(QueryRegion("r", [1]), (1, 1))
+
+    def test_threshold_binding(self):
+        region = QueryRegion("r", [1, 2, 3])
+        q = AnalyticalQuery.over_days(region, 0, 2)
+        thr = q.threshold(0.05)
+        assert thr.num_sensors == 3
+        assert thr.length_hours == 48.0
+
+
+class TestStrategies:
+    def test_unknown_strategy(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        with pytest.raises(ValueError):
+            qp.run(q, strategy="turbo")
+
+    def test_all_integrates_everything(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        result = qp.run(q, "all")
+        assert result.stats.input_clusters == 14
+        assert result.stats.pruned_clusters == 0
+
+    def test_all_finds_recurring_cluster(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        sig = qp.run(q, "all").significant()
+        # bar = 0.05 * 168h * 10 sensors = 84 < 210 = 7 * 30
+        assert len(sig) == 1
+        assert sig[0].severity() == pytest.approx(210.0)
+
+    def test_pru_prunes_daily_insignificant(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        result = qp.run(q, "pru")
+        # daily bar = 0.05 * 24 * 10 = 12; strong (30) kept, noise (1) pruned
+        assert result.stats.input_clusters == 7
+        assert result.stats.pruned_clusters == 7
+
+    def test_gui_prunes_outside_red_zones(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        result = qp.run(q, "gui")
+        # district 1 (F = 30/day > 12/day bar-rate) is red; district 4 is not
+        assert result.stats.red_zones == 1
+        assert result.stats.input_clusters == 7
+        assert result.stats.pruned_clusters == 7
+
+    def test_gui_recall_matches_all(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        gt = qp.run(q, "all").significant()
+        gui = qp.run(q, "gui").significant()
+        assert [c.severity() for c in gui] == [c.severity() for c in gt]
+
+    def test_final_check_removes_false_positives(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        unchecked = qp.run(q, "all", final_check=False)
+        checked = qp.run(q, "all", final_check=True)
+        assert len(checked.returned) <= len(unchecked.returned)
+        assert all(checked.threshold.is_significant(c) for c in checked.returned)
+        assert checked.stats.final_check_removed == len(unchecked.returned) - len(
+            checked.returned
+        )
+
+    def test_spatial_restriction(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        region = QueryRegion("noise-only", [8])
+        q = AnalyticalQuery.over_days(region, 0, 7)
+        result = qp.run(q, "all")
+        # only the noise micro-clusters live at sensor 8
+        assert result.stats.input_clusters == 7
+
+    def test_missing_days_yield_empty_input(self):
+        net, districts, forest, cube = build_world(num_days=3)
+        qp = QueryProcessor(forest, districts, cube)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        result = qp.run(q, "all")
+        assert result.stats.input_clusters == 6
+
+    def test_delta_s_override(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        strict = qp.run(q, "all", delta_s=0.9)
+        assert strict.significant() == []
+
+    def test_elapsed_time_recorded(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        assert qp.run(q, "all").stats.elapsed_seconds > 0
+
+
+class TestLeafIds:
+    def test_leaf_ids_of_macro(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        result = qp.run(q, "all")
+        macro = result.significant()[0]
+        leaves = result.leaf_ids(macro)
+        assert len(leaves) == 7  # the seven daily strong micro-clusters
+
+    def test_leaf_ids_of_micro(self):
+        net, districts, forest, cube = build_world(num_days=1)
+        qp = QueryProcessor(forest, districts, cube)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 1)
+        result = qp.run(q, "all")
+        micro = [c for c in result.returned if c.is_micro][0]
+        assert result.leaf_ids(micro) == frozenset({micro.cluster_id})
+
+
+class TestMaterializedPath:
+    def test_only_all_strategy(self):
+        net, districts, forest, cube = build_world()
+        qp = QueryProcessor(forest, districts, cube)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+        with pytest.raises(ValueError):
+            qp.run(q, "gui", use_materialized=True)
+
+    def test_same_severities_as_micro_path(self):
+        net, districts, forest, cube = build_world(num_days=14)
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 14)
+        micro_path = qp.run(q, "all")
+        materialized = qp.run(q, "all", use_materialized=True)
+        assert sorted(c.severity() for c in materialized.returned) == pytest.approx(
+            sorted(c.severity() for c in micro_path.returned)
+        )
+
+    def test_fewer_inputs_with_materialization(self):
+        net, districts, forest, cube = build_world(num_days=14)
+        # materialize the two covered weeks up front
+        forest.week_clusters(0)
+        forest.week_clusters(1)
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 14)
+        micro_path = qp.run(q, "all")
+        materialized = qp.run(q, "all", use_materialized=True)
+        assert materialized.stats.input_clusters < micro_path.stats.input_clusters
+
+    def test_partial_week_mixes_levels(self):
+        net, districts, forest, cube = build_world(num_days=10)
+        qp = QueryProcessor(forest, districts, cube, delta_s=0.05)
+        q = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 10)
+        materialized = qp.run(q, "all", use_materialized=True)
+        micro_path = qp.run(q, "all")
+        assert sum(c.severity() for c in materialized.returned) == pytest.approx(
+            sum(c.severity() for c in micro_path.returned)
+        )

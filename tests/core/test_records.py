@@ -1,0 +1,105 @@
+"""Tests for atypical records and columnar batches."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import AtypicalRecord, RecordBatch
+
+from tests.conftest import make_batch
+
+
+class TestAtypicalRecord:
+    def test_paper_example(self):
+        # <s1, 8:05am-8:10am, 4 min> with 5-minute windows: window 97
+        record = AtypicalRecord(1, 97, 4.0)
+        assert record.severity == 4.0
+
+    def test_rejects_zero_severity(self):
+        with pytest.raises(ValueError):
+            AtypicalRecord(1, 0, 0.0)
+
+    def test_rejects_negative_severity(self):
+        with pytest.raises(ValueError):
+            AtypicalRecord(1, 0, -2.0)
+
+    def test_ordering(self):
+        assert AtypicalRecord(1, 2, 1.0) < AtypicalRecord(2, 0, 1.0)
+
+
+class TestRecordBatch:
+    def test_empty(self):
+        batch = RecordBatch.empty()
+        assert len(batch) == 0
+        assert batch.total_severity() == 0.0
+
+    def test_from_records_roundtrip(self):
+        batch = make_batch([(1, 10, 4.0), (2, 11, 5.0)])
+        assert list(batch) == [AtypicalRecord(1, 10, 4.0), AtypicalRecord(2, 11, 5.0)]
+
+    def test_getitem(self):
+        batch = make_batch([(1, 10, 4.0), (2, 11, 5.0)])
+        assert batch[1] == AtypicalRecord(2, 11, 5.0)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            RecordBatch([1, 2], [0], [1.0, 2.0])
+
+    def test_columns_readonly(self):
+        batch = make_batch([(1, 10, 4.0)])
+        with pytest.raises(ValueError):
+            batch.severities[0] = 0.0
+
+    def test_total_severity(self):
+        batch = make_batch([(1, 10, 4.0), (2, 11, 5.0), (1, 12, 1.0)])
+        assert batch.total_severity() == 10.0
+
+    def test_concat(self):
+        a = make_batch([(1, 10, 4.0)])
+        b = make_batch([(2, 11, 5.0)])
+        combined = RecordBatch.concat([a, b])
+        assert len(combined) == 2
+        assert combined.total_severity() == 9.0
+
+    def test_concat_skips_empty(self):
+        combined = RecordBatch.concat([RecordBatch.empty(), make_batch([(1, 1, 1.0)])])
+        assert len(combined) == 1
+
+    def test_concat_all_empty(self):
+        assert len(RecordBatch.concat([RecordBatch.empty()])) == 0
+
+    def test_select(self):
+        batch = make_batch([(1, 10, 4.0), (2, 11, 5.0), (3, 12, 6.0)])
+        selected = batch.select(np.array([0, 2]))
+        assert [r.sensor_id for r in selected] == [1, 3]
+
+    def test_restrict_windows(self):
+        batch = make_batch([(1, 10, 4.0), (2, 11, 5.0), (3, 20, 6.0)])
+        sub = batch.restrict_windows(10, 11)
+        assert len(sub) == 2
+
+    def test_restrict_sensors(self):
+        batch = make_batch([(1, 10, 4.0), (2, 11, 5.0), (3, 20, 6.0)])
+        sub = batch.restrict_sensors([2, 3])
+        assert sorted(r.sensor_id for r in sub) == [2, 3]
+
+    def test_sorted_by_window(self):
+        batch = make_batch([(1, 20, 4.0), (2, 10, 5.0)])
+        assert [r.window for r in batch.sorted_by_window()] == [10, 20]
+
+    def test_validate_accepts_good(self):
+        make_batch([(1, 10, 4.0)]).validate()
+
+    def test_validate_rejects_nonpositive_severity(self):
+        batch = RecordBatch([1], [0], [0.0])
+        with pytest.raises(ValueError):
+            batch.validate()
+
+    def test_validate_rejects_negative_window(self):
+        batch = RecordBatch([1], [-1], [1.0])
+        with pytest.raises(ValueError):
+            batch.validate()
+
+    def test_validate_rejects_negative_sensor(self):
+        batch = RecordBatch([-1], [0], [1.0])
+        with pytest.raises(ValueError):
+            batch.validate()

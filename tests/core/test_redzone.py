@@ -1,0 +1,99 @@
+"""Tests for red-zone computation and pruning (Property 5, Algorithm 4)."""
+
+import pytest
+
+from repro.core.redzone import compute_red_zones, filter_by_red_zones
+from repro.core.significance import SignificanceThreshold
+from repro.spatial.regions import DistrictGrid
+
+from tests.conftest import line_network, make_cluster
+
+
+def grid_with_severities(severities):
+    """A 1-row district grid over a line network plus a severity lookup."""
+    net = line_network(len(severities) * 2, spacing=1.0)
+    grid = DistrictGrid(net, cols=len(severities), rows=1)
+    table = {d.district_id: severities[d.district_id] for d in grid}
+    return grid, (lambda district: table[district.district_id])
+
+
+class TestComputeRedZones:
+    def test_selects_districts_at_or_above_bar(self):
+        grid, severity = grid_with_severities([10.0, 100.0, 60.0])
+        thr = SignificanceThreshold(0.25, 24.0, 10)  # bar = exactly 60
+        zones = compute_red_zones(list(grid), severity, thr)
+        # non-strict comparison keeps the district exactly at the bar
+        assert {d.district_id for d in zones.districts} == {1, 2}
+
+    def test_sensor_union(self):
+        grid, severity = grid_with_severities([100.0, 0.0 + 1e-9, 100.0])
+        thr = SignificanceThreshold(0.1, 24.0, 10)
+        zones = compute_red_zones(list(grid), severity, thr)
+        expected = set(grid[0].sensor_ids) | set(grid[2].sensor_ids)
+        assert zones.sensor_ids == frozenset(expected)
+
+    def test_severities_recorded_for_all(self):
+        grid, severity = grid_with_severities([1.0, 2.0, 3.0])
+        thr = SignificanceThreshold(0.1, 24.0, 10)
+        zones = compute_red_zones(list(grid), severity, thr)
+        assert set(zones.severities) == {0, 1, 2}
+
+    def test_no_red_zones(self):
+        grid, severity = grid_with_severities([1.0, 2.0])
+        thr = SignificanceThreshold(0.5, 24.0, 100)
+        zones = compute_red_zones(list(grid), severity, thr)
+        assert zones.num_zones == 0
+
+
+class TestFilterByRedZones:
+    def test_keeps_intersecting_prunes_outside(self):
+        grid, severity = grid_with_severities([100.0, 0.1, 0.1])
+        thr = SignificanceThreshold(0.1, 24.0, 10)
+        zones = compute_red_zones(list(grid), severity, thr)
+        inside = make_cluster({grid[0].sensor_ids[0]: 5.0})
+        straddling = make_cluster(
+            {grid[0].sensor_ids[-1]: 5.0, grid[1].sensor_ids[0]: 5.0}
+        )
+        outside = make_cluster({grid[2].sensor_ids[0]: 5.0})
+        kept, pruned = filter_by_red_zones([inside, straddling, outside], zones)
+        assert inside in kept
+        assert straddling in kept  # Example 7: intersecting clusters stay
+        assert outside not in kept
+        assert pruned == 1
+
+    def test_empty_zones_prune_everything(self):
+        grid, severity = grid_with_severities([0.1, 0.1])
+        thr = SignificanceThreshold(0.5, 24.0, 100)
+        zones = compute_red_zones(list(grid), severity, thr)
+        kept, pruned = filter_by_red_zones([make_cluster({0: 1.0})], zones)
+        assert kept == [] and pruned == 1
+
+    def test_zone_covers_method(self):
+        grid, severity = grid_with_severities([100.0, 0.1])
+        thr = SignificanceThreshold(0.1, 24.0, 10)
+        zones = compute_red_zones(list(grid), severity, thr)
+        assert zones.covers(make_cluster({grid[0].sensor_ids[0]: 1.0}))
+        assert not zones.covers(make_cluster({grid[1].sensor_ids[0]: 1.0}))
+
+
+class TestProperty5:
+    """No significant cluster can hide in a region whose F is below the bar."""
+
+    def test_contained_cluster_guarantee(self):
+        # a cluster fully inside district d has severity <= F(d);
+        # if F(d) < bar the cluster cannot be significant
+        grid, _ = grid_with_severities([1.0, 1.0])
+        thr = SignificanceThreshold(0.1, 24.0, 10)  # bar = 24
+        cluster = make_cluster({grid[0].sensor_ids[0]: 20.0})
+        # F(district 0) must be at least the cluster severity; with
+        # F = 20 < 24 the cluster is indeed not significant
+        assert not thr.is_significant(cluster)
+
+    def test_significant_contained_cluster_implies_red_district(self):
+        thr = SignificanceThreshold(0.1, 24.0, 10)
+        cluster_severity = 30.0  # > bar 24
+        # the district total is >= any contained cluster's severity, so the
+        # district must be red whenever such a cluster is significant
+        grid, severity = grid_with_severities([cluster_severity, 0.1])
+        zones = compute_red_zones(list(grid), severity, thr)
+        assert 0 in {d.district_id for d in zones.districts}

@@ -1,0 +1,78 @@
+"""Tests for significant clusters (Definition 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.significance import SignificanceThreshold, significant_clusters
+
+from tests.conftest import make_cluster
+
+
+class TestThreshold:
+    def test_min_severity_formula(self):
+        thr = SignificanceThreshold(delta_s=0.05, length_hours=24.0, num_sensors=100)
+        assert thr.min_severity == pytest.approx(0.05 * 24 * 100)
+
+    def test_strict_inequality(self):
+        thr = SignificanceThreshold(0.05, 24.0, 100)
+        at_bar = make_cluster({1: thr.min_severity})
+        above = make_cluster({1: thr.min_severity + 1})
+        assert not thr.is_significant(at_bar)
+        assert thr.is_significant(above)
+
+    def test_severity_value_check(self):
+        thr = SignificanceThreshold(0.05, 24.0, 100)
+        assert thr.is_significant_severity(thr.min_severity + 0.1)
+        assert not thr.is_significant_severity(thr.min_severity)
+
+    def test_rejects_bad_delta_s(self):
+        with pytest.raises(ValueError):
+            SignificanceThreshold(0.0, 24.0, 10)
+        with pytest.raises(ValueError):
+            SignificanceThreshold(1.5, 24.0, 10)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            SignificanceThreshold(0.05, 0.0, 10)
+
+    def test_rejects_bad_sensors(self):
+        with pytest.raises(ValueError):
+            SignificanceThreshold(0.05, 24.0, 0)
+
+    def test_scaled_rebinds_length(self):
+        thr = SignificanceThreshold(0.05, 24.0 * 30, 100)
+        daily = thr.scaled(24.0)
+        assert daily.delta_s == thr.delta_s
+        assert daily.min_severity == pytest.approx(thr.min_severity / 30)
+
+    @given(
+        delta_s=st.floats(0.01, 0.5),
+        hours=st.floats(1, 10_000),
+        sensors=st.integers(1, 5000),
+    )
+    def test_bar_scales_linearly(self, delta_s, hours, sensors):
+        # the relative threshold adapts to the query scale (Def. 5 remark)
+        thr = SignificanceThreshold(delta_s, hours, sensors)
+        double = SignificanceThreshold(delta_s, hours * 2, sensors)
+        assert double.min_severity == pytest.approx(2 * thr.min_severity)
+
+
+class TestFilter:
+    def test_filters_and_sorts(self):
+        thr = SignificanceThreshold(0.1, 1.0, 10)  # bar = 1.0
+        clusters = [
+            make_cluster({1: 0.5}),
+            make_cluster({1: 5.0}),
+            make_cluster({1: 2.0}),
+        ]
+        result = significant_clusters(clusters, thr)
+        assert [c.severity() for c in result] == [5.0, 2.0]
+
+    def test_empty_input(self):
+        thr = SignificanceThreshold(0.1, 1.0, 10)
+        assert significant_clusters([], thr) == []
+
+    def test_none_significant(self):
+        thr = SignificanceThreshold(0.5, 100.0, 100)
+        assert significant_clusters([make_cluster({1: 1.0})], thr) == []

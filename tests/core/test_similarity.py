@@ -1,0 +1,181 @@
+"""Tests for cluster similarity (Equations 2-4, balance functions)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    BALANCE_FUNCTIONS,
+    ClusterSimilarity,
+    balance_function,
+    similarity,
+    spatial_similarity,
+    temporal_similarity,
+)
+
+from tests.conftest import make_cluster
+
+fractions = st.floats(0.0, 1.0)
+
+
+class TestBalanceFunctions:
+    def test_all_five_present(self):
+        assert set(BALANCE_FUNCTIONS) == {"max", "min", "avg", "geo", "har"}
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ValueError):
+            balance_function("median")
+
+    def test_max(self):
+        assert balance_function("max")(0.2, 0.8) == 0.8
+
+    def test_min(self):
+        assert balance_function("min")(0.2, 0.8) == 0.2
+
+    def test_avg(self):
+        assert balance_function("avg")(0.2, 0.8) == pytest.approx(0.5)
+
+    def test_geo(self):
+        assert balance_function("geo")(0.25, 1.0) == pytest.approx(0.5)
+
+    def test_har(self):
+        assert balance_function("har")(0.5, 0.5) == pytest.approx(0.5)
+
+    def test_har_zero_safe(self):
+        assert balance_function("har")(0.0, 0.0) == 0.0
+
+    @given(p1=fractions, p2=fractions)
+    def test_ordering_min_le_others_le_max(self, p1, p2):
+        lo = balance_function("min")(p1, p2)
+        hi = balance_function("max")(p1, p2)
+        for name in ("avg", "geo", "har"):
+            value = balance_function(name)(p1, p2)
+            assert lo - 1e-12 <= value <= hi + 1e-12
+
+    @given(p1=fractions, p2=fractions)
+    def test_symmetry(self, p1, p2):
+        for name, g in BALANCE_FUNCTIONS.items():
+            assert g(p1, p2) == pytest.approx(g(p2, p1)), name
+
+    @given(p=fractions)
+    def test_idempotent_on_equal_args(self, p):
+        for name, g in BALANCE_FUNCTIONS.items():
+            assert g(p, p) == pytest.approx(p), name
+
+    @given(p1=fractions, p2=fractions)
+    def test_zero_on_both_zero(self, p1, p2):
+        # g(0, 0) = 0 underpins the sensor-disjoint similarity bound
+        for name, g in BALANCE_FUNCTIONS.items():
+            assert g(0.0, 0.0) == 0.0, name
+
+
+class TestSimilarityEquations:
+    def test_identical_clusters(self):
+        a = make_cluster({1: 3.0, 2: 4.0}, {10: 7.0})
+        sim = ClusterSimilarity("avg")
+        assert sim(a, a) == pytest.approx(1.0)
+
+    def test_fully_disjoint(self):
+        a = make_cluster({1: 3.0}, {10: 3.0})
+        b = make_cluster({2: 5.0}, {20: 5.0})
+        assert similarity(a, b, balance_function("avg")) == 0.0
+
+    def test_example_5_morning_vs_evening(self):
+        # C_A and C_B: same sensors, disjoint time windows -> only the
+        # spatial half contributes, similarity <= 0.5 -> not merged at 0.5
+        a = make_cluster({1: 182.0, 2: 97.0}, {97: 279.0})
+        b = make_cluster({1: 12.0, 2: 51.0}, {220: 63.0})
+        sim = ClusterSimilarity("avg")
+        assert sim.temporal(a, b) == 0.0
+        assert sim.spatial(a, b) == pytest.approx(1.0)
+        assert sim(a, b) == pytest.approx(0.5)
+
+    def test_example_5_similar_time_and_sensors_merge(self):
+        # C_A and C_C: common sensors and overlapping windows
+        a = make_cluster({1: 100.0, 2: 50.0}, {100: 90.0, 101: 60.0})
+        c = make_cluster({1: 80.0, 2: 40.0, 9: 30.0}, {101: 100.0, 102: 50.0})
+        sim = ClusterSimilarity("avg")
+        assert sim(a, c) > 0.5
+
+    def test_spatial_uses_severity_weights_not_counts(self):
+        # one shared sensor out of two, but it carries 90% of the severity
+        a = make_cluster({1: 90.0, 2: 10.0}, {0: 100.0})
+        b = make_cluster({1: 50.0}, {0: 50.0})
+        g = balance_function("min")
+        assert spatial_similarity(a, b, g) == pytest.approx(0.9)
+
+    def test_temporal_component(self):
+        a = make_cluster({1: 10.0}, {0: 6.0, 1: 4.0})
+        b = make_cluster({1: 8.0}, {1: 8.0})
+        g = balance_function("min")
+        assert temporal_similarity(a, b, g) == pytest.approx(0.4)
+
+    def test_eq2_is_average_of_components(self):
+        a = make_cluster({1: 10.0, 2: 10.0}, {0: 10.0, 1: 10.0})
+        b = make_cluster({1: 10.0}, {0: 10.0})
+        sim = ClusterSimilarity("avg")
+        assert sim(a, b) == pytest.approx((sim.spatial(a, b) + sim.temporal(a, b)) / 2)
+
+    def test_max_rescues_asymmetric_sizes(self):
+        # the paper's motivation: a small cluster inside a large one
+        small = make_cluster({1: 10.0}, {0: 10.0})
+        large = make_cluster({i: 10.0 for i in range(1, 11)}, {0: 100.0})
+        assert ClusterSimilarity("max")(small, large) > ClusterSimilarity("min")(
+            small, large
+        )
+
+    def test_sensor_disjoint_bounded_by_half(self):
+        # the optimization in the integrator relies on this bound
+        a = make_cluster({1: 5.0}, {0: 5.0})
+        b = make_cluster({2: 5.0}, {0: 5.0})
+        for name in BALANCE_FUNCTIONS:
+            assert ClusterSimilarity(name)(a, b) <= 0.5
+
+
+class TestClusterSimilarityWrapper:
+    def test_name(self):
+        assert ClusterSimilarity("geo").name == "geo"
+
+    def test_custom_callable(self):
+        sim = ClusterSimilarity(lambda p1, p2: 0.0)
+        a = make_cluster({1: 1.0})
+        assert sim(a, a) == 0.0
+
+    def test_can_be_similar_shared_sensor(self):
+        a = make_cluster({1: 1.0}, {0: 1.0})
+        b = make_cluster({1: 2.0}, {5: 2.0})
+        assert ClusterSimilarity.can_be_similar(a, b)
+
+    def test_can_be_similar_shared_window(self):
+        a = make_cluster({1: 1.0}, {7: 1.0})
+        b = make_cluster({2: 2.0}, {7: 2.0})
+        assert ClusterSimilarity.can_be_similar(a, b)
+
+    def test_cannot_be_similar_fully_disjoint(self):
+        a = make_cluster({1: 1.0}, {0: 1.0})
+        b = make_cluster({2: 2.0}, {5: 2.0})
+        assert not ClusterSimilarity.can_be_similar(a, b)
+
+    @given(
+        sa=st.dictionaries(st.integers(0, 8), st.floats(0.5, 10), min_size=1, max_size=5),
+        sb=st.dictionaries(st.integers(0, 8), st.floats(0.5, 10), min_size=1, max_size=5),
+    )
+    def test_similarity_in_unit_interval(self, sa, sb):
+        a = make_cluster(sa, {0: sum(sa.values())})
+        b = make_cluster(sb, {1: sum(sb.values())})
+        for name in BALANCE_FUNCTIONS:
+            value = ClusterSimilarity(name)(a, b)
+            assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(
+        sa=st.dictionaries(st.integers(0, 8), st.floats(0.5, 10), min_size=1, max_size=5),
+        sb=st.dictionaries(st.integers(0, 8), st.floats(0.5, 10), min_size=1, max_size=5),
+    )
+    def test_similarity_symmetric(self, sa, sb):
+        a = make_cluster(sa, {0: sum(sa.values())})
+        b = make_cluster(sb, {0: sum(sb.values())})
+        for name in BALANCE_FUNCTIONS:
+            sim = ClusterSimilarity(name)
+            assert sim(a, b) == pytest.approx(sim(b, a))

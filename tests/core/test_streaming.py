@@ -1,0 +1,172 @@
+"""Tests for the online event tracker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import EventExtractor, ExtractionParams
+from repro.core.records import RecordBatch
+from repro.core.streaming import OnlineEventTracker
+from repro.temporal.windows import WindowSpec
+
+from tests.conftest import line_network, make_batch, two_road_network
+
+
+def stream_batch(tracker, batch):
+    """Feed a batch window by window; returns all emitted clusters."""
+    ordered = batch.sorted_by_window()
+    clusters = []
+    windows = ordered.windows
+    for window in np.unique(windows):
+        mask = windows == window
+        clusters.extend(tracker.push_window(int(window), ordered.select(mask)))
+    clusters.extend(tracker.flush())
+    return clusters
+
+
+def feature_sets(clusters):
+    return sorted(
+        (tuple(sorted(c.spatial.items())), tuple(sorted(c.temporal.items())))
+        for c in clusters
+    )
+
+
+class TestBasics:
+    def test_single_event_closes_after_gap(self):
+        net = line_network(5)
+        tracker = OnlineEventTracker(net)
+        closed = tracker.push_window(10, make_batch([(0, 10, 2.0)]))
+        assert closed == []
+        # 2-window gap keeps it open (interval 10 min < 15)
+        assert tracker.push_window(12, RecordBatch.empty()) == []
+        # at window 13 the event is 3 windows old -> closed
+        closed = tracker.push_window(13, RecordBatch.empty())
+        assert len(closed) == 1
+        assert closed[0].severity() == 2.0
+
+    def test_flush_emits_open_events(self):
+        tracker = OnlineEventTracker(line_network(5))
+        tracker.push_window(10, make_batch([(0, 10, 2.0)]))
+        clusters = tracker.flush()
+        assert len(clusters) == 1
+        assert tracker.open_events == []
+
+    def test_out_of_order_windows_rejected(self):
+        tracker = OnlineEventTracker(line_network(5))
+        tracker.push_window(10, RecordBatch.empty())
+        with pytest.raises(ValueError):
+            tracker.push_window(9, RecordBatch.empty())
+
+    def test_wrong_window_batch_rejected(self):
+        tracker = OnlineEventTracker(line_network(5))
+        with pytest.raises(ValueError):
+            tracker.push_window(10, make_batch([(0, 11, 1.0)]))
+
+    def test_spatial_growth_joins_event(self):
+        # a congestion expanding along the street stays one event
+        tracker = OnlineEventTracker(line_network(6, spacing=1.0))
+        batch = make_batch([(i, 10 + i, 1.0) for i in range(6)])
+        clusters = stream_batch(tracker, batch)
+        assert len(clusters) == 1
+        assert clusters[0].severity() == 6.0
+
+    def test_bridge_merges_open_events(self):
+        # two events start far apart; a middle record merges them
+        net = line_network(5, spacing=1.0)
+        tracker = OnlineEventTracker(net)
+        tracker.push_window(10, make_batch([(0, 10, 1.0), (4, 10, 1.0)]))
+        assert len(tracker.open_events) == 2
+        closed = tracker.push_window(11, make_batch([(2, 11, 1.0)]))
+        assert closed == []
+        # record at 2 relates to neither 0 nor 4 (2.0 >= 1.5)... so still 3
+        assert len(tracker.open_events) == 3
+        # but a record at 1 bridges events at 0 and 2
+        tracker.push_window(12, make_batch([(1, 12, 1.0)]))
+        assert len(tracker.open_events) == 2
+
+    def test_separate_roads_stay_separate(self):
+        tracker = OnlineEventTracker(two_road_network(gap=5.0))
+        batch = make_batch([(0, 10, 1.0), (6, 10, 1.0)])
+        clusters = stream_batch(tracker, batch)
+        assert len(clusters) == 2
+
+    def test_time_of_day_keys(self):
+        spec = WindowSpec()
+        tracker = OnlineEventTracker(line_network(3))
+        window = spec.window_at(3, 8, 5)
+        clusters = stream_batch(tracker, make_batch([(0, window, 2.0)]))
+        assert clusters[0].temporal.min_key() == spec.window_in_day(window)
+
+    def test_closed_clusters_accumulate(self):
+        tracker = OnlineEventTracker(line_network(5))
+        stream_batch(tracker, make_batch([(0, 10, 2.0), (0, 100, 3.0)]))
+        assert len(tracker.closed_clusters) == 2
+
+
+class TestBatchEquivalence:
+    """The stream must produce the batch extractor's events exactly."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 80), st.floats(0.5, 5)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_matches_batch_extractor_line(self, records):
+        net = line_network(10, spacing=1.0)
+        batch = make_batch(records)
+        batch_clusters = EventExtractor(net).extract_micro_clusters(batch)
+        stream_clusters = stream_batch(OnlineEventTracker(net), batch)
+        assert feature_sets(stream_clusters) == feature_sets(batch_clusters)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 60), st.floats(0.5, 5)),
+            min_size=1,
+            max_size=40,
+        ),
+        gap=st.floats(0.8, 6.0),
+    )
+    def test_matches_batch_extractor_two_roads(self, records, gap):
+        net = two_road_network(gap=gap)
+        batch = make_batch(records)
+        batch_clusters = EventExtractor(net).extract_micro_clusters(batch)
+        stream_clusters = stream_batch(OnlineEventTracker(net), batch)
+        assert feature_sets(stream_clusters) == feature_sets(batch_clusters)
+
+    def test_matches_on_simulated_day(self, small_sim):
+        chunk = small_sim.simulate_day(2)
+        mask = chunk.atypical_mask()
+        batch = RecordBatch(
+            chunk.sensor_ids[mask],
+            chunk.windows[mask],
+            chunk.congested[mask].astype(np.float64),
+        )
+        batch_clusters = EventExtractor(
+            small_sim.network, ExtractionParams(), small_sim.window_spec
+        ).extract_micro_clusters(batch)
+        tracker = OnlineEventTracker(
+            small_sim.network, window_spec=small_sim.window_spec
+        )
+        stream_clusters = stream_batch(tracker, batch)
+        assert feature_sets(stream_clusters) == feature_sets(batch_clusters)
+
+    def test_severity_conserved(self, small_sim):
+        chunk = small_sim.simulate_day(1)
+        mask = chunk.atypical_mask()
+        batch = RecordBatch(
+            chunk.sensor_ids[mask],
+            chunk.windows[mask],
+            chunk.congested[mask].astype(np.float64),
+        )
+        tracker = OnlineEventTracker(
+            small_sim.network, window_spec=small_sim.window_spec
+        )
+        clusters = stream_batch(tracker, batch)
+        assert sum(c.severity() for c in clusters) == pytest.approx(
+            batch.total_severity()
+        )

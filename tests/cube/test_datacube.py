@@ -1,0 +1,136 @@
+"""Tests for the severity cube (bottom-up aggregation, Property 4)."""
+
+import numpy as np
+import pytest
+
+from repro.cube.datacube import SeverityCube
+from repro.spatial.regions import DistrictGrid
+from repro.temporal.hierarchy import Calendar
+from repro.temporal.windows import WindowSpec
+
+from tests.conftest import line_network, make_batch
+
+
+def small_cube(num_sensors=10, cols=5, days=(14,)):
+    net = line_network(num_sensors, spacing=1.0)
+    districts = DistrictGrid(net, cols=cols, rows=1)
+    calendar = Calendar(month_lengths=days, month_names=tuple(f"m{i}" for i in range(len(days))))
+    return SeverityCube(districts, calendar), districts, calendar
+
+
+class TestLoading:
+    def test_shape(self):
+        cube, _, _ = small_cube()
+        assert cube.shape == (5, 14)
+
+    def test_add_records_accumulates(self):
+        cube, districts, _ = small_cube()
+        cube.add_records(make_batch([(0, 10, 4.0), (1, 20, 5.0)]))
+        # sensors 0 and 1 are in district 0; windows 10 and 20 are day 0
+        assert cube.cell(0, 0) == 9.0
+
+    def test_records_added_counter(self):
+        cube, _, _ = small_cube()
+        cube.add_records(make_batch([(0, 10, 4.0), (1, 20, 5.0)]))
+        assert cube.records_added == 2
+
+    def test_empty_batch_noop(self):
+        cube, _, _ = small_cube()
+        from repro.core.records import RecordBatch
+
+        cube.add_records(RecordBatch.empty())
+        assert cube.total_severity() == 0.0
+
+    def test_unknown_sensor_rejected(self):
+        cube, _, _ = small_cube()
+        with pytest.raises((ValueError, IndexError)):
+            cube.add_records(make_batch([(99, 10, 4.0)]))
+
+    def test_window_beyond_calendar_rejected(self):
+        cube, _, _ = small_cube()
+        with pytest.raises(ValueError):
+            cube.add_records(make_batch([(0, 288 * 30, 4.0)]))
+
+    def test_add_readings_allows_zero(self):
+        cube, _, _ = small_cube()
+        cube.add_readings(
+            np.array([0, 1]), np.array([0, 1]), np.array([0.0, 2.0])
+        )
+        assert cube.total_severity() == 2.0
+
+
+class TestRollups:
+    def test_district_severity(self):
+        cube, districts, _ = small_cube()
+        cube.add_records(make_batch([(0, 10, 4.0), (0, 288 + 10, 6.0)]))
+        district = districts[0]
+        assert cube.district_severity(district, [0]) == 4.0
+        assert cube.district_severity(district, [0, 1]) == 10.0
+
+    def test_day_severity_rolls_over_districts(self):
+        cube, _, _ = small_cube()
+        cube.add_records(make_batch([(0, 10, 4.0), (9, 12, 6.0)]))
+        assert cube.day_severity(0) == 10.0
+
+    def test_week_severity(self):
+        cube, _, _ = small_cube()
+        cube.add_records(make_batch([(0, 10, 4.0), (0, 288 * 8, 6.0)]))
+        assert cube.week_severity(0) == 4.0
+        assert cube.week_severity(1) == 6.0
+
+    def test_month_severity(self):
+        cube, _, _ = small_cube(days=(7, 7))
+        cube.add_records(make_batch([(0, 10, 4.0), (0, 288 * 10, 6.0)]))
+        assert cube.month_severity(0) == 4.0
+        assert cube.month_severity(1) == 6.0
+
+    def test_region_severity(self):
+        cube, districts, _ = small_cube()
+        cube.add_records(make_batch([(0, 10, 4.0), (4, 10, 6.0), (9, 10, 1.0)]))
+        assert cube.region_severity([0, 2], [0]) == 10.0
+
+    def test_region_severity_empty(self):
+        cube, _, _ = small_cube()
+        assert cube.region_severity([], [0]) == 0.0
+
+    def test_total_is_apex(self):
+        cube, districts, cal = small_cube()
+        cube.add_records(make_batch([(0, 10, 4.0), (5, 300, 6.0)]))
+        total = sum(
+            cube.district_severity(d, range(cal.num_days)) for d in districts
+        )
+        assert cube.total_severity() == pytest.approx(total) == 10.0
+
+
+class TestDistributivity:
+    """Property 4: F combines from disjoint partial loads."""
+
+    def test_combine_matches_single_load(self):
+        cube_a, districts, cal = small_cube()
+        cube_b = SeverityCube(districts, cal)
+        cube_full = SeverityCube(districts, cal)
+        part1 = make_batch([(0, 10, 4.0), (3, 400, 2.0)])
+        part2 = make_batch([(5, 10, 1.0), (0, 10, 3.0)])
+        cube_a.add_records(part1)
+        cube_b.add_records(part2)
+        from repro.core.records import RecordBatch
+
+        cube_full.add_records(RecordBatch.concat([part1, part2]))
+        combined = cube_a.combine(cube_b)
+        assert np.allclose(np.asarray(combined.cells()), np.asarray(cube_full.cells()))
+        assert combined.records_added == cube_full.records_added
+
+    def test_combine_shape_mismatch(self):
+        cube_a, _, _ = small_cube(cols=5)
+        cube_b, _, _ = small_cube(cols=2)
+        with pytest.raises(ValueError):
+            cube_a.combine(cube_b)
+
+    def test_cells_readonly(self):
+        cube, _, _ = small_cube()
+        with pytest.raises(ValueError):
+            cube.cells()[0, 0] = 1.0
+
+    def test_storage_bytes(self):
+        cube, _, _ = small_cube()
+        assert cube.storage_bytes() == 5 * 14 * 8

@@ -1,0 +1,171 @@
+"""Tests for the congestion event processes."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.congestion import (
+    MIN_CONGESTED_MINUTES,
+    HotspotSpec,
+    IncidentProcess,
+    apply_hotspot,
+    apply_incidents,
+    finalize_day,
+)
+
+
+def spec_with(**overrides):
+    base = dict(
+        hotspot_id=0,
+        highway_id=0,
+        center_ordinal=10,
+        peak_minute=8 * 60,
+        extent_sensors=2.0,
+        pulses=1,
+        pulse_minutes=60.0,
+        gap_minutes=20.0,
+        core_intensity=4.5,
+        weekday_prob=1.0,
+        weekend_prob=0.0,
+    )
+    base.update(overrides)
+    return HotspotSpec(**base)
+
+
+def fresh_matrix(sensors=20, wpd=288):
+    return np.zeros((sensors, wpd))
+
+
+SENSORS = tuple(range(20))
+
+
+class TestHotspot:
+    def test_active_weekday_produces_congestion(self):
+        matrix = fresh_matrix()
+        rng = np.random.default_rng(0)
+        pulses = apply_hotspot(matrix, SENSORS, spec_with(), rng, False, 1.0, 1.0, 5)
+        assert pulses == 1
+        assert matrix.sum() > 0
+
+    def test_weekend_probability_zero(self):
+        matrix = fresh_matrix()
+        rng = np.random.default_rng(0)
+        pulses = apply_hotspot(matrix, SENSORS, spec_with(), rng, True, 1.0, 1.0, 5)
+        assert pulses == 0
+        assert matrix.sum() == 0
+
+    def test_centered_on_spec(self):
+        matrix = fresh_matrix()
+        rng = np.random.default_rng(1)
+        apply_hotspot(matrix, SENSORS, spec_with(start_jitter_minutes=0.1), rng, False, 1.0, 1.0, 5)
+        per_sensor = matrix.sum(axis=1)
+        assert abs(int(per_sensor.argmax()) - 10) <= 1
+
+    def test_reach_cap(self):
+        matrix = fresh_matrix()
+        rng = np.random.default_rng(2)
+        apply_hotspot(
+            matrix,
+            SENSORS,
+            spec_with(extent_sensors=5.0, reach_cap_sensors=2),
+            rng,
+            False,
+            1.0,
+            1.0,
+            5,
+        )
+        touched = np.flatnonzero(matrix.sum(axis=1) > 0)
+        # cap 2 around center 10 +- wobble 1
+        assert touched.min() >= 7 and touched.max() <= 13
+
+    def test_pulses_fragment_in_time(self):
+        matrix = fresh_matrix()
+        rng = np.random.default_rng(3)
+        apply_hotspot(
+            matrix,
+            SENSORS,
+            spec_with(pulses=3, pulse_minutes=30.0, gap_minutes=25.0),
+            rng,
+            False,
+            1.0,
+            1.0,
+            5,
+        )
+        active = np.flatnonzero(matrix.sum(axis=0) > 0)
+        gaps = np.diff(active)
+        # at least two quiet gaps longer than delta_t (3 windows)
+        assert (gaps > 3).sum() >= 2
+
+    def test_weather_scales_intensity(self):
+        totals = []
+        for intensity in (1.0, 1.55):
+            matrix = fresh_matrix()
+            rng = np.random.default_rng(4)
+            apply_hotspot(
+                matrix, SENSORS, spec_with(), rng, False, intensity, 1.0, 5
+            )
+            totals.append(matrix.sum())
+        assert totals[1] > totals[0]
+
+    def test_episode_gating(self):
+        spec = spec_with(episode_weeks_on=1, episode_weeks_off=1)
+        assert spec.in_episode(0)  # week 0 on
+        assert not spec.in_episode(7)  # week 1 off
+        assert spec.in_episode(14)
+
+    def test_episode_disabled_by_default(self):
+        assert spec_with().in_episode(123456)
+
+    def test_out_of_episode_no_congestion(self):
+        matrix = fresh_matrix()
+        rng = np.random.default_rng(5)
+        spec = spec_with(episode_weeks_on=1, episode_weeks_off=1)
+        pulses = apply_hotspot(matrix, SENSORS, spec, rng, False, 1.0, 1.0, 5, day=7)
+        assert pulses == 0
+
+
+class TestIncidents:
+    def test_reports_match_congestion(self):
+        matrix = fresh_matrix()
+        rng = np.random.default_rng(6)
+        reports = apply_incidents(
+            matrix, [SENSORS], IncidentProcess(rate_per_day=3.0), rng, 1.0, 5
+        )
+        if reports:
+            assert matrix.sum() > 0
+        for report in reports:
+            assert report.highway_id == 0
+            assert 0 <= report.center_ordinal < len(SENSORS)
+            assert report.duration_minutes > 0
+
+    def test_zero_rate(self):
+        matrix = fresh_matrix()
+        rng = np.random.default_rng(7)
+        reports = apply_incidents(
+            matrix, [SENSORS], IncidentProcess(rate_per_day=0.0), rng, 1.0, 5
+        )
+        assert reports == [] and matrix.sum() == 0
+
+    def test_incident_log_deterministic(self, small_sim):
+        assert small_sim.incident_log(3) == small_sim.incident_log(3)
+
+
+class TestFinalize:
+    def test_noise_floor(self):
+        matrix = fresh_matrix(2, 4)
+        matrix[0, 0] = MIN_CONGESTED_MINUTES / 2
+        matrix[1, 1] = 3.0
+        finalize_day(matrix, 5)
+        assert matrix[0, 0] == 0.0
+        assert matrix[1, 1] == 3.0
+
+    def test_cap_at_window_width(self):
+        matrix = fresh_matrix(1, 2)
+        matrix[0, 0] = 9.5
+        finalize_day(matrix, 5)
+        assert matrix[0, 0] == 5.0
+
+    def test_negative_clipped(self):
+        matrix = fresh_matrix(1, 2)
+        matrix[0, 1] = -2.0
+        finalize_day(matrix, 5)
+        assert matrix[0, 1] == 0.0

@@ -1,0 +1,54 @@
+"""Tests for the weather context model."""
+
+import pytest
+
+from repro.simulate.weather import WEATHER_STATES, WeatherModel
+
+
+class TestWeatherModel:
+    def test_length(self):
+        assert len(WeatherModel(30, seed=1)) == 30
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WeatherModel(0)
+
+    def test_deterministic_by_seed(self):
+        a = WeatherModel(60, seed=5)
+        b = WeatherModel(60, seed=5)
+        assert [d.state.name for d in a.states()] == [
+            d.state.name for d in b.states()
+        ]
+
+    def test_seeds_differ(self):
+        a = WeatherModel(120, seed=1)
+        b = WeatherModel(120, seed=2)
+        assert [d.state.name for d in a.states()] != [
+            d.state.name for d in b.states()
+        ]
+
+    def test_states_are_known(self):
+        model = WeatherModel(100, seed=3)
+        for day in model.states():
+            assert day.state.name in WEATHER_STATES
+
+    def test_multipliers_match_table(self):
+        model = WeatherModel(50, seed=3)
+        for day in model.states():
+            assert day.state.intensity == WEATHER_STATES[day.state.name]["intensity"]
+            assert day.state.activity == WEATHER_STATES[day.state.name]["activity"]
+
+    def test_mostly_clear(self):
+        model = WeatherModel(365, seed=7)
+        clear = sum(1 for d in model.states() if d.state.name == "clear")
+        assert clear > 200  # the chain's stationary distribution is ~70 % clear
+
+    def test_rainy_days_listed(self):
+        model = WeatherModel(100, seed=7)
+        rainy = set(model.rainy_days())
+        for day in range(100):
+            assert (model.day(day).state.name != "clear") == (day in rainy)
+
+    def test_storm_multipliers_strongest(self):
+        assert WEATHER_STATES["storm"]["intensity"] > WEATHER_STATES["rain"]["intensity"]
+        assert WEATHER_STATES["rain"]["intensity"] > WEATHER_STATES["clear"]["intensity"]

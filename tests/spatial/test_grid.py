@@ -1,0 +1,91 @@
+"""Tests for the sensor grid index (delta_d neighbour queries)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Point
+from repro.spatial.grid import SensorGridIndex
+from repro.spatial.network import Highway, Sensor, SensorNetwork
+
+from tests.conftest import line_network, two_road_network
+
+
+def brute_force_neighbours(network, sensor_id, radius):
+    me = network.location(sensor_id)
+    return tuple(
+        s.sensor_id
+        for s in network
+        if s.location.distance_to(me) < radius
+    )
+
+
+class TestGridIndex:
+    def test_includes_self(self):
+        index = SensorGridIndex(line_network(5), 1.5)
+        assert 2 in index.neighbours(2)
+
+    def test_strict_inequality(self):
+        # Definition 1 uses distance < delta_d: sensors exactly at the
+        # threshold are NOT neighbours
+        net = line_network(5, spacing=1.5)
+        index = SensorGridIndex(net, 1.5)
+        assert index.neighbours(2) == (2,)
+
+    def test_adjacent_within_radius(self):
+        net = line_network(5, spacing=1.0)
+        index = SensorGridIndex(net, 1.5)
+        assert index.neighbours(2) == (1, 2, 3)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            SensorGridIndex(line_network(3), 0)
+
+    def test_cross_road_separation(self):
+        net = two_road_network(gap=5.0)
+        index = SensorGridIndex(net, 1.5)
+        for sid in index.neighbours(0):
+            assert sid < 6  # nothing from the second road
+
+    def test_cross_road_within_radius(self):
+        net = two_road_network(gap=1.0)
+        index = SensorGridIndex(net, 1.5)
+        assert 6 in index.neighbours(0)
+
+    def test_matches_brute_force_line(self):
+        net = line_network(20, spacing=0.7)
+        index = SensorGridIndex(net, 1.5)
+        for sid in range(20):
+            assert index.neighbours(sid) == brute_force_neighbours(net, sid, 1.5)
+
+    def test_neighbour_pairs_cover_all(self):
+        net = line_network(6, spacing=1.0)
+        index = SensorGridIndex(net, 1.5)
+        pairs = set(index.neighbour_pairs())
+        assert (0, 0) in pairs
+        assert (0, 1) in pairs
+        assert (1, 0) not in pairs  # unordered, a <= b
+
+    def test_caching_returns_same(self):
+        index = SensorGridIndex(line_network(5), 1.5)
+        assert index.neighbours(1) is index.neighbours(1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(0, 20), st.floats(0, 20)),
+            min_size=2,
+            max_size=30,
+        ),
+        radius=st.floats(0.5, 6.0),
+    )
+    def test_matches_brute_force_random(self, points, radius):
+        highway = Highway(0, "X", (Point(0, 0), Point(20, 20)))
+        sensors = [
+            Sensor(i, Point(x, y), 0, float(i), i) for i, (x, y) in enumerate(points)
+        ]
+        net = SensorNetwork(sensors, [highway])
+        index = SensorGridIndex(net, radius)
+        for sid in range(len(points)):
+            assert index.neighbours(sid) == brute_force_neighbours(net, sid, radius)

@@ -1,0 +1,101 @@
+"""Tests for road network and sensor deployment."""
+
+import pytest
+
+from repro.spatial.geometry import BBox, Point
+from repro.spatial.network import Highway, Sensor, SensorNetwork, deploy_sensors
+
+from tests.conftest import line_network, two_road_network
+
+
+class TestHighway:
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            Highway(0, "bad", (Point(0, 0),))
+
+    def test_opposite_directions_are_distinct(self):
+        pts = (Point(0, 0), Point(1, 0))
+        east = Highway(0, "Fwy 10E", pts)
+        west = Highway(1, "Fwy 10W", tuple(reversed(pts)))
+        assert east.highway_id != west.highway_id
+        assert east.points[0] == west.points[-1]
+
+
+class TestSensorNetwork:
+    def test_len(self):
+        assert len(line_network(10)) == 10
+
+    def test_getitem(self):
+        net = line_network(5)
+        assert net[3].sensor_id == 3
+
+    def test_rejects_sparse_ids(self):
+        sensors = [Sensor(0, Point(0, 0), 0, 0, 0), Sensor(2, Point(1, 0), 0, 1, 1)]
+        with pytest.raises(ValueError):
+            SensorNetwork(sensors)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SensorNetwork([])
+
+    def test_positions_shape(self):
+        net = line_network(7)
+        assert net.positions.shape == (7, 2)
+
+    def test_positions_readonly(self):
+        net = line_network(3)
+        with pytest.raises(ValueError):
+            net.positions[0, 0] = 99.0
+
+    def test_distance(self):
+        net = line_network(5, spacing=2.0)
+        assert net.distance(0, 3) == 6.0
+
+    def test_highway_sensors_ordered(self):
+        net = line_network(5)
+        assert net.highway_sensors(0) == (0, 1, 2, 3, 4)
+
+    def test_bounding_box(self):
+        net = line_network(5, spacing=1.0)
+        box = net.bounding_box()
+        assert box.min_x == 0 and box.max_x == 4
+
+    def test_sensors_in_bbox(self):
+        net = line_network(10)
+        inside = net.sensors_in(BBox(2.5, -1, 5.5, 1))
+        assert inside == [3, 4, 5]
+
+    def test_sensors_in_bbox_closed(self):
+        net = line_network(10)
+        assert 2 in net.sensors_in(BBox(2.0, 0.0, 2.0, 0.0))
+
+
+class TestDeploySensors:
+    def test_spacing(self):
+        highway = Highway(0, "A", (Point(0, 0), Point(10, 0)))
+        net = deploy_sensors([highway], 2.0)
+        assert len(net) == 6
+        assert net[1].milepost == 2.0
+
+    def test_ids_dense_across_highways(self):
+        h0 = Highway(0, "A", (Point(0, 0), Point(4, 0)))
+        h1 = Highway(1, "B", (Point(0, 2), Point(4, 2)))
+        net = deploy_sensors([h0, h1], 1.0)
+        assert [s.sensor_id for s in net] == list(range(10))
+
+    def test_spacing_overrides(self):
+        h0 = Highway(0, "A", (Point(0, 0), Point(12, 0)))
+        h1 = Highway(1, "B", (Point(0, 2), Point(12, 2)))
+        net = deploy_sensors([h0, h1], 1.0, {1: 4.0})
+        assert len(net.highway_sensors(0)) == 13
+        assert len(net.highway_sensors(1)) == 4
+
+    def test_two_road_fixture(self):
+        net = two_road_network(gap=5.0)
+        assert net.distance(0, 6) == 5.0
+        assert net.highway_sensors(1) == (6, 7, 8, 9, 10, 11)
+
+    def test_highways_exposed(self):
+        net = line_network(3)
+        assert 0 in net.highways
+        assert net.highways[0].name == "Fwy TestE"

@@ -1,0 +1,95 @@
+"""Tests for pre-defined districts and query regions."""
+
+import pytest
+
+from repro.spatial.geometry import BBox
+from repro.spatial.regions import DistrictGrid, QueryRegion
+
+from tests.conftest import line_network, two_road_network
+
+
+class TestDistrictGrid:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        net = two_road_network()
+        grid = DistrictGrid(net, cols=3, rows=2)
+        seen = [grid.district_of(s.sensor_id) for s in net]
+        assert len(seen) == len(net)
+        union = set()
+        for district in grid:
+            assert union.isdisjoint(district.sensor_ids)
+            union.update(district.sensor_ids)
+        assert union == {s.sensor_id for s in net}
+
+    def test_district_count(self):
+        grid = DistrictGrid(line_network(10), cols=5, rows=1)
+        assert len(grid) == 5
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            DistrictGrid(line_network(4), cols=0, rows=2)
+
+    def test_district_of_matches_membership(self):
+        net = line_network(10)
+        grid = DistrictGrid(net, cols=5, rows=1)
+        for sensor in net:
+            district = grid[grid.district_of(sensor.sensor_id)]
+            assert sensor.sensor_id in district.sensor_ids
+
+    def test_edge_sensor_included(self):
+        # the right-most sensor sits on the bbox edge; half-open cells must
+        # still capture it
+        net = line_network(10)
+        grid = DistrictGrid(net, cols=2, rows=1)
+        assert grid.district_of(9) == 1
+
+    def test_names_unique(self):
+        grid = DistrictGrid(two_road_network(), cols=3, rows=2)
+        names = [d.name for d in grid]
+        assert len(set(names)) == len(names)
+
+    def test_shape(self):
+        grid = DistrictGrid(line_network(5), cols=4, rows=2)
+        assert grid.shape == (4, 2)
+
+    def test_districts_in_region(self):
+        net = line_network(10)
+        grid = DistrictGrid(net, cols=5, rows=1)
+        region = QueryRegion("left", [0, 1])
+        hit = grid.districts_in(region)
+        assert [d.district_id for d in hit] == [0]
+
+    def test_sensor_district_map(self):
+        net = line_network(4)
+        grid = DistrictGrid(net, cols=2, rows=1)
+        mapping = grid.sensor_district_map()
+        assert set(mapping) == {0, 1, 2, 3}
+
+
+class TestQueryRegion:
+    def test_whole_network(self):
+        net = line_network(8)
+        region = QueryRegion.whole_network(net)
+        assert len(region) == 8
+
+    def test_contains(self):
+        region = QueryRegion("r", [1, 2, 3])
+        assert 2 in region
+        assert 9 not in region
+
+    def test_from_bbox(self):
+        net = line_network(10)
+        region = QueryRegion.from_bbox(net, BBox(1.5, -1, 4.5, 1))
+        assert region.sensor_ids == frozenset({2, 3, 4})
+
+    def test_from_districts(self):
+        net = line_network(10)
+        grid = DistrictGrid(net, cols=2, rows=1)
+        region = QueryRegion.from_districts([grid[0]], "west")
+        assert region.sensor_ids == frozenset(grid[0].sensor_ids)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            QueryRegion("empty", [])
+
+    def test_name(self):
+        assert QueryRegion("downtown", [0]).name == "downtown"

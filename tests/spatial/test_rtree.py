@@ -1,0 +1,152 @@
+"""Tests for the aggregation R-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import BBox, Point
+from repro.spatial.rtree import RTree
+
+
+def grid_entries(n=6, m=6):
+    return [(i * m + j, Point(float(i), float(j))) for i in range(n) for j in range(m)]
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RTree([])
+
+    def test_rejects_small_fanout(self):
+        with pytest.raises(ValueError):
+            RTree([(0, Point(0, 0))], fanout=1)
+
+    def test_len(self):
+        assert len(RTree(grid_entries())) == 36
+
+    def test_single_entry(self):
+        tree = RTree([(7, Point(1, 2))])
+        assert tree.query(BBox(0, 0, 3, 3)) == [7]
+
+    def test_height_grows_with_size(self):
+        small = RTree(grid_entries(2, 2), fanout=4)
+        large = RTree(grid_entries(8, 8), fanout=4)
+        assert large.height > small.height
+
+    def test_root_bbox_covers_everything(self):
+        tree = RTree(grid_entries())
+        box = tree.root.bbox
+        for sid, point in grid_entries():
+            assert box.contains_closed(point)
+
+
+class TestQuery:
+    def test_full_range(self):
+        tree = RTree(grid_entries())
+        assert tree.query(BBox(-1, -1, 10, 10)) == list(range(36))
+
+    def test_point_query(self):
+        tree = RTree(grid_entries())
+        assert tree.query(BBox(2, 3, 2, 3)) == [2 * 6 + 3]
+
+    def test_empty_region(self):
+        tree = RTree(grid_entries())
+        assert tree.query(BBox(0.2, 0.2, 0.8, 0.8)) == []
+
+    def test_partial_range(self):
+        tree = RTree(grid_entries(4, 4))
+        result = tree.query(BBox(0, 0, 1, 3))
+        expected = sorted(
+            sid for sid, p in grid_entries(4, 4) if p.x <= 1
+        )
+        assert result == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0, 50)), min_size=1, max_size=60
+        ),
+        box=st.tuples(
+            st.floats(0, 50), st.floats(0, 50), st.floats(0, 50), st.floats(0, 50)
+        ),
+    )
+    def test_matches_linear_scan(self, points, box):
+        x1, y1, x2, y2 = box
+        bbox = BBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        entries = [(i, Point(x, y)) for i, (x, y) in enumerate(points)]
+        tree = RTree(entries, fanout=4)
+        expected = sorted(i for i, p in entries if bbox.contains_closed(p))
+        assert tree.query(bbox) == expected
+
+
+class TestAggregates:
+    def test_total_weight(self):
+        tree = RTree(grid_entries(3, 3))
+        tree.set_weights({sid: 1.0 for sid in range(9)})
+        total, _ = tree.range_aggregate(BBox(-1, -1, 5, 5))
+        assert total == 9.0
+
+    def test_partial_weight(self):
+        tree = RTree(grid_entries(3, 3))
+        tree.set_weights({sid: float(sid) for sid in range(9)})
+        total, _ = tree.range_aggregate(BBox(0, 0, 0, 2))
+        assert total == 0 + 1 + 2
+
+    def test_missing_weights_default_zero(self):
+        tree = RTree(grid_entries(2, 2))
+        tree.set_weights({0: 5.0})
+        total, _ = tree.range_aggregate(BBox(-1, -1, 3, 3))
+        assert total == 5.0
+
+    def test_contained_subtree_short_circuits(self):
+        tree = RTree(grid_entries(10, 10), fanout=4)
+        tree.set_weights({sid: 1.0 for sid in range(100)})
+        _, visited_full = tree.range_aggregate(BBox(-1, -1, 11, 11))
+        # full containment answers from the root alone
+        assert visited_full == 1
+
+    def test_aggregate_matches_query_sum(self):
+        tree = RTree(grid_entries(5, 5), fanout=4)
+        weights = {sid: float(sid % 7) for sid in range(25)}
+        tree.set_weights(weights)
+        box = BBox(1, 1, 3, 4)
+        total, _ = tree.range_aggregate(box)
+        assert total == pytest.approx(sum(weights[s] for s in tree.query(box)))
+
+
+class TestHalfOpenAggregates:
+    def test_boundary_point_counted_once(self):
+        # two tiles sharing the x = 2 edge; the sensor at x = 2 belongs to
+        # the right tile only
+        entries = [(0, Point(1, 1)), (1, Point(2, 1)), (2, Point(3, 1))]
+        tree = RTree(entries, fanout=2)
+        tree.set_weights({0: 1.0, 1: 10.0, 2: 100.0})
+        left, _ = tree.range_aggregate(BBox(0, 0, 2, 2), closed=False)
+        right, _ = tree.range_aggregate(BBox(2, 0, 4, 2), closed=False)
+        assert left == 1.0
+        assert right == 110.0
+        assert left + right == 111.0
+
+    def test_closed_mode_double_counts_boundary(self):
+        entries = [(0, Point(2, 1))]
+        tree = RTree(entries, fanout=2)
+        tree.set_weights({0: 5.0})
+        left, _ = tree.range_aggregate(BBox(0, 0, 2, 2), closed=True)
+        right, _ = tree.range_aggregate(BBox(2, 0, 4, 2), closed=True)
+        assert left == right == 5.0
+
+    def test_half_open_tiles_partition_weights(self):
+        entries = grid_entries(6, 6)
+        tree = RTree(entries, fanout=4)
+        weights = {sid: 1.0 for sid, _ in entries}
+        tree.set_weights(weights)
+        total = 0.0
+        for x0 in (0.0, 3.0):
+            for y0 in (0.0, 3.0):
+                part, _ = tree.range_aggregate(
+                    BBox(x0, y0, x0 + 3.0, y0 + 3.0), closed=False
+                )
+                total += part
+        # coordinates span 0..5, the four tiles cover [0,6) x [0,6), so
+        # every point lands in exactly one tile
+        assert total == 36.0

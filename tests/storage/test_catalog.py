@@ -1,0 +1,79 @@
+"""Tests for the dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.storage.catalog import DatasetCatalog
+from repro.storage.codec import ReadingChunk
+from repro.storage.dataset import CPSDatasetWriter, DatasetMeta
+
+
+def write_month(directory, name, first_day, num_days, congested_day=None):
+    wpd = 12
+    path = directory / f"{name}.cps"
+    meta = DatasetMeta(name, 2, first_day, num_days, 5)
+    with CPSDatasetWriter(path, meta) as writer:
+        for day in range(first_day, first_day + num_days):
+            congested = np.zeros(2 * wpd, dtype=np.float32)
+            if day == congested_day:
+                congested[0] = 3.0
+            writer.append_day(
+                ReadingChunk(
+                    np.repeat(np.arange(2, dtype=np.int32), wpd),
+                    np.tile(np.arange(day * wpd, (day + 1) * wpd, dtype=np.int32), 2),
+                    np.full(2 * wpd, 60.0, dtype=np.float32),
+                    congested,
+                )
+            )
+    return f"{name}.cps"
+
+
+@pytest.fixture()
+def catalog(tmp_path):
+    files = [
+        write_month(tmp_path, "D1", 0, 3, congested_day=1),
+        write_month(tmp_path, "D2", 3, 2, congested_day=4),
+    ]
+    return DatasetCatalog.build(tmp_path, files)
+
+
+class TestCatalog:
+    def test_len(self, catalog):
+        assert len(catalog) == 2
+
+    def test_missing_index(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DatasetCatalog(tmp_path / "nowhere")
+
+    def test_dataset_by_month(self, catalog):
+        assert catalog.dataset(0).meta.name == "D1"
+        assert catalog.dataset(1).meta.name == "D2"
+
+    def test_dataset_cached(self, catalog):
+        assert catalog.dataset(0) is catalog.dataset(0)
+
+    def test_month_out_of_range(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.dataset(2)
+
+    def test_dataset_for_day(self, catalog):
+        assert catalog.dataset_for_day(2).meta.name == "D1"
+        assert catalog.dataset_for_day(3).meta.name == "D2"
+        assert catalog.dataset_for_day(99) is None
+
+    def test_atypical_records_spanning_months(self, catalog):
+        batch = catalog.atypical_records([1, 4])
+        assert len(batch) == 2
+
+    def test_total_readings(self, catalog):
+        assert catalog.total_readings() == 5 * 24
+
+    def test_io_totals(self, catalog):
+        catalog.reset_io()
+        catalog.dataset(0).read_day(0)
+        totals = catalog.io_totals()
+        assert totals["chunks_read"] == 1
+        assert totals["records_scanned"] == 24
+
+    def test_total_size_bytes(self, catalog):
+        assert catalog.total_size_bytes() > 0

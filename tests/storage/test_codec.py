@@ -1,0 +1,106 @@
+"""Tests for the binary reading codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.codec import (
+    CHUNK_HEADER_SIZE,
+    CodecError,
+    ReadingChunk,
+    decode_chunk,
+    encode_chunk,
+)
+
+
+def chunk_of(rows):
+    sensor_ids = np.array([r[0] for r in rows], dtype=np.int32)
+    windows = np.array([r[1] for r in rows], dtype=np.int32)
+    speeds = np.array([r[2] for r in rows], dtype=np.float32)
+    congested = np.array([r[3] for r in rows], dtype=np.float32)
+    return ReadingChunk(sensor_ids, windows, speeds, congested)
+
+
+SAMPLE = chunk_of([(0, 10, 62.5, 0.0), (1, 10, 20.0, 4.0), (2, 11, 61.0, 0.0)])
+
+
+class TestReadingChunk:
+    def test_len(self):
+        assert len(SAMPLE) == 3
+
+    def test_mismatched_columns(self):
+        with pytest.raises(ValueError):
+            ReadingChunk(
+                np.array([1], dtype=np.int32),
+                np.array([1, 2], dtype=np.int32),
+                np.array([1.0], dtype=np.float32),
+                np.array([1.0], dtype=np.float32),
+            )
+
+    def test_atypical_mask(self):
+        assert list(SAMPLE.atypical_mask()) == [False, True, False]
+
+    def test_nbytes(self):
+        assert SAMPLE.nbytes == 3 * 16
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        decoded = decode_chunk(encode_chunk(SAMPLE))
+        assert np.array_equal(decoded.sensor_ids, SAMPLE.sensor_ids)
+        assert np.array_equal(decoded.windows, SAMPLE.windows)
+        assert np.array_equal(decoded.speeds, SAMPLE.speeds)
+        assert np.array_equal(decoded.congested, SAMPLE.congested)
+
+    def test_empty_chunk(self):
+        empty = chunk_of([])
+        decoded = decode_chunk(encode_chunk(empty))
+        assert len(decoded) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(0, 10_000),
+                st.integers(0, 200_000),
+                st.floats(0, 90, width=32),
+                st.floats(0, 5, width=32),
+            ),
+            max_size=50,
+        )
+    )
+    def test_roundtrip_random(self, rows):
+        chunk = chunk_of(rows)
+        decoded = decode_chunk(encode_chunk(chunk))
+        assert np.array_equal(decoded.sensor_ids, chunk.sensor_ids)
+        assert np.array_equal(decoded.congested, chunk.congested)
+
+
+class TestCorruption:
+    def test_truncated_header(self):
+        with pytest.raises(CodecError):
+            decode_chunk(b"abc")
+
+    def test_bad_magic(self):
+        data = bytearray(encode_chunk(SAMPLE))
+        data[0:4] = b"XXXX"
+        with pytest.raises(CodecError):
+            decode_chunk(bytes(data))
+
+    def test_bad_version(self):
+        data = bytearray(encode_chunk(SAMPLE))
+        data[4] = 99
+        with pytest.raises(CodecError):
+            decode_chunk(bytes(data))
+
+    def test_truncated_payload(self):
+        data = encode_chunk(SAMPLE)
+        with pytest.raises(CodecError):
+            decode_chunk(data[:-4])
+
+    def test_flipped_payload_bit_fails_checksum(self):
+        data = bytearray(encode_chunk(SAMPLE))
+        data[CHUNK_HEADER_SIZE + 2] ^= 0xFF
+        with pytest.raises(CodecError):
+            decode_chunk(bytes(data))

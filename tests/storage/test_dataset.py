@@ -1,0 +1,124 @@
+"""Tests for on-disk CPS datasets."""
+
+import numpy as np
+import pytest
+
+from repro.storage.codec import CodecError, ReadingChunk
+from repro.storage.dataset import CPSDataset, CPSDatasetWriter, DatasetMeta
+
+
+def day_chunk(day, num_sensors=4, windows_per_day=12, congested_at=()):
+    n = num_sensors * windows_per_day
+    sensor_ids = np.repeat(np.arange(num_sensors, dtype=np.int32), windows_per_day)
+    windows = np.tile(
+        np.arange(day * windows_per_day, (day + 1) * windows_per_day, dtype=np.int32),
+        num_sensors,
+    )
+    speeds = np.full(n, 60.0, dtype=np.float32)
+    congested = np.zeros(n, dtype=np.float32)
+    for idx, minutes in congested_at:
+        congested[idx] = minutes
+    return ReadingChunk(sensor_ids, windows, speeds, congested)
+
+
+@pytest.fixture()
+def dataset_path(tmp_path):
+    meta = DatasetMeta("D1", num_sensors=4, first_day=0, num_days=3, window_minutes=5)
+    path = tmp_path / "d1.cps"
+    with CPSDatasetWriter(path, meta) as writer:
+        writer.append_day(day_chunk(0, congested_at=[(0, 4.0), (5, 2.0)]))
+        writer.append_day(day_chunk(1))
+        writer.append_day(day_chunk(2, congested_at=[(7, 3.0)]))
+    return path
+
+
+class TestWriter:
+    def test_too_many_days(self, tmp_path):
+        meta = DatasetMeta("D", 4, 0, 1, 5)
+        writer = CPSDatasetWriter(tmp_path / "x.cps", meta)
+        writer.append_day(day_chunk(0))
+        with pytest.raises(ValueError):
+            writer.append_day(day_chunk(1))
+
+    def test_too_few_days(self, tmp_path):
+        meta = DatasetMeta("D", 4, 0, 2, 5)
+        writer = CPSDatasetWriter(tmp_path / "x.cps", meta)
+        writer.append_day(day_chunk(0))
+        with pytest.raises(ValueError):
+            writer.close()
+
+    def test_write_after_close(self, tmp_path):
+        meta = DatasetMeta("D", 4, 0, 1, 5)
+        writer = CPSDatasetWriter(tmp_path / "x.cps", meta)
+        writer.append_day(day_chunk(0))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.append_day(day_chunk(1))
+
+
+class TestReader:
+    def test_meta_roundtrip(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        assert ds.meta.name == "D1"
+        assert ds.meta.num_days == 3
+        assert list(ds.days) == [0, 1, 2]
+
+    def test_read_day(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        chunk = ds.read_day(0)
+        assert len(chunk) == 48
+        assert chunk.congested[0] == 4.0
+
+    def test_read_day_out_of_range(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        with pytest.raises(ValueError):
+            ds.read_day(3)
+
+    def test_scan_all(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        days = [day for day, _ in ds.scan()]
+        assert days == [0, 1, 2]
+
+    def test_scan_subset(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        assert [day for day, _ in ds.scan([2])] == [2]
+
+    def test_io_stats(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        ds.read_day(0)
+        assert ds.io.chunks_read == 1
+        assert ds.io.records_scanned == 48
+        assert ds.io.bytes_read > 0
+        ds.io.reset()
+        assert ds.io.chunks_read == 0
+
+    def test_not_a_dataset(self, tmp_path):
+        bogus = tmp_path / "bogus.cps"
+        bogus.write_bytes(b"hello world")
+        with pytest.raises(CodecError):
+            CPSDataset(bogus)
+
+    def test_total_readings(self, dataset_path):
+        assert CPSDataset(dataset_path).total_readings() == 3 * 48
+
+
+class TestAtypicalSelection:
+    def test_atypical_day(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        batch = ds.atypical_day(0)
+        assert len(batch) == 2
+        assert batch.total_severity() == 6.0
+
+    def test_atypical_day_empty(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        assert len(ds.atypical_day(1)) == 0
+
+    def test_atypical_records_whole(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        batch = ds.atypical_records()
+        assert len(batch) == 3
+        assert batch.total_severity() == 9.0
+
+    def test_atypical_records_subset(self, dataset_path):
+        ds = CPSDataset(dataset_path)
+        assert len(ds.atypical_records([2])) == 1

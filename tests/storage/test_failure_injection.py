@@ -1,0 +1,104 @@
+"""Failure-injection tests for the storage layer.
+
+A 50 GB trace will eventually hit torn writes, truncated files and
+bit rot; the storage substrate must fail loudly rather than feed corrupt
+severities into the analysis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.storage.catalog import DatasetCatalog
+from repro.storage.codec import CodecError, ReadingChunk
+from repro.storage.dataset import CPSDataset, CPSDatasetWriter, DatasetMeta
+from repro.storage.forest_io import load_cube, load_forest
+
+
+def tiny_chunk(day, wpd=4):
+    return ReadingChunk(
+        np.repeat(np.arange(2, dtype=np.int32), wpd),
+        np.tile(np.arange(day * wpd, (day + 1) * wpd, dtype=np.int32), 2),
+        np.full(2 * wpd, 60.0, dtype=np.float32),
+        np.zeros(2 * wpd, dtype=np.float32),
+    )
+
+
+def write_dataset(path, days=2):
+    meta = DatasetMeta("D", 2, 0, days, 5)
+    with CPSDatasetWriter(path, meta) as writer:
+        for day in range(days):
+            writer.append_day(tiny_chunk(day))
+    return path
+
+
+class TestTornDatasets:
+    def test_truncated_file_detected_at_open(self, tmp_path):
+        path = write_dataset(tmp_path / "d.cps")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 7])
+        with pytest.raises((CodecError, Exception)):
+            ds = CPSDataset(path)
+            ds.read_day(1)
+
+    def test_flipped_bit_detected_at_read(self, tmp_path):
+        path = write_dataset(tmp_path / "d.cps")
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # corrupt the last chunk's payload
+        path.write_bytes(bytes(data))
+        ds = CPSDataset(path)
+        with pytest.raises(CodecError):
+            ds.read_day(1)
+
+    def test_day_count_mismatch_detected(self, tmp_path):
+        path = write_dataset(tmp_path / "d.cps", days=2)
+        # claim three days in the metadata of a two-day file
+        data = path.read_bytes()
+        patched = data.replace(b'"num_days": 2', b'"num_days": 3', 1)
+        path.write_bytes(patched)
+        with pytest.raises(CodecError):
+            CPSDataset(path)
+
+    def test_writer_exception_does_not_mask_error(self, tmp_path):
+        meta = DatasetMeta("D", 2, 0, 5, 5)
+        with pytest.raises(RuntimeError, match="boom"):
+            with CPSDatasetWriter(tmp_path / "d.cps", meta) as writer:
+                writer.append_day(tiny_chunk(0))
+                raise RuntimeError("boom")
+
+
+class TestCatalogFailures:
+    def test_missing_dataset_file(self, tmp_path):
+        write_dataset(tmp_path / "D1.cps")
+        catalog = DatasetCatalog.build(tmp_path, ["D1.cps", "D2.cps"])
+        catalog.dataset(0)  # present
+        with pytest.raises(FileNotFoundError):
+            catalog.dataset(1)
+
+    def test_corrupt_index(self, tmp_path):
+        (tmp_path / "catalog.json").write_text("{not json")
+        with pytest.raises(Exception):
+            DatasetCatalog(tmp_path)
+
+
+class TestModelFileFailures:
+    def test_forest_on_empty_file(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"")
+        with pytest.raises(CodecError):
+            load_forest(path)
+
+    def test_cube_on_garbage(self, tmp_path):
+        from repro.spatial.regions import DistrictGrid
+        from repro.temporal.hierarchy import Calendar
+
+        from tests.conftest import line_network
+
+        path = tmp_path / "c.bin"
+        path.write_bytes(b"\x00" * 64)
+        net = line_network(4)
+        with pytest.raises(Exception):
+            load_cube(
+                path,
+                DistrictGrid(net, 2, 1),
+                Calendar(month_lengths=(7,), month_names=("m",)),
+            )

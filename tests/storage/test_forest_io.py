@@ -1,0 +1,150 @@
+"""Tests for forest / cube / engine persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import AnalysisEngine, EngineConfig
+from repro.core.forest import AtypicalForest
+from repro.core.integration import ClusterIntegrator
+from repro.cube.datacube import SeverityCube
+from repro.simulate import SimulationConfig, TrafficSimulator
+from repro.spatial.regions import DistrictGrid
+from repro.storage.codec import CodecError
+from repro.storage.forest_io import load_cube, load_forest, save_cube, save_forest
+from repro.temporal.hierarchy import Calendar
+
+from tests.conftest import line_network, make_batch, make_cluster
+
+
+def small_forest():
+    calendar = Calendar(month_lengths=(14,), month_names=("m",))
+    forest = AtypicalForest(calendar, integrator=ClusterIntegrator(0.5))
+    for day in range(7):
+        forest.add_day(
+            day,
+            [
+                make_cluster(
+                    {1: 6.0, 2: 4.0},
+                    {100: 6.0, 101: 4.0},
+                    cluster_id=forest.ids.next_id(),
+                )
+            ],
+        )
+    forest.week_clusters(0)  # materialize so caches get persisted
+    return forest
+
+
+class TestForestRoundTrip:
+    def test_micro_clusters_survive(self, tmp_path):
+        forest = small_forest()
+        save_forest(forest, tmp_path / "f.bin")
+        loaded = load_forest(tmp_path / "f.bin")
+        assert loaded.days == forest.days
+        for day in forest.days:
+            assert [c.spatial for c in loaded.day_clusters(day)] == [
+                c.spatial for c in forest.day_clusters(day)
+            ]
+
+    def test_week_cache_survives(self, tmp_path):
+        forest = small_forest()
+        save_forest(forest, tmp_path / "f.bin")
+        loaded = load_forest(tmp_path / "f.bin")
+        assert loaded.stats().num_week_macro == 1
+        week = loaded.week_clusters(0)
+        assert week[0].severity() == pytest.approx(70.0)
+
+    def test_provenance_walkable_after_load(self, tmp_path):
+        forest = small_forest()
+        save_forest(forest, tmp_path / "f.bin")
+        loaded = load_forest(tmp_path / "f.bin")
+        week = loaded.week_clusters(0)[0]
+        assert len(loaded.leaves_of(week)) == 7
+
+    def test_calendar_survives(self, tmp_path):
+        forest = small_forest()
+        save_forest(forest, tmp_path / "f.bin")
+        loaded = load_forest(tmp_path / "f.bin")
+        assert loaded.calendar.num_days == 14
+        assert loaded.window_spec.width_minutes == 5
+
+    def test_id_generator_resumes_above_max(self, tmp_path):
+        forest = small_forest()
+        highest = max(c.cluster_id for c in forest.export_state()["clusters"])
+        save_forest(forest, tmp_path / "f.bin")
+        loaded = load_forest(tmp_path / "f.bin")
+        assert loaded.ids.next_id() == highest + 1
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"garbage file")
+        with pytest.raises(CodecError):
+            load_forest(path)
+
+    def test_truncated_blob(self, tmp_path):
+        forest = small_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(CodecError):
+            load_forest(path)
+
+    def test_import_requires_empty(self):
+        forest = small_forest()
+        with pytest.raises(ValueError):
+            forest.import_state([], {}, {}, {})
+
+
+class TestCubeRoundTrip:
+    def test_cells_survive(self, tmp_path):
+        net = line_network(10)
+        districts = DistrictGrid(net, cols=5, rows=1)
+        calendar = Calendar(month_lengths=(14,), month_names=("m",))
+        cube = SeverityCube(districts, calendar)
+        cube.add_records(make_batch([(0, 10, 4.0), (7, 300, 2.5)]))
+        save_cube(cube, tmp_path / "c.bin")
+        loaded = load_cube(tmp_path / "c.bin", districts, calendar)
+        assert np.array_equal(np.asarray(loaded.cells()), np.asarray(cube.cells()))
+        assert loaded.records_added == 2
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        net = line_network(10)
+        districts = DistrictGrid(net, cols=5, rows=1)
+        calendar = Calendar(month_lengths=(14,), month_names=("m",))
+        cube = SeverityCube(districts, calendar)
+        save_cube(cube, tmp_path / "c.bin")
+        other = DistrictGrid(net, cols=2, rows=1)
+        with pytest.raises(CodecError):
+            load_cube(tmp_path / "c.bin", other, calendar)
+
+
+class TestEngineRoundTrip:
+    def test_queries_identical_after_reload(self, tmp_path):
+        sim = TrafficSimulator(SimulationConfig.small())
+        engine = AnalysisEngine.from_simulator(sim)
+        engine.build_from_simulator(sim, days=range(5))
+        original = engine.query(engine.whole_city(), 0, 5, strategy="gui")
+        engine.save(tmp_path / "model")
+
+        reloaded = AnalysisEngine.load(
+            tmp_path / "model", sim.network, sim.districts()
+        )
+        assert reloaded.built_days == engine.built_days
+        result = reloaded.query(reloaded.whole_city(), 0, 5, strategy="gui")
+        assert sorted(c.severity() for c in result.returned) == pytest.approx(
+            sorted(c.severity() for c in original.returned)
+        )
+        assert result.stats.red_zones == original.stats.red_zones
+
+    def test_reloaded_engine_can_keep_building(self, tmp_path):
+        sim = TrafficSimulator(SimulationConfig.small())
+        engine = AnalysisEngine.from_simulator(sim)
+        engine.build_from_simulator(sim, days=range(3))
+        engine.save(tmp_path / "model")
+        reloaded = AnalysisEngine.load(
+            tmp_path / "model", sim.network, sim.districts()
+        )
+        reloaded.build_from_simulator(sim, days=range(3, 5))
+        assert reloaded.built_days == frozenset(range(5))
+        result = reloaded.query(reloaded.whole_city(), 0, 5, strategy="all")
+        assert result.stats.input_clusters > 0

@@ -1,0 +1,133 @@
+"""Tests for the calendar / temporal aggregation hierarchy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal.hierarchy import (
+    PEMS_CALENDAR,
+    PEMS_MONTH_LENGTHS,
+    PEMS_MONTH_NAMES,
+    Calendar,
+)
+
+
+class TestCalendarBasics:
+    def test_default_matches_paper_year(self):
+        cal = Calendar()
+        assert cal.num_months == 12
+        assert cal.num_days == sum(PEMS_MONTH_LENGTHS) == 365
+
+    def test_pems_names(self):
+        assert PEMS_MONTH_NAMES[0] == "Oct 2008"
+        assert PEMS_MONTH_NAMES[-1] == "Sep 2009"
+
+    def test_num_weeks(self):
+        assert Calendar().num_weeks == 53  # ceil(365 / 7)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Calendar(month_lengths=(), month_names=())
+
+    def test_rejects_nonpositive_month(self):
+        with pytest.raises(ValueError):
+            Calendar(month_lengths=(31, 0), month_names=("a", "b"))
+
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(ValueError):
+            Calendar(month_lengths=(31,), month_names=("a", "b"))
+
+    def test_module_level_calendar(self):
+        assert PEMS_CALENDAR.num_days == 365
+
+
+class TestMonthMapping:
+    def test_first_day_in_first_month(self):
+        assert Calendar().month_of_day(0) == 0
+
+    def test_last_day_of_first_month(self):
+        assert Calendar().month_of_day(30) == 0
+
+    def test_first_day_of_second_month(self):
+        assert Calendar().month_of_day(31) == 1
+
+    def test_last_day_of_year(self):
+        assert Calendar().month_of_day(364) == 11
+
+    def test_month_day_range_roundtrip(self):
+        cal = Calendar()
+        for month in range(cal.num_months):
+            for day in cal.month_day_range(month):
+                assert cal.month_of_day(day) == month
+
+    def test_month_ranges_partition_year(self):
+        cal = Calendar()
+        days = [d for m in range(cal.num_months) for d in cal.month_day_range(m)]
+        assert days == list(range(cal.num_days))
+
+    def test_day_out_of_range(self):
+        with pytest.raises(ValueError):
+            Calendar().month_of_day(365)
+
+    def test_negative_day(self):
+        with pytest.raises(ValueError):
+            Calendar().month_of_day(-1)
+
+    def test_month_out_of_range(self):
+        with pytest.raises(ValueError):
+            Calendar().month_day_range(12)
+
+    def test_month_name(self):
+        assert Calendar().month_name(4) == "Feb 2009"
+
+
+class TestWeekMapping:
+    def test_week_of_day(self):
+        cal = Calendar()
+        assert cal.week_of_day(0) == 0
+        assert cal.week_of_day(6) == 0
+        assert cal.week_of_day(7) == 1
+
+    def test_week_day_range(self):
+        cal = Calendar()
+        assert list(cal.week_day_range(1)) == [7, 8, 9, 10, 11, 12, 13]
+
+    def test_last_week_clipped(self):
+        cal = Calendar()
+        last = cal.week_day_range(cal.num_weeks - 1)
+        assert last.stop == cal.num_days
+
+    def test_week_out_of_range(self):
+        with pytest.raises(ValueError):
+            Calendar().week_day_range(99)
+
+    def test_weeks_in_days(self):
+        cal = Calendar()
+        assert cal.weeks_in_days([0, 1, 7, 8, 20]) == [0, 1, 2]
+
+
+class TestWeekdays:
+    def test_first_day_is_wednesday(self):
+        # Oct 1, 2008 was a Wednesday (weekday index 2)
+        assert Calendar().weekday_of_day(0) == 2
+
+    def test_weekend_detection(self):
+        cal = Calendar()
+        # day 3 = Saturday, day 4 = Sunday
+        assert cal.is_weekend(3)
+        assert cal.is_weekend(4)
+        assert not cal.is_weekend(5)
+
+    def test_weekday_cycles(self):
+        cal = Calendar()
+        assert cal.weekday_of_day(7) == cal.weekday_of_day(0)
+
+    @given(day=st.integers(0, 364))
+    def test_weekday_in_range(self, day):
+        assert 0 <= Calendar().weekday_of_day(day) <= 6
+
+    def test_iter_months_yields_all(self):
+        cal = Calendar()
+        months = list(cal.iter_months())
+        assert len(months) == 12
+        assert months[0][1] == range(0, 31)

@@ -1,0 +1,141 @@
+"""Tests for time-window arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal.windows import MINUTES_PER_DAY, WindowSpec
+
+
+class TestWindowSpecConstruction:
+    def test_default_is_five_minutes(self):
+        assert WindowSpec().width_minutes == 5
+
+    def test_default_windows_per_day(self):
+        assert WindowSpec().windows_per_day == 288
+
+    def test_windows_per_hour(self):
+        assert WindowSpec().windows_per_hour == 12
+
+    def test_fifteen_minute_windows(self):
+        spec = WindowSpec(15)
+        assert spec.windows_per_day == 96
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            WindowSpec(0)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            WindowSpec(-5)
+
+    def test_rejects_width_not_dividing_day(self):
+        with pytest.raises(ValueError):
+            WindowSpec(7)
+
+
+class TestConversions:
+    def test_window_of_minute(self, spec):
+        assert spec.window_of_minute(0) == 0
+        assert spec.window_of_minute(4) == 0
+        assert spec.window_of_minute(5) == 1
+
+    def test_start_and_end_minute(self, spec):
+        assert spec.start_minute(3) == 15
+        assert spec.end_minute(3) == 20
+
+    def test_day_of_window(self, spec):
+        assert spec.day_of_window(0) == 0
+        assert spec.day_of_window(287) == 0
+        assert spec.day_of_window(288) == 1
+
+    def test_hour_of_day(self, spec):
+        # 8:05am window on day 2
+        window = spec.window_at(2, 8, 5)
+        assert spec.hour_of_day(window) == 8
+
+    def test_minute_of_day(self, spec):
+        window = spec.window_at(0, 8, 5)
+        assert spec.minute_of_day(window) == 8 * 60 + 5
+
+    def test_window_in_day(self, spec):
+        window = spec.window_at(3, 0, 0)
+        assert spec.window_in_day(window) == 0
+        assert spec.window_in_day(window + 5) == 5
+
+    def test_day_window_range(self, spec):
+        rng = spec.day_window_range(2)
+        assert rng.start == 2 * 288
+        assert len(rng) == 288
+
+    def test_window_at_example(self, spec):
+        # the paper's example record covers 8:05am-8:10am
+        window = spec.window_at(0, 8, 5)
+        assert spec.start_minute(window) == 485
+
+    def test_window_at_rejects_bad_hour(self, spec):
+        with pytest.raises(ValueError):
+            spec.window_at(0, 24, 0)
+
+    def test_window_at_rejects_bad_minute(self, spec):
+        with pytest.raises(ValueError):
+            spec.window_at(0, 8, 61)
+
+    def test_hour_of_window_absolute(self, spec):
+        assert spec.hour_of_window(spec.window_at(1, 3, 0)) == 27
+
+
+class TestInterval:
+    """Definition 1 relates records via interval(t_i, t_j) < delta_t."""
+
+    def test_same_window_interval_zero(self, spec):
+        assert spec.interval_minutes(10, 10) == 0
+
+    def test_adjacent_windows(self, spec):
+        assert spec.interval_minutes(10, 11) == 5
+
+    def test_symmetric(self, spec):
+        assert spec.interval_minutes(3, 9) == spec.interval_minutes(9, 3)
+
+    def test_windows_within_default_delta_t(self, spec):
+        # delta_t = 15 min: gaps of up to 2 windows are strictly below
+        assert spec.windows_within(15.0) == 2
+
+    def test_windows_within_non_multiple(self, spec):
+        # 12 minutes: gaps of 2 windows = 10 min < 12
+        assert spec.windows_within(12.0) == 2
+
+    def test_windows_within_small(self, spec):
+        # 5 minutes: only the same window qualifies (interval 0 < 5)
+        assert spec.windows_within(5.0) == 0
+
+    def test_windows_within_zero(self, spec):
+        assert spec.windows_within(0.0) == -1
+
+    @given(gap=st.integers(0, 1000), minutes=st.floats(0.1, 500))
+    def test_windows_within_matches_interval(self, gap, minutes):
+        spec = WindowSpec()
+        qualifies = spec.interval_minutes(0, gap) < minutes
+        assert qualifies == (gap <= spec.windows_within(minutes))
+
+
+class TestLabels:
+    def test_label_contains_day(self, spec):
+        assert spec.label(spec.window_at(3, 8, 5)) == "day 3 08:05-08:10"
+
+    def test_label_wraps_midnight(self, spec):
+        label = spec.label(spec.window_at(0, 23, 55))
+        assert label.endswith("23:55-00:00")
+
+    def test_minutes_per_day_constant(self):
+        assert MINUTES_PER_DAY == 1440
+
+
+class TestWideWindows:
+    def test_windows_per_hour_zero_for_wide_windows(self):
+        assert WindowSpec(120).windows_per_hour == 0
+
+    def test_wide_window_day_mapping(self):
+        spec = WindowSpec(120)
+        assert spec.windows_per_day == 12
+        assert spec.day_of_window(12) == 1

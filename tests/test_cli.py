@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.simulate import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("trace")
+    code = main(
+        ["generate", "--out", str(directory), "--profile", "small", "--months", "1"]
+    )
+    assert code == 0
+    return directory
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory, trace_dir):
+    directory = tmp_path_factory.mktemp("model")
+    code = main(
+        ["build", "--data", str(trace_dir), "--model", str(directory), "--days", "7"]
+    )
+    assert code == 0
+    return directory
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--out", "x", "--profile", "benchmark", "--seed", "3"]
+        )
+        assert args.profile == "benchmark"
+        assert args.seed == 3
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "--data", "d", "--model", "m"])
+        assert args.strategy == "gui"
+        assert args.days == 7
+        assert not args.final_check
+
+
+class TestGenerate(object):
+    def test_trace_files_exist(self, trace_dir):
+        assert (trace_dir / "catalog.json").exists()
+        assert (trace_dir / "simulation.json").exists()
+        assert (trace_dir / "D1.cps").exists()
+
+    def test_months_validation(self, tmp_path, capsys):
+        code = main(["generate", "--out", str(tmp_path), "--months", "99"])
+        assert code == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_config_is_small_profile(self, trace_dir):
+        stored = json.loads((trace_dir / "simulation.json").read_text())
+        config = SimulationConfig.from_dict(stored)
+        assert config.month_lengths == (31,)
+
+
+class TestBuildAndQuery:
+    def test_model_files(self, model_dir):
+        assert (model_dir / "forest.bin").exists()
+        assert (model_dir / "cube.bin").exists()
+        assert (model_dir / "engine.json").exists()
+
+    def test_query_prints_report(self, trace_dir, model_dir, capsys):
+        code = main(
+            [
+                "query",
+                "--data", str(trace_dir),
+                "--model", str(model_dir),
+                "--days", "7",
+                "--strategy", "gui",
+                "--final-check",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "via gui" in out
+        assert "Significant congestion clusters" in out
+
+    def test_query_compare(self, trace_dir, model_dir, capsys):
+        code = main(
+            [
+                "query",
+                "--data", str(trace_dir),
+                "--model", str(model_dir),
+                "--days", "7",
+                "--compare",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "all" in out and "pru" in out
+
+    def test_info(self, trace_dir, capsys):
+        assert main(["info", "--data", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "sensors:" in out
+        assert "D1" in out
