@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Integration-kernel benchmark entry point.
+#
+# Runs the vectorized-vs-dict-loop benchmark with a fixed seed and
+# min-of-3 timing, writes the machine-readable report to
+# benchmarks/results/BENCH_integration.json, then smoke-checks the
+# tier-1 core suite so a perf run can't land on a broken engine.
+#
+# Usage: benchmarks/run_bench.sh [extra `repro bench` args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+python -m repro bench \
+    --out benchmarks/results/BENCH_integration.json \
+    --clusters 400 --seed 7 --repeats 3 "$@"
+
+python -m pytest tests/core -q -x

@@ -1,0 +1,81 @@
+"""Vectorized similarity/integration kernel vs the dict-loop scalar path.
+
+Times the three stages the vectorization PR touched, on a Fig. 15-sized
+synthetic workload (a few hundred micro-clusters with hotspot locality):
+
+* the all-pairs Eq. 2 similarity kernel (one CSR sparse product vs a
+  quadratic dict loop),
+* end-to-end indexed Algorithm 3 (batch scoring + similarity cache vs the
+  seed's per-pop dict loops),
+* the naive Algorithm 3 fixpoint (incremental best-pair heap vs the seed's
+  quadratic re-scan per merge).
+
+Emits ``BENCH_integration.json`` under ``benchmarks/results/`` so
+successive PRs can track the perf trajectory, and asserts the two hard
+properties: the kernel is at least 3x faster than the dict loop, and both
+engines produce byte-identical macro-cluster sets.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR, emit_table
+
+from repro.perf import run_integration_benchmark
+
+
+def test_integration_kernel_benchmark():
+    report = run_integration_benchmark(
+        num_clusters=400,
+        seed=7,
+        repeats=3,
+        out_path=RESULTS_DIR / "BENCH_integration.json",
+    )
+
+    kernel = report["similarity_kernel"]
+    integration = report["integration"]
+    naive = report["naive_fixpoint"]
+    rows = [
+        (
+            "similarity (all pairs)",
+            f"{kernel['dict_loop_seconds']:.3f}",
+            f"{kernel['vectorized_seconds']:.3f}",
+            f"{kernel['speedup']:.1f}x",
+        ),
+        (
+            "integration (indexed)",
+            f"{integration['scalar_seconds']:.3f}",
+            f"{integration['vectorized_seconds']:.3f}",
+            f"{integration['speedup']:.1f}x",
+        ),
+        (
+            f"naive fixpoint (n={naive['subset_clusters']})",
+            f"{naive['rescan_seconds']:.3f}",
+            f"{naive['heap_vectorized_seconds']:.3f}",
+            f"{naive['speedup']:.1f}x",
+        ),
+    ]
+    emit_table(
+        "integration_kernel",
+        "Vectorized kernels vs dict-loop scalar path "
+        f"({report['workload']['num_clusters']} clusters, "
+        f"seed {report['workload']['seed']})",
+        ("stage", "dict-loop (s)", "vectorized (s)", "speedup"),
+        rows,
+    )
+
+    # the JSON must exist and round-trip (machine-readable contract)
+    stored = json.loads((RESULTS_DIR / "BENCH_integration.json").read_text())
+    assert stored["similarity_kernel"]["speedup"] == kernel["speedup"]
+
+    # hard acceptance properties
+    assert kernel["max_abs_error"] == 0.0
+    assert kernel["speedup"] >= 3.0
+    assert naive["speedup"] >= 3.0
+    assert integration["identical_macro_clusters"]
+    assert naive["identical_macro_clusters"]
+    # the index candidate strategy evaluates fewer pairs than the
+    # incremental-heap naive path, which evaluates fewer than the re-scan
+    assert integration["comparisons"] < naive["rescan_comparisons"]
+    assert naive["heap_comparisons"] < naive["rescan_comparisons"]

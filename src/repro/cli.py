@@ -6,7 +6,8 @@ The CLI mirrors the system framework of Fig. 2 as a three-step workflow::
     python -m repro build    --data data/ --model model/
     python -m repro query    --data data/ --model model/ --days 7
 
-plus ``info`` for the dataset inventory. The trace directory carries the
+plus ``info`` for the dataset inventory and ``bench`` for the vectorized
+integration-kernel benchmark. The trace directory carries the
 simulation config, so every later step rebuilds the same sensor network
 and district partition from it.
 """
@@ -86,6 +87,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="describe a stored trace")
     info.add_argument("--data", required=True, type=Path)
+
+    bench = commands.add_parser(
+        "bench",
+        help="benchmark the vectorized similarity/integration kernels "
+        "against the dict-loop scalar path",
+    )
+    bench.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the machine-readable report (BENCH_integration.json) here",
+    )
+    bench.add_argument(
+        "--clusters", type=int, default=400, help="workload size (micro-clusters)"
+    )
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timing takes the min of N runs"
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.5, help="delta_sim threshold"
+    )
+    bench.add_argument(
+        "--balance",
+        choices=("max", "min", "avg", "geo", "har"),
+        default="avg",
+        help="balance function g",
+    )
+    bench.add_argument(
+        "--naive-subset",
+        type=int,
+        default=150,
+        help="workload slice for the quadratic re-scan baseline",
+    )
 
     return parser
 
@@ -207,6 +242,30 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import format_report, run_integration_benchmark
+
+    if args.clusters < 2:
+        print("error: --clusters must be at least 2", file=sys.stderr)
+        return 2
+    if args.repeats < 1:
+        print("error: --repeats must be at least 1", file=sys.stderr)
+        return 2
+    report = run_integration_benchmark(
+        num_clusters=args.clusters,
+        seed=args.seed,
+        repeats=args.repeats,
+        threshold=args.threshold,
+        balance=args.balance,
+        naive_subset=args.naive_subset,
+        out_path=args.out,
+    )
+    print(format_report(report))
+    if args.out is not None:
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     catalog = DatasetCatalog(args.data)
     simulator = _simulator_for(args.data)
@@ -228,6 +287,7 @@ _COMMANDS = {
     "build": cmd_build,
     "query": cmd_query,
     "info": cmd_info,
+    "bench": cmd_bench,
 }
 
 

@@ -170,7 +170,10 @@ def _aggregate_features(
         key = window % tf_modulo if tf_modulo else window
         spatial[sid] = spatial.get(sid, 0.0) + severity
         temporal[key] = temporal.get(key, 0.0) + severity
-    return SpatialFeature(spatial), TemporalFeature(temporal)
+    return (
+        SpatialFeature.from_aggregates(spatial),
+        TemporalFeature.from_aggregates(temporal),
+    )
 
 
 class EventExtractor:
@@ -410,11 +413,13 @@ class EventExtractor:
 
         clusters: List[AtypicalCluster] = []
         for c in range(num_clusters):
-            spatial = SpatialFeature(
-                zip(s_key_groups[c].tolist(), s_sum_groups[c].tolist())
+            # the grouped sums are already unique-key, ascending and
+            # positive — hand the arrays to the feature without re-checking
+            spatial = SpatialFeature.from_arrays(
+                s_key_groups[c], s_sum_groups[c], assume_sorted=True, validate=False
             )
-            temporal = TemporalFeature(
-                zip(t_key_groups[c].tolist(), t_sum_groups[c].tolist())
+            temporal = TemporalFeature.from_arrays(
+                t_key_groups[c], t_sum_groups[c], assume_sorted=True, validate=False
             )
             clusters.append(AtypicalCluster.micro(spatial, temporal, generator))
         clusters.sort(key=lambda c: (-c.severity(), c.start_window()))

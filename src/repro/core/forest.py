@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
-from repro.core.integration import ClusterIntegrator
+from repro.core.integration import ClusterIntegrator, SimilarityCache
 from repro.spatial.regions import QueryRegion
 from repro.temporal.hierarchy import Calendar
 from repro.temporal.windows import WindowSpec
@@ -58,6 +58,11 @@ class AtypicalForest:
         self._week_cache: Dict[int, List[AtypicalCluster]] = {}
         self._month_cache: Dict[int, List[AtypicalCluster]] = {}
         self._registry: Dict[int, AtypicalCluster] = {}
+        # shared across every level materialization: after add_day
+        # invalidates a week/month, re-integration only scores the pairs
+        # the new day introduced (cluster ids are never reused, so stale
+        # entries are simply never looked up again)
+        self._sim_cache = SimilarityCache()
 
     # ------------------------------------------------------------------
     @property
@@ -75,6 +80,11 @@ class AtypicalForest:
     @property
     def integrator(self) -> ClusterIntegrator:
         return self._integrator
+
+    @property
+    def similarity_cache(self) -> SimilarityCache:
+        """The pair-similarity memo shared by all level materializations."""
+        return self._sim_cache
 
     @property
     def days(self) -> List[int]:
@@ -157,10 +167,26 @@ class AtypicalForest:
             self._month_cache[month] = cached
         return list(cached)
 
+    def materialize(self) -> "ForestStats":
+        """Materialize every week and month level covering the stored days.
+
+        Follows the day -> week -> month path of Fig. 10 bottom-up, so the
+        month level consumes the freshly built week clusters; all candidate
+        pairs of one level are scored through the batch similarity kernels
+        and remembered in the shared cache for later re-materializations.
+        """
+        weeks = sorted({self._calendar.week_of_day(d) for d in self._micro_by_day})
+        for week in weeks:
+            self.week_clusters(week)
+        months = sorted({self._calendar.month_of_day(d) for d in self._micro_by_day})
+        for month in months:
+            self.month_clusters(month)
+        return self.stats()
+
     def _integrate_and_register(
         self, clusters: List[AtypicalCluster]
     ) -> List[AtypicalCluster]:
-        result = self._integrator.integrate(clusters, self._ids)
+        result = self._integrator.integrate(clusters, self._ids, self._sim_cache)
         # register intermediate merge products too: the clustering tree
         # walks ``members`` links through them down to the micro leaves
         for cluster in result.created.values():

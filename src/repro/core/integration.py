@@ -4,31 +4,102 @@ Repeatedly merges every cluster pair whose similarity exceeds ``delta_sim``
 until no pair qualifies, turning micro-clusters into macro-clusters. Two
 implementations are provided:
 
-* ``"naive"`` — the literal Algorithm 3: scan all pairs, merge, repeat.
-  Quadratic per pass; kept for cross-validation and the ablation bench.
+* ``"naive"`` — Algorithm 3 with all-pairs comparisons, but with the
+  best-pair scan maintained *incrementally*: all qualifying pairs are
+  scored once up front (one CSR sparse product via
+  :func:`~repro.core.similarity.ClusterSimilarity.matrix`) and kept in a
+  max-heap; each merge only scores the merged cluster against the
+  remaining active set instead of re-scanning every pair. Kept for
+  cross-validation and the ablation bench — it measures the *comparison
+  strategy* (all pairs vs. index candidates), not wasted re-scans.
 * ``"indexed"`` — maintains inverted indexes ``sensor -> clusters`` and
   ``window -> clusters``. Only clusters sharing a sensor or a window can
   have non-zero similarity (see
   :meth:`~repro.core.similarity.ClusterSimilarity.can_be_similar`), so each
-  cluster only ever compares against its index candidates. This is the
-  production path.
+  cluster only ever compares against its index candidates, scored as one
+  batch kernel call per queue pop. This is the production path.
+
+Both paths share a :class:`SimilarityCache`: similarities are functions of
+immutable clusters, so across fixpoint iterations only pairs touching a
+freshly merged cluster are ever recomputed — each merge costs
+O(candidates) instead of a full re-scan. A cache may also be shared across
+integration runs (the atypical forest does this for its day -> week ->
+month levels and for re-materialization after cache invalidation).
+
+``comparisons`` counts *unique* full Eq. 2-4 evaluations: pairs eliminated
+by the ``can_be_similar`` fast reject or answered from the cache are not
+counted. Both paths use the same fast reject, so the ablation measures the
+candidate-generation strategy alone.
 
 The paper notes (Sec. V-D) that hard clustering makes the result order-
 dependent in principle but that the influence is limited; both
 implementations here use deterministic tie-breaking (highest similarity,
-then lowest id) so results are reproducible run to run.
+then lowest cluster-id pair) so results are reproducible run to run.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
 from repro.core.merge import merge_clusters
 from repro.core.similarity import ClusterSimilarity
 
-__all__ = ["IntegrationResult", "ClusterIntegrator", "integrate"]
+__all__ = [
+    "IntegrationResult",
+    "SimilarityCache",
+    "ClusterIntegrator",
+    "integrate",
+]
+
+
+class SimilarityCache:
+    """Memo of pair similarities keyed by ``(low_id, high_id)``.
+
+    Valid indefinitely because clusters are immutable and ids are never
+    reused within a session; merged-away clusters simply stop being looked
+    up. The forest shares one cache across all its level materializations
+    so that re-integrating after ``add_day`` invalidation only scores the
+    pairs the new day introduced.
+    """
+
+    __slots__ = ("_store", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[int, int], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(a_id: int, b_id: int) -> Tuple[int, int]:
+        return (a_id, b_id) if a_id <= b_id else (b_id, a_id)
+
+    def get(self, a_id: int, b_id: int) -> Optional[float]:
+        value = self._store.get(self._key(a_id, b_id))
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, a_id: int, b_id: int, value: float) -> None:
+        self._store[self._key(a_id, b_id)] = value
+
+    def contains(self, a_id: int, b_id: int) -> bool:
+        """Membership peek that does not touch the hit/miss counters."""
+        return self._key(a_id, b_id) in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 @dataclass
@@ -37,7 +108,9 @@ class IntegrationResult:
 
     ``created`` maps the id of every intermediate merge product to its
     cluster, so callers can walk full provenance chains (the clustering
-    tree) even for clusters that were merged again later.
+    tree) even for clusters that were merged again later. ``comparisons``
+    counts unique full Eq. 2-4 evaluations (fast-rejected and cached pairs
+    excluded).
     """
 
     clusters: List[AtypicalCluster]
@@ -97,61 +170,231 @@ class ClusterIntegrator:
         self,
         clusters: Iterable[AtypicalCluster],
         ids: Optional[ClusterIdGenerator] = None,
+        cache: Optional[SimilarityCache] = None,
     ) -> IntegrationResult:
-        """Run Algorithm 3 over ``clusters`` and return the macro-cluster set."""
+        """Run Algorithm 3 over ``clusters`` and return the macro-cluster set.
+
+        ``cache`` (optional) carries pair similarities across runs; pass the
+        same cache to successive integrations over overlapping inputs to
+        only pay for pairs not seen before.
+        """
         cluster_list = list(clusters)
         if ids is None:
             start = max((c.cluster_id for c in cluster_list), default=-1) + 1
             ids = ClusterIdGenerator(start)
         if len(cluster_list) <= 1:
             return IntegrationResult(clusters=cluster_list)
+        if cache is None:
+            cache = SimilarityCache()
         if self._method == "naive":
-            result = self._integrate_naive(cluster_list, ids)
+            result = self._integrate_naive(cluster_list, ids, cache)
         else:
-            result = self._integrate_indexed(cluster_list, ids)
+            result = self._integrate_indexed(cluster_list, ids, cache)
         result.clusters.sort(key=lambda c: (-c.severity(), c.cluster_id))
         return result
 
     # ------------------------------------------------------------------
+    def _score_batch(
+        self,
+        cluster: AtypicalCluster,
+        candidate_ids: List[int],
+        active: Dict[int, AtypicalCluster],
+        cache: SimilarityCache,
+        assume_fresh: bool = False,
+    ) -> Tuple[List[float], int]:
+        """Similarities of ``cluster`` vs each candidate id, cache-first.
+
+        All cache misses are scored in one vectorized kernel call; returns
+        the similarity list (aligned with ``candidate_ids``) and the number
+        of fresh evaluations. ``assume_fresh`` skips the per-candidate
+        cache scan — valid when ``cluster``'s id was just minted (a fresh
+        merge product), because ids are never reused so no pair involving
+        it can already be cached.
+        """
+        cid = cluster.cluster_id
+        # same-module fast path: touch the cache dict directly so the inner
+        # loop pays one dict lookup per candidate instead of three calls
+        store = cache._store
+        if assume_fresh:
+            values = self._sim.batch(
+                cluster, [active[other_id] for other_id in candidate_ids]
+            )
+            sims = values.tolist()
+            store.update(
+                zip(
+                    (
+                        (cid, other_id) if cid <= other_id else (other_id, cid)
+                        for other_id in candidate_ids
+                    ),
+                    sims,
+                )
+            )
+            cache.misses += len(candidate_ids)
+            return sims, len(candidate_ids)
+        sims: List[Optional[float]] = [None] * len(candidate_ids)
+        fresh_pos: List[int] = []
+        for pos, other_id in enumerate(candidate_ids):
+            key = (cid, other_id) if cid <= other_id else (other_id, cid)
+            cached = store.get(key)
+            if cached is None:
+                fresh_pos.append(pos)
+            else:
+                sims[pos] = cached
+        cache.hits += len(candidate_ids) - len(fresh_pos)
+        cache.misses += len(fresh_pos)
+        if fresh_pos:
+            if len(fresh_pos) <= self._SCALAR_BATCH_CUTOFF:
+                # a tiny fresh set is cheaper through the scalar path (bit-
+                # identical to the kernel) than through a kernel call's
+                # fixed overhead
+                score = self._sim
+                for pos in fresh_pos:
+                    other_id = candidate_ids[pos]
+                    value = score(cluster, active[other_id])
+                    sims[pos] = value
+                    store[
+                        (cid, other_id) if cid <= other_id else (other_id, cid)
+                    ] = value
+            else:
+                fresh_clusters = [active[candidate_ids[pos]] for pos in fresh_pos]
+                values = self._sim.batch(cluster, fresh_clusters)
+                for pos, value in zip(fresh_pos, values.tolist()):
+                    sims[pos] = value
+                    other_id = candidate_ids[pos]
+                    store[
+                        (cid, other_id) if cid <= other_id else (other_id, cid)
+                    ] = value
+        return sims, len(fresh_pos)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
     def _integrate_naive(
-        self, clusters: List[AtypicalCluster], ids: ClusterIdGenerator
+        self,
+        clusters: List[AtypicalCluster],
+        ids: ClusterIdGenerator,
+        cache: SimilarityCache,
     ) -> IntegrationResult:
-        active = list(clusters)
+        active: Dict[int, AtypicalCluster] = {c.cluster_id: c for c in clusters}
+        if len(active) != len(clusters):
+            raise ValueError("duplicate cluster ids in integration input")
         created: Dict[int, AtypicalCluster] = {}
         merges = 0
         comparisons = 0
-        changed = True
-        while changed:
-            changed = False
-            n = len(active)
-            best: Optional[Tuple[int, int]] = None
-            best_key: Optional[Tuple[float, int, int]] = None
-            for i in range(n):
-                for j in range(i + 1, n):
-                    comparisons += 1
-                    sim = self._sim(active[i], active[j])
-                    if sim > self._threshold:
-                        key = (-sim, active[i].cluster_id, active[j].cluster_id)
-                        if best_key is None or key < best_key:
-                            best_key = key
-                            best = (i, j)
-            if best is not None:
-                i, j = best
-                merged = merge_clusters(active[i], active[j], ids)
-                created[merged.cluster_id] = merged
-                # remove j first (j > i) to keep indexes valid
-                del active[j]
-                del active[i]
-                active.append(merged)
-                merges += 1
-                changed = True
-        return IntegrationResult(
-            clusters=active, merges=merges, comparisons=comparisons, created=created
+        threshold = self._threshold
+        # (-sim, low_id, high_id): pops the highest similarity first, ties
+        # resolve to the lexicographically smallest id pair
+        heap: List[Tuple[float, int, int]] = []
+
+        def push_qualifying(a_id: int, b_id: int, sim: float) -> None:
+            if sim > threshold:
+                low, high = (a_id, b_id) if a_id <= b_id else (b_id, a_id)
+                heapq.heappush(heap, (-sim, low, high))
+
+        # Seed every qualifying pair once. One CSR sparse product scores
+        # the whole input; its candidate mask (pairs sharing a sensor or a
+        # window) doubles as the ``can_be_similar`` fast reject — masked-out
+        # pairs have exactly similarity 0 and are neither counted nor
+        # pushed. Pairs a shared cache already knows are overwritten with
+        # bit-identical values; only the genuinely new ones count.
+        ordered = sorted(active)
+        sim_matrix, candidates = self._sim.matrix_and_candidates(
+            [active[cid] for cid in ordered], True
         )
+        rows, cols = np.nonzero(np.triu(candidates, k=1))
+        id_arr = np.asarray(ordered, dtype=np.int64)
+        pair_a = id_arr[rows].tolist()
+        pair_b = id_arr[cols].tolist()
+        values = sim_matrix[rows, cols]
+        store = cache._store
+        before = len(store)
+        store.update(zip(zip(pair_a, pair_b), values.tolist()))
+        comparisons += len(store) - before
+        for pos in np.nonzero(values > threshold)[0].tolist():
+            heapq.heappush(heap, (-float(values[pos]), pair_a[pos], pair_b[pos]))
+
+        while heap:
+            neg_sim, a_id, b_id = heapq.heappop(heap)
+            first = active.get(a_id)
+            second = active.get(b_id)
+            if first is None or second is None:
+                continue  # stale: one side was already merged away
+            del active[a_id]
+            del active[b_id]
+            merged = merge_clusters(first, second, ids)
+            created[merged.cluster_id] = merged
+            merges += 1
+            # incremental best-pair maintenance: only the merged cluster's
+            # pairs are new — everything else in the heap stays valid
+            if active:
+                candidate_ids = [
+                    oid
+                    for oid in sorted(active)
+                    if ClusterSimilarity.can_be_similar(merged, active[oid])
+                ]
+                sims, fresh = self._score_batch(
+                    merged, candidate_ids, active, cache
+                )
+                comparisons += fresh
+                for oid, sim in zip(candidate_ids, sims):
+                    push_qualifying(merged.cluster_id, oid, sim)
+            active[merged.cluster_id] = merged
+
+        return IntegrationResult(
+            clusters=list(active.values()),
+            merges=merges,
+            comparisons=comparisons,
+            created=created,
+        )
+
+    # Above this size the n x n similarity matrix of the warm-up pass costs
+    # more memory than the per-pop batch path saves (2048**2 float64 = 32 MB).
+    _WARM_CAP = 2048
+    # Fresh sets at or below this size go through the scalar similarity
+    # (bit-identical); the kernel's fixed call overhead only pays off on
+    # larger candidate batches.
+    _SCALAR_BATCH_CUTOFF = 8
+
+    def _warm_cache(
+        self,
+        active: Dict[int, AtypicalCluster],
+        include_window: bool,
+        cache: SimilarityCache,
+    ) -> int:
+        """Pre-score every candidate pair with one CSR matrix product.
+
+        Filling the cache up front turns the per-pop ``_score_batch`` calls
+        of the indexed fixpoint into pure hits for all original-input pairs;
+        only pairs touching a freshly merged cluster are scored later.
+        Returns the number of fresh evaluations (pairs not already cached).
+        """
+        n = len(active)
+        if n < 2 or n > self._WARM_CAP:
+            return 0
+        ordered = sorted(active)
+        sim, candidates = self._sim.matrix_and_candidates(
+            [active[cid] for cid in ordered], include_window
+        )
+        rows, cols = np.nonzero(np.triu(candidates, k=1))
+        id_arr = np.asarray(ordered, dtype=np.int64)
+        # ordered is ascending and row < col, so each pair is already a
+        # cache key; one bulk dict.update instead of a per-pair loop.
+        # Pairs a shared cache already knows are overwritten with the same
+        # value (the matrix and batch kernels are bit-identical).
+        store = cache._store
+        before = len(store)
+        store.update(
+            zip(
+                zip(id_arr[rows].tolist(), id_arr[cols].tolist()),
+                sim[rows, cols].tolist(),
+            )
+        )
+        return len(store) - before
 
     # ------------------------------------------------------------------
     def _integrate_indexed(
-        self, clusters: List[AtypicalCluster], ids: ClusterIdGenerator
+        self,
+        clusters: List[AtypicalCluster],
+        ids: ClusterIdGenerator,
+        cache: SimilarityCache,
     ) -> IntegrationResult:
         active: Dict[int, AtypicalCluster] = {c.cluster_id: c for c in clusters}
         if len(active) != len(clusters):
@@ -182,6 +425,16 @@ class ClusterIntegrator:
         for cluster in clusters:
             index_add(cluster)
 
+        def collect_candidates(cluster: AtypicalCluster) -> Set[int]:
+            found: Set[int] = set()
+            for sensor in cluster.spatial:
+                found.update(by_sensor.get(sensor, ()))
+            if use_window_candidates:
+                for window in cluster.temporal:
+                    found.update(by_window.get(window, ()))
+            found.discard(cluster.cluster_id)
+            return found
+
         # Sensor-disjoint clusters have spatial similarity 0 under every
         # balance function, so Eq. 2 bounds their similarity by 1/2. When
         # the merge threshold is at least 0.5 only clusters sharing a
@@ -192,6 +445,7 @@ class ClusterIntegrator:
         created: Dict[int, AtypicalCluster] = {}
         merges = 0
         comparisons = 0
+        comparisons += self._warm_cache(active, use_window_candidates, cache)
         # Process lowest ids first for determinism.
         queue: List[int] = sorted(active)
         queued: Set[int] = set(queue)
@@ -203,19 +457,20 @@ class ClusterIntegrator:
             cluster = active.get(cid)
             if cluster is None:
                 continue
-            candidates: Set[int] = set()
-            for sensor in cluster.spatial:
-                candidates.update(by_sensor.get(sensor, ()))
-            if use_window_candidates:
-                for window in cluster.temporal:
-                    candidates.update(by_window.get(window, ()))
-            candidates.discard(cid)
+            candidates = collect_candidates(cluster)
+            if not candidates:
+                continue
+
+            # one batch kernel call scores the node's whole candidate set;
+            # pairs already known (from a previous iteration or a shared
+            # forest cache) are answered from the cache
+            candidate_ids = sorted(candidates)
+            sims, fresh = self._score_batch(cluster, candidate_ids, active, cache)
+            comparisons += fresh
 
             best_sim = self._threshold
             best_id: Optional[int] = None
-            for other_id in sorted(candidates):
-                comparisons += 1
-                sim = self._sim(cluster, active[other_id])
+            for other_id, sim in zip(candidate_ids, sims):
                 # strict improvement: ties resolve to the lowest id because
                 # candidates are visited in ascending id order
                 if sim > best_sim:
@@ -233,6 +488,16 @@ class ClusterIntegrator:
             active[merged.cluster_id] = merged
             index_add(merged)
             merges += 1
+            # score the merged cluster against its whole candidate set now,
+            # in one batch call; later pops that see it answer from the
+            # cache instead of paying a tiny kernel call per stale pair
+            new_candidates = collect_candidates(merged)
+            if new_candidates:
+                _, fresh = self._score_batch(
+                    merged, sorted(new_candidates), active, cache,
+                    assume_fresh=True,
+                )
+                comparisons += fresh
             if merged.cluster_id not in queued:
                 queue.append(merged.cluster_id)
                 queued.add(merged.cluster_id)
@@ -251,6 +516,9 @@ def integrate(
     similarity: ClusterSimilarity | str = "avg",
     method: str = "indexed",
     ids: Optional[ClusterIdGenerator] = None,
+    cache: Optional[SimilarityCache] = None,
 ) -> IntegrationResult:
     """Functional wrapper around :class:`ClusterIntegrator` (Algorithm 3)."""
-    return ClusterIntegrator(threshold, similarity, method).integrate(clusters, ids)
+    return ClusterIntegrator(threshold, similarity, method).integrate(
+        clusters, ids, cache
+    )

@@ -55,11 +55,13 @@ def merge_many(
     generator = ids if ids is not None else ClusterIdGenerator(
         max(c.cluster_id for c in cluster_list) + 1
     )
-    spatial = cluster_list[0].spatial
-    temporal = cluster_list[0].temporal
-    for cluster in cluster_list[1:]:
-        spatial = spatial.merge(cluster.spatial)
-        temporal = temporal.merge(cluster.temporal)
+    # one k-way segment-sum kernel instead of k-1 pairwise merges
+    spatial = type(cluster_list[0].spatial).merge_all(
+        c.spatial for c in cluster_list
+    )
+    temporal = type(cluster_list[0].temporal).merge_all(
+        c.temporal for c in cluster_list
+    )
     return AtypicalCluster(
         cluster_id=generator.next_id(),
         spatial=spatial,

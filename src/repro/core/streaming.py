@@ -202,8 +202,10 @@ class OnlineEventTracker:
         return closed
 
     def _to_cluster(self, event: OpenEvent) -> AtypicalCluster:
+        # the open-event accumulators already hold positive per-key sums,
+        # so the array-backed features can skip the per-item coercion loop
         return AtypicalCluster.micro(
-            SpatialFeature(event.spatial),
-            TemporalFeature(event.temporal),
+            SpatialFeature.from_aggregates(event.spatial),
+            TemporalFeature.from_aggregates(event.temporal),
             self._ids,
         )

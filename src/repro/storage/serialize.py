@@ -24,9 +24,11 @@ from __future__ import annotations
 import struct
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.cluster import AtypicalCluster
 from repro.core.events import AtypicalEvent
-from repro.core.features import SpatialFeature, TemporalFeature
+from repro.core.features import SeverityFeature, SpatialFeature, TemporalFeature
 
 __all__ = [
     "encode_cluster",
@@ -40,7 +42,38 @@ __all__ = [
 _HEAD = struct.Struct("<qiiii")
 _MEMBER = struct.Struct("<q")
 _ENTRY = struct.Struct("<id")
+# the same 12-byte packed layout as _ENTRY, for whole-section array I/O
+_ENTRY_DTYPE = np.dtype([("key", "<i4"), ("severity", "<f8")])
+assert _ENTRY_DTYPE.itemsize == _ENTRY.size
 _RECORD_BYTES = 16  # one raw record in the dataset codec
+
+
+def _encode_feature(feature: SeverityFeature) -> bytes:
+    """One packed array write per feature section (keys are already sorted)."""
+    keys = feature.key_array
+    if keys.size and not (
+        np.iinfo(np.int32).min <= int(keys[0]) and int(keys[-1]) <= np.iinfo(np.int32).max
+    ):
+        raise ValueError("feature key out of int32 range for serialization")
+    entries = np.empty(keys.size, dtype=_ENTRY_DTYPE)
+    entries["key"] = keys
+    entries["severity"] = feature.value_array
+    return entries.tobytes()
+
+
+def _decode_feature(
+    cls: type, data: bytes, offset: int, count: int
+) -> Tuple[SeverityFeature, int]:
+    """One frombuffer read per feature section; re-validates key order and
+    severity positivity so corrupt bytes still fail loudly."""
+    entries = np.frombuffer(data, dtype=_ENTRY_DTYPE, count=count, offset=offset)
+    feature = cls.from_arrays(
+        entries["key"].astype(np.int64),
+        entries["severity"].astype(np.float64),
+        assume_sorted=True,
+        validate=True,
+    )
+    return feature, offset + count * _ENTRY.size
 
 
 def encode_cluster(cluster: AtypicalCluster) -> bytes:
@@ -55,14 +88,8 @@ def encode_cluster(cluster: AtypicalCluster) -> bytes:
         )
     ]
     parts.extend(_MEMBER.pack(member) for member in cluster.members)
-    parts.extend(
-        _ENTRY.pack(sensor, severity)
-        for sensor, severity in sorted(cluster.spatial.items())
-    )
-    parts.extend(
-        _ENTRY.pack(window, severity)
-        for window, severity in sorted(cluster.temporal.items())
-    )
+    parts.append(_encode_feature(cluster.spatial))
+    parts.append(_encode_feature(cluster.temporal))
     return b"".join(parts)
 
 
@@ -75,18 +102,8 @@ def decode_cluster(data: bytes, offset: int = 0) -> Tuple[AtypicalCluster, int]:
         (member,) = _MEMBER.unpack_from(data, offset)
         members.append(member)
         offset += _MEMBER.size
-    spatial_items = []
-    for _ in range(p):
-        sensor, severity = _ENTRY.unpack_from(data, offset)
-        spatial_items.append((sensor, severity))
-        offset += _ENTRY.size
-    temporal_items = []
-    for _ in range(q):
-        window, severity = _ENTRY.unpack_from(data, offset)
-        temporal_items.append((window, severity))
-        offset += _ENTRY.size
-    spatial = SpatialFeature(spatial_items)
-    temporal = TemporalFeature(temporal_items)
+    spatial, offset = _decode_feature(SpatialFeature, data, offset, p)
+    temporal, offset = _decode_feature(TemporalFeature, data, offset, q)
     cluster = AtypicalCluster(
         cluster_id=cluster_id,
         spatial=spatial,
