@@ -3,8 +3,10 @@
 #
 # Runs the vectorized-vs-dict-loop benchmark with a fixed seed and
 # min-of-3 timing, writes the machine-readable report to
-# benchmarks/results/BENCH_integration.json, then smoke-checks the
-# tier-1 core suite so a perf run can't land on a broken engine.
+# benchmarks/results/BENCH_integration.json (per-phase timings included
+# under "spans") plus the observability snapshot BENCH_metrics.json,
+# then smoke-checks the tier-1 core suite so a perf run can't land on a
+# broken engine. Fails fast on any step.
 #
 # Usage: benchmarks/run_bench.sh [extra `repro bench` args...]
 set -euo pipefail
@@ -14,6 +16,10 @@ export PYTHONPATH=src
 
 python -m repro bench \
     --out benchmarks/results/BENCH_integration.json \
+    --metrics-out benchmarks/results/BENCH_metrics.json \
     --clusters 400 --seed 7 --repeats 3 "$@"
+
+# the snapshot must round-trip through the stats renderer
+python -m repro stats benchmarks/results/BENCH_metrics.json > /dev/null
 
 python -m pytest tests/core -q -x

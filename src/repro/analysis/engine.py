@@ -20,11 +20,13 @@ Typical use::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
 from repro.core.events import EventExtractor, ExtractionParams
 from repro.core.forest import AtypicalForest
@@ -39,6 +41,8 @@ from repro.temporal.hierarchy import Calendar
 from repro.temporal.windows import WindowSpec
 
 __all__ = ["EngineConfig", "AnalysisEngine"]
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -151,10 +155,16 @@ class AnalysisEngine:
         """Ingest one day of atypical records: Algorithm 1 + cube load."""
         if day in self._built_days:
             raise ValueError(f"day {day} already built")
-        clusters = self._extractor.extract_micro_clusters(batch, self._ids)
+        with obs.span("extract.day") as sp:
+            clusters = self._extractor.extract_micro_clusters(batch, self._ids)
+            sp.set(day=day, records=len(batch), clusters=len(clusters))
         self._forest.add_day(day, clusters)
         self._cube.add_records(batch)
         self._built_days.add(day)
+        _log.debug(
+            "day built",
+            extra={"day": day, "records": len(batch), "clusters": len(clusters)},
+        )
         return clusters
 
     def build_from_catalog(
@@ -162,30 +172,36 @@ class AnalysisEngine:
     ) -> int:
         """Construct the forest from stored datasets; returns days built."""
         count = 0
-        for dataset in catalog:
-            wanted = (
-                dataset.days
-                if days is None
-                else [d for d in days if d in dataset.days]
-            )
-            for day in wanted:
-                self.add_day_records(day, dataset.atypical_day(day))
-                count += 1
+        with obs.span("build.catalog") as sp:
+            for dataset in catalog:
+                wanted = (
+                    dataset.days
+                    if days is None
+                    else [d for d in days if d in dataset.days]
+                )
+                for day in wanted:
+                    self.add_day_records(day, dataset.atypical_day(day))
+                    count += 1
+            sp.set(days=count)
+        _log.info("forest built from catalog", extra={"days": count})
         return count
 
     def build_from_simulator(self, simulator, days: Iterable[int]) -> int:
         """Construct the forest directly from a simulator (no disk files)."""
         count = 0
-        for day in days:
-            chunk = simulator.simulate_day(day)
-            mask = chunk.atypical_mask()
-            batch = RecordBatch(
-                chunk.sensor_ids[mask],
-                chunk.windows[mask],
-                chunk.congested[mask].astype(np.float64),
-            )
-            self.add_day_records(day, batch)
-            count += 1
+        with obs.span("build.simulator") as sp:
+            for day in days:
+                chunk = simulator.simulate_day(day)
+                mask = chunk.atypical_mask()
+                batch = RecordBatch(
+                    chunk.sensor_ids[mask],
+                    chunk.windows[mask],
+                    chunk.congested[mask].astype(np.float64),
+                )
+                self.add_day_records(day, batch)
+                count += 1
+            sp.set(days=count)
+        _log.info("forest built from simulator", extra={"days": count})
         return count
 
     # ------------------------------------------------------------------

@@ -6,10 +6,15 @@ The CLI mirrors the system framework of Fig. 2 as a three-step workflow::
     python -m repro build    --data data/ --model model/
     python -m repro query    --data data/ --model model/ --days 7
 
-plus ``info`` for the dataset inventory and ``bench`` for the vectorized
-integration-kernel benchmark. The trace directory carries the
+plus ``info`` for the dataset inventory, ``bench`` for the vectorized
+integration-kernel benchmark, and ``stats`` to render a metrics snapshot
+written by ``--metrics-out``. The trace directory carries the
 simulation config, so every later step rebuilds the same sensor network
 and district partition from it.
+
+Every subcommand accepts ``--log-level`` (structured key=value logging to
+stderr) and ``--metrics-out PATH`` (enable the observability layer for the
+run and write the registry snapshot as JSON on exit).
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.analysis.engine import AnalysisEngine, EngineConfig
 from repro.analysis.evaluation import score_strategy
 from repro.analysis.report import build_report
@@ -36,8 +42,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level",
+        choices=obs.LOG_LEVELS,
+        default="warning",
+        help="structured-log verbosity on stderr (default: warning)",
+    )
+    common.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="collect pipeline metrics and write the JSON snapshot here",
+    )
+
     generate = commands.add_parser(
-        "generate", help="materialize a synthetic CPS trace to disk"
+        "generate",
+        parents=[common],
+        help="materialize a synthetic CPS trace to disk",
     )
     generate.add_argument("--out", required=True, type=Path, help="target directory")
     generate.add_argument(
@@ -52,7 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     build = commands.add_parser(
-        "build", help="construct the atypical forest from a stored trace"
+        "build",
+        parents=[common],
+        help="construct the atypical forest from a stored trace",
     )
     build.add_argument("--data", required=True, type=Path, help="trace directory")
     build.add_argument("--model", required=True, type=Path, help="model output dir")
@@ -62,7 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(build)
 
     query = commands.add_parser(
-        "query", help="run an analytical query against a built model"
+        "query",
+        parents=[common],
+        help="run an analytical query against a built model",
     )
     query.add_argument("--data", required=True, type=Path, help="trace directory")
     query.add_argument("--model", required=True, type=Path, help="model directory")
@@ -85,11 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--limit", type=int, default=10, help="clusters to print")
     _add_engine_arguments(query)
 
-    info = commands.add_parser("info", help="describe a stored trace")
+    info = commands.add_parser(
+        "info", parents=[common], help="describe a stored trace"
+    )
     info.add_argument("--data", required=True, type=Path)
 
     bench = commands.add_parser(
         "bench",
+        parents=[common],
         help="benchmark the vectorized similarity/integration kernels "
         "against the dict-loop scalar path",
     )
@@ -120,6 +149,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=150,
         help="workload slice for the quadratic re-scan baseline",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        parents=[common],
+        help="render a metrics snapshot written by --metrics-out",
+    )
+    stats.add_argument("path", type=Path, help="snapshot JSON file")
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition format instead of a summary",
     )
 
     return parser
@@ -164,7 +205,10 @@ def cmd_generate(args: argparse.Namespace) -> int:
     )
     if args.months is not None:
         if not 1 <= args.months <= len(base.month_lengths):
-            print(f"error: --months must be in 1..{len(base.month_lengths)}")
+            print(
+                f"error: --months must be in 1..{len(base.month_lengths)}",
+                file=sys.stderr,
+            )
             return 2
         base = SimulationConfig.from_dict(
             {**base.to_dict(), "month_lengths": tuple(base.month_lengths[: args.months])}
@@ -282,18 +326,44 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        snapshot = obs.load_snapshot(args.path)
+    except FileNotFoundError:
+        print(f"error: no such snapshot: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.prometheus:
+        print(obs.to_prometheus_text(snapshot), end="")
+    else:
+        print(obs.render_snapshot(snapshot))
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "build": cmd_build,
     "query": cmd_query,
     "info": cmd_info,
     "bench": cmd_bench,
+    "stats": cmd_stats,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    obs.configure_logging(getattr(args, "log_level", "warning"))
+    command = _COMMANDS[args.command]
+    metrics_out: Optional[Path] = getattr(args, "metrics_out", None)
+    if metrics_out is None or args.command == "stats":
+        return command(args)
+    registry = obs.MetricsRegistry()
+    with obs.activate(registry):
+        code = command(args)
+    obs.write_snapshot(registry, metrics_out)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

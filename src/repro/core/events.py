@@ -40,6 +40,7 @@ import numpy as np
 from scipy.sparse import coo_matrix
 from scipy.sparse.csgraph import connected_components
 
+from repro import obs
 from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
 from repro.core.features import SpatialFeature, TemporalFeature
 from repro.core.records import RecordBatch
@@ -423,6 +424,12 @@ class EventExtractor:
             )
             clusters.append(AtypicalCluster.micro(spatial, temporal, generator))
         clusters.sort(key=lambda c: (-c.severity(), c.start_window()))
+        if obs.enabled():
+            obs.counter("extract.records").inc(len(batch))
+            obs.counter("extract.micro_clusters").inc(num_clusters)
+            obs.histogram("extract.records_per_event").observe(
+                len(batch) / num_clusters
+            )
         return clusters
 
 

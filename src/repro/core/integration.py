@@ -45,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
 from repro.core.merge import merge_clusters
 from repro.core.similarity import ClusterSimilarity
@@ -110,12 +111,17 @@ class IntegrationResult:
     cluster, so callers can walk full provenance chains (the clustering
     tree) even for clusters that were merged again later. ``comparisons``
     counts unique full Eq. 2-4 evaluations (fast-rejected and cached pairs
-    excluded).
+    excluded). ``fast_rejects`` counts the comparisons the candidate
+    structure avoided: pairs masked out of the matrix warm-up plus, per
+    fixpoint iteration, the active clusters the index (or
+    ``can_be_similar``) never offered as candidates — skip *events*, not
+    unique pairs.
     """
 
     clusters: List[AtypicalCluster]
     merges: int = 0
     comparisons: int = 0
+    fast_rejects: int = 0
     created: Dict[int, AtypicalCluster] = field(default_factory=dict)
 
     def __iter__(self):
@@ -186,12 +192,55 @@ class ClusterIntegrator:
             return IntegrationResult(clusters=cluster_list)
         if cache is None:
             cache = SimilarityCache()
-        if self._method == "naive":
-            result = self._integrate_naive(cluster_list, ids, cache)
-        else:
-            result = self._integrate_indexed(cluster_list, ids, cache)
-        result.clusters.sort(key=lambda c: (-c.severity(), c.cluster_id))
+        hits_before = cache.hits
+        misses_before = cache.misses
+        with obs.span("integrate.fixpoint") as sp:
+            if self._method == "naive":
+                result = self._integrate_naive(cluster_list, ids, cache)
+            else:
+                result = self._integrate_indexed(cluster_list, ids, cache)
+            result.clusters.sort(key=lambda c: (-c.severity(), c.cluster_id))
+            if obs.enabled():
+                self._export_metrics(
+                    sp, result, len(cluster_list),
+                    cache.hits - hits_before, cache.misses - misses_before,
+                )
         return result
+
+    def _export_metrics(
+        self,
+        sp,
+        result: "IntegrationResult",
+        inputs: int,
+        cache_hits: int,
+        cache_misses: int,
+    ) -> None:
+        """Feed one run's counters into the registry and span attributes.
+
+        The per-run deltas of the :class:`SimilarityCache` attributes are
+        pushed here in one shot, so the hot loops never touch the registry
+        and the legacy ``hits``/``misses`` attributes stay the source of
+        truth (the test suite asserts both views agree).
+        """
+        obs.counter("integration.runs").inc()
+        obs.counter("integration.merges").inc(result.merges)
+        obs.counter("integration.comparisons").inc(result.comparisons)
+        obs.counter("integration.fast_rejects").inc(result.fast_rejects)
+        obs.counter("similarity.cache.hits").inc(cache_hits)
+        obs.counter("similarity.cache.misses").inc(cache_misses)
+        obs.histogram("integration.input_clusters").observe(inputs)
+        looked_up = cache_hits + cache_misses
+        sp.set(
+            method=self._method,
+            input_clusters=inputs,
+            output_clusters=len(result.clusters),
+            merges=result.merges,
+            comparisons=result.comparisons,
+            fast_rejects=result.fast_rejects,
+            cache_hit_ratio=(
+                round(cache_hits / looked_up, 4) if looked_up else 0.0
+            ),
+        )
 
     # ------------------------------------------------------------------
     def _score_batch(
@@ -279,6 +328,7 @@ class ClusterIntegrator:
         created: Dict[int, AtypicalCluster] = {}
         merges = 0
         comparisons = 0
+        fast_rejects = 0
         threshold = self._threshold
         # (-sim, low_id, high_id): pops the highest similarity first, ties
         # resolve to the lexicographically smallest id pair
@@ -308,6 +358,8 @@ class ClusterIntegrator:
         before = len(store)
         store.update(zip(zip(pair_a, pair_b), values.tolist()))
         comparisons += len(store) - before
+        n = len(ordered)
+        fast_rejects += n * (n - 1) // 2 - len(pair_a)
         for pos in np.nonzero(values > threshold)[0].tolist():
             heapq.heappush(heap, (-float(values[pos]), pair_a[pos], pair_b[pos]))
 
@@ -330,6 +382,7 @@ class ClusterIntegrator:
                     for oid in sorted(active)
                     if ClusterSimilarity.can_be_similar(merged, active[oid])
                 ]
+                fast_rejects += len(active) - len(candidate_ids)
                 sims, fresh = self._score_batch(
                     merged, candidate_ids, active, cache
                 )
@@ -342,6 +395,7 @@ class ClusterIntegrator:
             clusters=list(active.values()),
             merges=merges,
             comparisons=comparisons,
+            fast_rejects=fast_rejects,
             created=created,
         )
 
@@ -358,17 +412,19 @@ class ClusterIntegrator:
         active: Dict[int, AtypicalCluster],
         include_window: bool,
         cache: SimilarityCache,
-    ) -> int:
+    ) -> Tuple[int, int]:
         """Pre-score every candidate pair with one CSR matrix product.
 
         Filling the cache up front turns the per-pop ``_score_batch`` calls
         of the indexed fixpoint into pure hits for all original-input pairs;
         only pairs touching a freshly merged cluster are scored later.
-        Returns the number of fresh evaluations (pairs not already cached).
+        Returns ``(fresh, rejected)``: the number of fresh evaluations
+        (pairs not already cached) and the number of pairs the candidate
+        mask proved trivially dissimilar.
         """
         n = len(active)
         if n < 2 or n > self._WARM_CAP:
-            return 0
+            return 0, 0
         ordered = sorted(active)
         sim, candidates = self._sim.matrix_and_candidates(
             [active[cid] for cid in ordered], include_window
@@ -387,7 +443,7 @@ class ClusterIntegrator:
                 sim[rows, cols].tolist(),
             )
         )
-        return len(store) - before
+        return len(store) - before, n * (n - 1) // 2 - len(rows)
 
     # ------------------------------------------------------------------
     def _integrate_indexed(
@@ -444,8 +500,10 @@ class ClusterIntegrator:
 
         created: Dict[int, AtypicalCluster] = {}
         merges = 0
-        comparisons = 0
-        comparisons += self._warm_cache(active, use_window_candidates, cache)
+        fast_rejects = 0
+        comparisons, fast_rejects = self._warm_cache(
+            active, use_window_candidates, cache
+        )
         # Process lowest ids first for determinism.
         queue: List[int] = sorted(active)
         queued: Set[int] = set(queue)
@@ -458,6 +516,9 @@ class ClusterIntegrator:
             if cluster is None:
                 continue
             candidates = collect_candidates(cluster)
+            # index pruning: active clusters never offered as candidates
+            # are comparisons the inverted indexes saved this iteration
+            fast_rejects += len(active) - 1 - len(candidates)
             if not candidates:
                 continue
 
@@ -506,6 +567,7 @@ class ClusterIntegrator:
             clusters=list(active.values()),
             merges=merges,
             comparisons=comparisons,
+            fast_rejects=fast_rejects,
             created=created,
         )
 

@@ -35,6 +35,7 @@ except ImportError:  # pragma: no cover - scipy is a declared dependency
     _sparse = None
 
 from repro.core.features import SeverityFeature
+from repro.obs import runtime as _obs
 
 __all__ = [
     "batch_overlap",
@@ -71,6 +72,9 @@ def batch_overlap(
     and ``theirs[i] = others[i].overlap(feature)``.
     """
     n = len(others)
+    if _obs.enabled():
+        _obs.counter("kernels.batch_calls").inc()
+        _obs.histogram("kernels.batch_size").observe(n)
     own = np.zeros(n, dtype=np.float64)
     theirs = np.zeros(n, dtype=np.float64)
     keys = feature.key_array
@@ -119,6 +123,9 @@ def batch_overlap_pair(
     n = len(others_first)
     if len(others_second) != n:
         raise ValueError("candidate sequences must have equal length")
+    if _obs.enabled():
+        _obs.counter("kernels.batch_calls").inc()
+        _obs.histogram("kernels.batch_size").observe(n)
     zeros = np.zeros(n, dtype=np.float64)
     if n == 0:
         return zeros, zeros.copy(), zeros.copy(), zeros.copy()
@@ -190,6 +197,11 @@ def pairwise_overlap_matrix(features: Sequence[SeverityFeature]) -> np.ndarray:
     n = len(features)
     if n == 0:
         return np.zeros((0, 0), dtype=np.float64)
+    if _obs.enabled():
+        _obs.counter("kernels.matrix_calls").inc()
+        _obs.histogram("kernels.matrix_size").observe(n)
+        if _sparse is None:
+            _obs.counter("kernels.scipy_fallbacks").inc()
     if _sparse is not None:
         indptr, cols, data, _totals, num_cols = pack_csr(features)
         shape = (n, max(num_cols, 1))

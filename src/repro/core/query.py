@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, Tuple
 
+from repro import obs
 from repro.core.cluster import AtypicalCluster
 from repro.core.forest import AtypicalForest
 from repro.core.integration import ClusterIntegrator
@@ -195,33 +196,53 @@ class QueryProcessor:
         stats = QueryStats()
         started = time.perf_counter()
 
-        if use_materialized:
-            micro = self._materialized_inputs(query)
-        else:
-            micro = self._forest.micro_clusters(query.days, query.region)
-        if strategy == "all":
-            qualified = micro
-        elif strategy == "pru":
-            qualified = self._prune_beforehand(micro, threshold, stats)
-        else:
-            qualified = self._red_zone_filter(query, micro, threshold, stats)
-        stats.input_clusters = len(qualified)
+        with obs.span("query.run") as sp:
+            with obs.span("query.select"):
+                if use_materialized:
+                    micro = self._materialized_inputs(query)
+                else:
+                    micro = self._forest.micro_clusters(query.days, query.region)
+                if strategy == "all":
+                    qualified = micro
+                elif strategy == "pru":
+                    qualified = self._prune_beforehand(micro, threshold, stats)
+                else:
+                    qualified = self._red_zone_filter(
+                        query, micro, threshold, stats
+                    )
+            stats.input_clusters = len(qualified)
 
-        registry: Dict[int, AtypicalCluster] = {c.cluster_id: c for c in qualified}
-        outcome = self._integrator.integrate(qualified, self._forest.ids)
-        stats.comparisons = outcome.comparisons
-        stats.merges = outcome.merges
-        returned = outcome.clusters
-        # include every intermediate merge product so that leaf_ids() can
-        # walk complete provenance chains
-        registry.update(outcome.created)
+            registry: Dict[int, AtypicalCluster] = {
+                c.cluster_id: c for c in qualified
+            }
+            with obs.span("query.integrate"):
+                outcome = self._integrator.integrate(qualified, self._forest.ids)
+            stats.comparisons = outcome.comparisons
+            stats.merges = outcome.merges
+            returned = outcome.clusters
+            # include every intermediate merge product so that leaf_ids() can
+            # walk complete provenance chains
+            registry.update(outcome.created)
 
-        if final_check:
-            kept = [c for c in returned if threshold.is_significant(c)]
-            stats.final_check_removed = len(returned) - len(kept)
-            returned = kept
+            if final_check:
+                kept = [c for c in returned if threshold.is_significant(c)]
+                stats.final_check_removed = len(returned) - len(kept)
+                returned = kept
 
-        stats.elapsed_seconds = time.perf_counter() - started
+            stats.elapsed_seconds = time.perf_counter() - started
+            if obs.enabled():
+                obs.counter("query.runs").inc()
+                obs.counter("query.input_clusters").inc(stats.input_clusters)
+                obs.counter("query.pruned_clusters").inc(stats.pruned_clusters)
+                obs.counter("query.returned_clusters").inc(len(returned))
+                sp.set(
+                    strategy=strategy,
+                    days=len(query.days),
+                    input_clusters=stats.input_clusters,
+                    pruned_clusters=stats.pruned_clusters,
+                    red_zones=stats.red_zones,
+                    returned=len(returned),
+                )
         return QueryResult(
             query=query,
             strategy=strategy,
@@ -252,16 +273,27 @@ class QueryProcessor:
         stats: QueryStats,
     ) -> List[AtypicalCluster]:
         """Algorithm 4 lines 1-3: red zones then pruning."""
-        candidates = self._districts.districts_in(query.region)
-        stats.candidate_districts = len(candidates)
-        zones = compute_red_zones(
-            candidates,
-            lambda district: self._provider.district_severity(district, query.days),
-            threshold,
-        )
-        stats.red_zones = zones.num_zones
-        kept, pruned = filter_by_red_zones(micro, zones)
-        stats.pruned_clusters = pruned
+        with obs.span("query.redzone") as sp:
+            candidates = self._districts.districts_in(query.region)
+            stats.candidate_districts = len(candidates)
+            zones = compute_red_zones(
+                candidates,
+                lambda district: self._provider.district_severity(
+                    district, query.days
+                ),
+                threshold,
+            )
+            stats.red_zones = zones.num_zones
+            kept, pruned = filter_by_red_zones(micro, zones)
+            stats.pruned_clusters = pruned
+            if obs.enabled():
+                obs.counter("redzone.zones").inc(zones.num_zones)
+                obs.counter("redzone.pruned_clusters").inc(pruned)
+                sp.set(
+                    candidate_districts=len(candidates),
+                    red_zones=zones.num_zones,
+                    pruned=pruned,
+                )
         return kept
 
     def _materialized_inputs(self, query: AnalyticalQuery) -> List[AtypicalCluster]:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from repro import obs
 from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
 from repro.core.features import SpatialFeature, TemporalFeature
 from repro.core.records import RecordBatch
@@ -139,6 +140,9 @@ class OnlineEventTracker:
             batch.sensor_ids.tolist(), batch.severities.tolist()
         ):
             self._ingest(int(sensor), window, float(severity), tf_key)
+        if obs.enabled():
+            obs.counter("streaming.records").inc(len(batch))
+            obs.gauge("streaming.events.open").set(len(self._open))
         return closed
 
     def flush(self) -> List[AtypicalCluster]:
@@ -148,6 +152,9 @@ class OnlineEventTracker:
         self._open.clear()
         self._frontier_owner.clear()
         self._closed_clusters.extend(clusters)
+        if obs.enabled():
+            obs.counter("streaming.events.closed").inc(len(clusters))
+            obs.gauge("streaming.events.open").set(0)
         return clusters
 
     @property
@@ -173,9 +180,12 @@ class OnlineEventTracker:
             event = OpenEvent(event_id=self._next_event_id)
             self._next_event_id += 1
             self._open[event.event_id] = event
+            obs.counter("streaming.events.opened").inc()
         else:
             survivors = sorted(touched)
             event = self._open[survivors[0]]
+            if len(survivors) > 1:
+                obs.counter("streaming.events.merged").inc(len(survivors) - 1)
             for other_id in survivors[1:]:
                 other = self._open.pop(other_id)
                 event.merge_from(other)
@@ -199,6 +209,8 @@ class OnlineEventTracker:
                 event.prune_frontier(horizon)
         closed.sort(key=lambda c: (-c.severity(), c.cluster_id))
         self._closed_clusters.extend(closed)
+        if closed:
+            obs.counter("streaming.events.closed").inc(len(closed))
         return closed
 
     def _to_cluster(self, event: OpenEvent) -> AtypicalCluster:

@@ -1,0 +1,89 @@
+"""Pipeline telemetry: metrics registry, phase spans, structured logging.
+
+The observability layer gives every pipeline stage — Algorithm 1
+extraction, online tracking, Algorithm 3 integration, the similarity
+kernels, red-zone guided queries, the benchmark harness — a shared,
+exportable set of runtime signals:
+
+* :mod:`repro.obs.metrics` — counters, gauges, histograms and the
+  :class:`MetricsRegistry` that owns them;
+* :mod:`repro.obs.spans` — nested wall-time phase spans
+  (``with obs.span("integrate.fixpoint"): ...``);
+* :mod:`repro.obs.exporters` — JSON snapshots (``--metrics-out``,
+  ``repro stats``) and Prometheus text exposition output;
+* :mod:`repro.obs.logs` — stdlib logging with a key=value formatter.
+
+Collection is **disabled by default** and costs one flag check per
+instrumentation site while off; see :mod:`repro.obs.runtime`. The span
+taxonomy and metric names are documented in DESIGN.md ("Observability").
+"""
+
+from repro.obs.exporters import (
+    load_snapshot,
+    render_snapshot,
+    to_json,
+    to_prometheus_text,
+    write_snapshot,
+)
+from repro.obs.logs import (
+    LOG_LEVELS,
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanRecord,
+)
+from repro.obs.runtime import (
+    activate,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    histogram,
+    registry,
+    set_registry,
+)
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, span
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "DEFAULT_BUCKETS",
+    # runtime
+    "enabled",
+    "enable",
+    "disable",
+    "registry",
+    "set_registry",
+    "activate",
+    "counter",
+    "gauge",
+    "histogram",
+    # spans
+    "span",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    # exporters
+    "to_json",
+    "write_snapshot",
+    "load_snapshot",
+    "to_prometheus_text",
+    "render_snapshot",
+    # logging
+    "KeyValueFormatter",
+    "configure_logging",
+    "get_logger",
+    "LOG_LEVELS",
+]

@@ -1,0 +1,283 @@
+"""Metric primitives and the registry that owns them.
+
+The registry is the single sink of the pipeline's runtime signals:
+monotonic **counters** (comparisons, merges, cache hits), point-in-time
+**gauges** (open streaming events), bucketed **histograms** (kernel batch
+sizes) and completed **span** records (per-phase wall time, see
+:mod:`repro.obs.spans`). Everything is plain Python data — a snapshot is
+one nested dict that serializes losslessly to JSON (see
+:mod:`repro.obs.exporters`).
+
+Metric names are dotted (``integration.comparisons``); the Prometheus
+exporter sanitizes them to the exposition format. One name maps to exactly
+one metric kind — re-registering a name as a different kind raises.
+
+Instrumented code never talks to a registry directly; it goes through
+:mod:`repro.obs.runtime`, which resolves to null objects when observability
+is disabled so the hot paths pay only a single flag check.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SpanRecord",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets — geometric-ish upper bounds suited to the
+#: size-like quantities the pipeline observes (batch sizes, candidate set
+#: sizes). An implicit +Inf bucket always follows the last bound.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value (events since process start)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus ``le`` semantics).
+
+    ``counts[i]`` is the number of observations with
+    ``value <= buckets[i]`` minus those in earlier buckets (per-bucket,
+    *not* cumulative, in memory); the final slot counts the overflow into
+    the implicit +Inf bucket. :meth:`cumulative_counts` produces the
+    cumulative form the exposition format wants.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
+        bounds = tuple(float(b) for b in (buckets if buckets else DEFAULT_BUCKETS))
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name!r} buckets must be strictly ascending")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative per-bucket counts; the last entry equals ``count``."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span: a named, timed, possibly nested phase."""
+
+    span_id: int
+    parent_id: int  # -1 for a root span
+    name: str
+    depth: int
+    start: float  # seconds since the registry epoch
+    seconds: float  # wall-time duration
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Get-or-create store of counters, gauges, histograms and spans.
+
+    Metric creation takes a lock; increments rely on the GIL (the pipeline
+    is single-threaded per registry — the lock only protects the rare
+    first-touch races when spans run in helper threads).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._next_span_id = 0
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> float:
+        """``time.perf_counter()`` at registry creation; span starts are
+        relative to it."""
+        return self._epoch
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        return list(self._spans)
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other, store in owners.items():
+            if other != kind and name in store:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {other}"
+                )
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.get(name)
+                if metric is None:
+                    self._check_kind(name, "counter")
+                    metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.get(name)
+                if metric is None:
+                    self._check_kind(name, "gauge")
+                    metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """Get-or-create; ``buckets`` only applies on first creation."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.get(name)
+                if metric is None:
+                    self._check_kind(name, "histogram")
+                    metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    # ------------------------------------------------------------------
+    # Spans (recorded at exit by repro.obs.spans)
+    # ------------------------------------------------------------------
+    def next_span_id(self) -> int:
+        with self._lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+        return span_id
+
+    def record_span(self, record: SpanRecord) -> None:
+        self._spans.append(record)
+
+    def span_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregate: count, total/min/max seconds."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for record in self._spans:
+            agg = summary.get(record.name)
+            if agg is None:
+                summary[record.name] = {
+                    "count": 1,
+                    "total_seconds": record.seconds,
+                    "min_seconds": record.seconds,
+                    "max_seconds": record.seconds,
+                }
+            else:
+                agg["count"] += 1
+                agg["total_seconds"] += record.seconds
+                agg["min_seconds"] = min(agg["min_seconds"], record.seconds)
+                agg["max_seconds"] = max(agg["max_seconds"], record.seconds)
+        return summary
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when no metric or span was ever recorded."""
+        return not (
+            self._counters or self._gauges or self._histograms or self._spans
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+            self._next_span_id = 0
+            self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable view of everything recorded so far."""
+        return {
+            "version": 1,
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+            "spans": [
+                {
+                    "id": s.span_id,
+                    "parent": s.parent_id,
+                    "name": s.name,
+                    "depth": s.depth,
+                    "start": s.start,
+                    "seconds": s.seconds,
+                    "attrs": dict(s.attrs),
+                }
+                for s in self._spans
+            ],
+            "span_summary": self.span_summary(),
+        }

@@ -1,0 +1,106 @@
+"""Phase spans: named, nested wall-time measurements.
+
+Usage::
+
+    with obs.span("integrate.fixpoint") as sp:
+        result = run_fixpoint(...)
+        sp.set(merges=result.merges, comparisons=result.comparisons)
+
+Spans nest: a span opened while another is active records the parent's id
+and a depth one deeper, so exporters can reconstruct the phase tree
+(``query.run`` > ``query.integrate`` > ``integrate.fixpoint``). Records are
+appended to the active registry at *exit* time, i.e. in completion order;
+``start`` offsets (relative to the registry epoch) restore chronology.
+
+When observability is disabled :func:`span` returns a shared no-op span —
+entering, exiting and ``set()`` all do nothing, which is what keeps
+always-on instrumentation essentially free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.obs import runtime
+from repro.obs.metrics import MetricsRegistry, SpanRecord
+
+__all__ = ["Span", "NullSpan", "span", "NULL_SPAN"]
+
+
+class NullSpan:
+    """Reentrant no-op stand-in used while observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One live phase measurement; becomes a ``SpanRecord`` at exit."""
+
+    __slots__ = ("name", "_registry", "_attrs", "_start", "_id", "_parent", "_depth")
+
+    def __init__(
+        self,
+        name: str,
+        registry: Optional[MetricsRegistry] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ):
+        self.name = name
+        self._registry = registry if registry is not None else runtime.registry()
+        self._attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self._start = 0.0
+        self._id = -1
+        self._parent = -1
+        self._depth = 0
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes (cluster counts, hit ratios, paths taken)."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = runtime.span_stack()
+        self._id = self._registry.next_span_id()
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else -1
+        stack.append(self._id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        seconds = time.perf_counter() - self._start
+        stack = runtime.span_stack()
+        if stack and stack[-1] == self._id:
+            stack.pop()
+        if exc_type is not None:
+            self._attrs.setdefault("error", exc_type.__name__)
+        self._registry.record_span(
+            SpanRecord(
+                span_id=self._id,
+                parent_id=self._parent,
+                name=self.name,
+                depth=self._depth,
+                start=self._start - self._registry.epoch,
+                seconds=seconds,
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+def span(name: str, **attrs: object):
+    """A context-managed phase span, or a no-op when disabled."""
+    if not runtime.enabled():
+        return NULL_SPAN
+    return Span(name, runtime.registry(), attrs)

@@ -17,14 +17,16 @@ PRs can track the perf trajectory.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
 from repro.core.features import SpatialFeature, TemporalFeature
 from repro.core.integration import ClusterIntegrator
@@ -269,6 +271,20 @@ def _time(fn: Callable[[], object], repeats: int) -> Tuple[float, float, object]
     return min(samples), math.fsum(samples) / len(samples), result
 
 
+@contextlib.contextmanager
+def _phase(name: str, seconds: Dict[str, float]) -> Iterator[None]:
+    """Record one benchmark phase's wall time in ``seconds`` and, when the
+    observability layer is active, as a ``bench.<name>`` span.
+
+    The wall clock is read directly so the report carries phase timings
+    even with observability off — the timed kernels themselves are never
+    instrumented beyond their existing disabled-flag checks."""
+    started = time.perf_counter()
+    with obs.span("bench." + name):
+        yield
+    seconds[name] = time.perf_counter() - started
+
+
 def _signature(clusters: List[AtypicalCluster]) -> List[Tuple[bytes, bytes]]:
     """Order-independent identity of a macro-cluster set, byte-exact.
 
@@ -306,7 +322,9 @@ def run_integration_benchmark(
         raise ValueError("benchmark needs at least 2 clusters (one pair)")
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
-    clusters = synthetic_micro_clusters(num_clusters=num_clusters, seed=seed)
+    phase_seconds: Dict[str, float] = {}
+    with _phase("workload", phase_seconds):
+        clusters = synthetic_micro_clusters(num_clusters=num_clusters, seed=seed)
     g = BALANCE_FUNCTIONS[balance]
 
     # -- similarity kernel: every pair, dict loops vs one CSR product ----
@@ -320,42 +338,45 @@ def run_integration_benchmark(
                 out[i, j] = dict_similarity(dict_reprs[i], dict_reprs[j], g)
         return out
 
-    dict_best, dict_mean, dict_matrix = _time(dict_all_pairs, repeats)
-    vec_best, vec_mean, vec_matrix = _time(
-        lambda: pairwise_similarity(clusters, balance), repeats
-    )
+    with _phase("similarity_kernel", phase_seconds):
+        dict_best, dict_mean, dict_matrix = _time(dict_all_pairs, repeats)
+        vec_best, vec_mean, vec_matrix = _time(
+            lambda: pairwise_similarity(clusters, balance), repeats
+        )
     upper = np.triu_indices(len(clusters), k=1)
     kernel_error = float(
         np.max(np.abs(np.asarray(dict_matrix)[upper] - np.asarray(vec_matrix)[upper]))
     )
 
     # -- end-to-end Algorithm 3: scalar seed path vs vectorized engine ---
-    scalar_best, scalar_mean, scalar_out = _time(
-        lambda: scalar_indexed_integrate(clusters, threshold, balance), repeats
-    )
-    scalar_clusters, scalar_merges, scalar_comparisons = scalar_out
-
     def vectorized_integrate():
         integrator = ClusterIntegrator(threshold, balance, "indexed")
         return integrator.integrate(clusters)
 
-    vec_int_best, vec_int_mean, vec_result = _time(vectorized_integrate, repeats)
+    with _phase("integration", phase_seconds):
+        scalar_best, scalar_mean, scalar_out = _time(
+            lambda: scalar_indexed_integrate(clusters, threshold, balance), repeats
+        )
+        vec_int_best, vec_int_mean, vec_result = _time(
+            vectorized_integrate, repeats
+        )
+    scalar_clusters, scalar_merges, scalar_comparisons = scalar_out
 
     # -- naive fixpoint: seed's quadratic re-scan vs incremental heap ----
     # The re-scan baseline is O(merges * n^2) dict evaluations, so it runs
     # on a subset of the workload and a single repetition.
     subset = clusters[: min(naive_subset, num_clusters)]
 
-    rescan_best, rescan_mean, rescan_out = _time(
-        lambda: scalar_rescan_naive_integrate(subset, threshold, balance), 1
-    )
-    rescan_clusters, rescan_merges, rescan_comparisons = rescan_out
-
     def heap_naive_integrate():
         integrator = ClusterIntegrator(threshold, balance, "naive")
         return integrator.integrate(subset)
 
-    heap_best, heap_mean, heap_result = _time(heap_naive_integrate, repeats)
+    with _phase("naive_fixpoint", phase_seconds):
+        rescan_best, rescan_mean, rescan_out = _time(
+            lambda: scalar_rescan_naive_integrate(subset, threshold, balance), 1
+        )
+        heap_best, heap_mean, heap_result = _time(heap_naive_integrate, repeats)
+    rescan_clusters, rescan_merges, rescan_comparisons = rescan_out
 
     report = {
         "workload": {
@@ -403,6 +424,10 @@ def run_integration_benchmark(
                 _signature(heap_result.clusters) == _signature(rescan_clusters)
             ),
         },
+        "spans": {
+            "phase_seconds": phase_seconds,
+            "total_seconds": math.fsum(phase_seconds.values()),
+        },
     }
     if out_path is not None:
         out_path = Path(out_path)
@@ -444,4 +469,13 @@ def format_report(report: dict) -> str:
         f"heap comparisons={naive['heap_comparisons']} "
         f"identical={naive['identical_macro_clusters']}",
     ]
+    spans = report.get("spans")
+    if spans:
+        phases = " ".join(
+            f"{name}={seconds:.3f}s"
+            for name, seconds in spans["phase_seconds"].items()
+        )
+        lines.append(
+            f"phases: {phases} (total {spans['total_seconds']:.3f}s)"
+        )
     return "\n".join(lines)

@@ -20,12 +20,14 @@ materialize a full year.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.simulate.city import CityLayout, build_highways
 from repro.simulate.congestion import (
     HotspotSpec,
@@ -45,6 +47,8 @@ from repro.temporal.hierarchy import Calendar, PEMS_MONTH_LENGTHS
 from repro.temporal.windows import WindowSpec
 
 __all__ = ["SimulationConfig", "TrafficSimulator"]
+
+_log = logging.getLogger(__name__)
 
 _AM_PEAK_MINUTE = 7 * 60 + 35
 _PM_PEAK_MINUTE = 17 * 60 + 10
@@ -555,7 +559,15 @@ class TrafficSimulator:
         month_list = (
             list(months) if months is not None else list(range(self._calendar.num_months))
         )
-        files = [self.write_month(directory, month) for month in month_list]
+        with obs.span("simulate.materialize") as sp:
+            files = []
+            for month in month_list:
+                files.append(self.write_month(directory, month))
+                _log.info(
+                    "month written",
+                    extra={"month": month, "file": files[-1]},
+                )
+            sp.set(months=len(month_list))
         (directory / "simulation.json").write_text(
             json.dumps(self._config.to_dict(), indent=2)
         )

@@ -1,0 +1,16 @@
+"""Fixtures for the observability-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def registry():
+    """A fresh registry, active and collecting for the duration of the
+    test; global state is restored afterwards."""
+    reg = obs.MetricsRegistry()
+    with obs.activate(reg):
+        yield reg

@@ -1,0 +1,101 @@
+"""Exporter round trips: JSON, Prometheus exposition text, rendering."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro import obs
+
+# One exposition-format sample line: name, optional labels, value.
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? "
+    r"(NaN|[-+]?Inf|[-+]?[0-9.eE+-]+)$"
+)
+
+
+@pytest.fixture()
+def populated(registry):
+    obs.counter("integration.merges").inc(12)
+    obs.gauge("streaming.events.open").set(3)
+    h = obs.histogram("kernels.batch_size")
+    for value in (1, 7, 40, 9000, 50000):
+        h.observe(value)
+    with obs.span("query.run"):
+        with obs.span("query.integrate"):
+            pass
+    return registry
+
+
+class TestJson:
+    def test_write_and_load_round_trip(self, populated, tmp_path):
+        path = tmp_path / "metrics.json"
+        obs.write_snapshot(populated, path)
+        assert obs.load_snapshot(path) == json.loads(obs.to_json(populated.snapshot()))
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"not": "a snapshot"}')
+        with pytest.raises(ValueError, match="not a metrics snapshot"):
+            obs.load_snapshot(path)
+
+    def test_creates_parent_directories(self, populated, tmp_path):
+        path = tmp_path / "deep" / "nested" / "m.json"
+        obs.write_snapshot(populated, path)
+        assert path.exists()
+
+
+class TestPrometheus:
+    def test_every_sample_line_parses(self, populated):
+        text = obs.to_prometheus_text(populated.snapshot())
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) repro_[a-zA-Z0-9_:]+ ", line)
+            else:
+                assert _SAMPLE.match(line), f"unparseable sample: {line!r}"
+
+    def test_type_declarations(self, populated):
+        text = obs.to_prometheus_text(populated.snapshot())
+        assert "# TYPE repro_integration_merges_total counter" in text
+        assert "# TYPE repro_streaming_events_open gauge" in text
+        assert "# TYPE repro_kernels_batch_size histogram" in text
+        assert "# TYPE repro_span_duration_seconds summary" in text
+
+    def test_histogram_buckets_cumulative_and_inf(self, populated):
+        text = obs.to_prometheus_text(populated.snapshot())
+        counts = [
+            int(m.group(1))
+            for m in re.finditer(
+                r'repro_kernels_batch_size_bucket\{le="[^"]+"\} (\d+)', text
+            )
+        ]
+        assert counts == sorted(counts)  # cumulative => non-decreasing
+        inf = re.search(
+            r'repro_kernels_batch_size_bucket\{le="\+Inf"\} (\d+)', text
+        )
+        total = re.search(r"repro_kernels_batch_size_count (\d+)", text)
+        assert inf and total and inf.group(1) == total.group(1) == "5"
+
+    def test_span_summary_samples(self, populated):
+        text = obs.to_prometheus_text(populated.snapshot())
+        assert 'repro_span_duration_seconds_count{span="query.run"} 1' in text
+
+
+class TestRender:
+    def test_mentions_every_metric(self, populated):
+        out = obs.render_snapshot(populated.snapshot())
+        for name in (
+            "integration.merges",
+            "streaming.events.open",
+            "kernels.batch_size",
+            "query.run",
+            "query.integrate",
+        ):
+            assert name in out
+
+    def test_empty_snapshot(self):
+        out = obs.render_snapshot(obs.MetricsRegistry().snapshot())
+        assert out == "(empty snapshot)"

@@ -1,0 +1,91 @@
+"""Registry arithmetic: counters, gauges, histogram bucketing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self, registry):
+        c = obs.counter("test.hits")
+        c.inc()
+        c.inc(4)
+        assert registry.counter("test.hits").value == 5
+
+    def test_same_name_is_same_object(self, registry):
+        assert obs.counter("test.a") is obs.counter("test.a")
+
+    def test_negative_increment_raises(self, registry):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            obs.counter("test.a").inc(-1)
+
+    def test_kind_conflict_raises(self, registry):
+        obs.counter("test.shared")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("test.shared")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("test.shared")
+
+
+class TestGauge:
+    def test_moves_both_ways(self, registry):
+        g = obs.gauge("test.open")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert registry.gauge("test.open").value == 7.0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_le(self):
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 10.0, 10.5, 1000.0):
+            h.observe(value)
+        # le semantics: 1.0 lands in the first bucket, 10.0 in the second
+        assert h.counts == [2, 1, 1, 1]
+        assert h.cumulative_counts() == [2, 3, 4, 5]
+        assert h.count == 5
+        assert h.sum == pytest.approx(1022.0)
+
+    def test_cumulative_last_equals_count(self):
+        h = Histogram("h")
+        for value in range(0, 20000, 37):
+            h.observe(value)
+        assert h.cumulative_counts()[-1] == h.count
+        assert len(h.counts) == len(DEFAULT_BUCKETS) + 1
+
+    def test_unsorted_buckets_raise(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(5.0, 1.0))
+
+    def test_custom_buckets_only_on_first_creation(self, registry):
+        first = obs.histogram("test.sizes", buckets=(1.0, 2.0))
+        again = obs.histogram("test.sizes", buckets=(9.0,))
+        assert again is first
+        assert again.buckets == (1.0, 2.0)
+
+
+class TestRegistry:
+    def test_snapshot_round_trip_values(self, registry):
+        obs.counter("c").inc(3)
+        obs.gauge("g").set(-1.5)
+        obs.histogram("h").observe(7)
+        snap = registry.snapshot()
+        assert snap["version"] == 1
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": -1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["sum"] == 7.0
+
+    def test_is_empty_and_clear(self, registry):
+        assert registry.is_empty()
+        obs.counter("c").inc()
+        with obs.span("s"):
+            pass
+        assert not registry.is_empty()
+        registry.clear()
+        assert registry.is_empty()
+        assert registry.snapshot()["spans"] == []

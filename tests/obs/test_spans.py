@@ -1,0 +1,99 @@
+"""Span nesting, timing, attributes, and the disabled fast path."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import NULL_SPAN
+
+
+def _by_name(registry, name):
+    return next(s for s in registry.spans if s.name == name)
+
+
+class TestNesting:
+    def test_depth_and_parent(self, registry):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        outer = _by_name(registry, "outer")
+        inner = _by_name(registry, "inner")
+        assert outer.depth == 0 and outer.parent_id == -1
+        assert inner.depth == 1 and inner.parent_id == outer.span_id
+
+    def test_records_append_in_completion_order(self, registry):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert [s.name for s in registry.spans] == ["inner", "outer"]
+
+    def test_start_restores_chronology(self, registry):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        outer = _by_name(registry, "outer")
+        inner = _by_name(registry, "inner")
+        assert inner.start >= outer.start >= 0.0
+
+    def test_siblings_share_parent(self, registry):
+        with obs.span("outer"):
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        outer = _by_name(registry, "outer")
+        assert _by_name(registry, "a").parent_id == outer.span_id
+        assert _by_name(registry, "b").parent_id == outer.span_id
+        assert _by_name(registry, "b").depth == 1
+
+
+class TestTiming:
+    def test_child_within_parent_duration(self, registry):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                time.sleep(0.01)
+        outer = _by_name(registry, "outer")
+        inner = _by_name(registry, "inner")
+        assert inner.seconds >= 0.01
+        assert outer.seconds >= inner.seconds
+
+    def test_summary_aggregates(self, registry):
+        for _ in range(3):
+            with obs.span("phase"):
+                pass
+        agg = registry.span_summary()["phase"]
+        assert agg["count"] == 3
+        assert agg["total_seconds"] >= agg["max_seconds"] >= agg["min_seconds"]
+
+
+class TestAttributes:
+    def test_set_and_factory_attrs(self, registry):
+        with obs.span("s", method="indexed") as sp:
+            sp.set(merges=4)
+        record = _by_name(registry, "s")
+        assert record.attrs == {"method": "indexed", "merges": 4}
+
+    def test_exception_sets_error_attr_and_propagates(self, registry):
+        with pytest.raises(RuntimeError):
+            with obs.span("s"):
+                raise RuntimeError("boom")
+        record = _by_name(registry, "s")
+        assert record.attrs["error"] == "RuntimeError"
+
+
+class TestDisabled:
+    def test_returns_shared_null_span(self):
+        assert obs.span("anything") is NULL_SPAN
+
+    def test_nothing_recorded(self):
+        reg = obs.MetricsRegistry()
+        with obs.activate(reg, collecting=False):
+            with obs.span("s") as sp:
+                sp.set(ignored=True)
+            obs.counter("c").inc()
+            obs.gauge("g").set(1)
+            obs.histogram("h").observe(1)
+        assert reg.is_empty()

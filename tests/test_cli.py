@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 from repro.simulate import SimulationConfig
 
@@ -46,6 +47,24 @@ class TestParser:
         assert args.days == 7
         assert not args.final_check
 
+    def test_common_flags_on_every_subcommand(self):
+        parser = build_parser()
+        cases = {
+            "generate": ["generate", "--out", "x"],
+            "build": ["build", "--data", "d", "--model", "m"],
+            "query": ["query", "--data", "d", "--model", "m"],
+            "info": ["info", "--data", "d"],
+            "bench": ["bench"],
+            "stats": ["stats", "m.json"],
+        }
+        for command, argv in cases.items():
+            args = parser.parse_args(
+                argv + ["--log-level", "debug", "--metrics-out", "m.json"]
+            )
+            assert args.command == command
+            assert args.log_level == "debug"
+            assert str(args.metrics_out) == "m.json"
+
 
 class TestGenerate(object):
     def test_trace_files_exist(self, trace_dir):
@@ -56,7 +75,9 @@ class TestGenerate(object):
     def test_months_validation(self, tmp_path, capsys):
         code = main(["generate", "--out", str(tmp_path), "--months", "99"])
         assert code == 2
-        assert "error" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert captured.out == ""
 
     def test_config_is_small_profile(self, trace_dir):
         stored = json.loads((trace_dir / "simulation.json").read_text())
@@ -106,3 +127,95 @@ class TestBuildAndQuery:
         out = capsys.readouterr().out
         assert "sensors:" in out
         assert "D1" in out
+
+
+class TestMetricsOut:
+    def test_build_writes_extraction_snapshot(
+        self, trace_dir, tmp_path, capsys
+    ):
+        metrics = tmp_path / "build_metrics.json"
+        code = main(
+            [
+                "build",
+                "--data", str(trace_dir),
+                "--model", str(tmp_path / "model"),
+                "--days", "3",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        snapshot = obs.load_snapshot(metrics)
+        names = {s["name"] for s in snapshot["spans"]}
+        assert {"build.catalog", "extract.day"} <= names
+        assert snapshot["counters"]["extract.records"] > 0
+        assert snapshot["counters"]["extract.micro_clusters"] > 0
+
+    def test_query_snapshot_and_stats_round_trip(
+        self, trace_dir, model_dir, tmp_path, capsys
+    ):
+        metrics = tmp_path / "query_metrics.json"
+        code = main(
+            [
+                "query",
+                "--data", str(trace_dir),
+                "--model", str(model_dir),
+                "--days", "7",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        snapshot = obs.load_snapshot(metrics)
+        names = {s["name"] for s in snapshot["spans"]}
+        assert {"query.run", "query.integrate", "integrate.fixpoint"} <= names
+        counters = snapshot["counters"]
+        assert "similarity.cache.hits" in counters
+        assert "similarity.cache.misses" in counters
+        assert counters["integration.comparisons"] > 0
+        capsys.readouterr()
+
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "integrate.fixpoint" in out
+        assert "similarity.cache.hits" in out
+
+        assert main(["stats", str(metrics), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_integration_comparisons_total counter" in out
+
+    def test_bench_snapshot(self, tmp_path, capsys):
+        metrics = tmp_path / "bench_metrics.json"
+        code = main(
+            [
+                "bench",
+                "--clusters", "40",
+                "--repeats", "1",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        snapshot = obs.load_snapshot(metrics)
+        names = {s["name"] for s in snapshot["spans"]}
+        assert {
+            "bench.workload",
+            "bench.similarity_kernel",
+            "bench.integration",
+            "bench.naive_fixpoint",
+        } <= names
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_rejects_non_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text('{"workload": {}}')
+        code = main(["stats", str(path)])
+        assert code == 2
+        assert "not a metrics snapshot" in capsys.readouterr().err
+
+    def test_observability_disabled_without_flag(self, trace_dir, capsys):
+        # no --metrics-out: the global registry must stay untouched
+        before = obs.registry().snapshot()
+        assert main(["info", "--data", str(trace_dir)]) == 0
+        assert obs.registry().snapshot() == before
