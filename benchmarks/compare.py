@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Bench regression gate: diff a fresh report against the committed baseline.
+
+Compares the per-phase wall times recorded under ``spans.phase_seconds``
+in a freshly produced ``BENCH_integration.json`` (see
+``benchmarks/run_bench.sh``) against ``benchmarks/results/BENCH_baseline.json``
+using tolerance bands, verifies the correctness flags
+(``identical_macro_clusters``) still hold, and — when the gate passes —
+appends one git-SHA-stamped row to the ``BENCH_history.jsonl`` trajectory.
+
+Exit codes: 0 gate passed, 1 regression / correctness failure, 2 bad input.
+
+Usage::
+
+    python benchmarks/compare.py [REPORT] [--baseline PATH] \
+        [--tolerance FRAC] [--phase-tolerance PHASE=FRAC ...] \
+        [--min-seconds S] [--history PATH | --no-history]
+
+Tolerance policy (also documented in DESIGN.md "Observability"):
+
+* a phase **fails** when ``current > baseline * (1 + tolerance)``;
+* the default band is 0.25 (25 %), overridable globally with
+  ``--tolerance`` / ``REPRO_BENCH_TOLERANCE`` or per phase with
+  ``--phase-tolerance integration=0.4``;
+* phases faster than ``--min-seconds`` (default 5 ms) in the baseline
+  are reported but never fail the gate — at that scale scheduler noise
+  dominates the signal;
+* phases present only in the report (or only in the baseline) are
+  labelled ``new`` / ``gone`` and do not fail the gate, so adding a
+  benchmark phase does not require regenerating history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+DEFAULT_REPORT = RESULTS_DIR / "BENCH_integration.json"
+DEFAULT_BASELINE = RESULTS_DIR / "BENCH_baseline.json"
+DEFAULT_HISTORY = RESULTS_DIR / "BENCH_history.jsonl"
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_MIN_SECONDS = 0.005
+
+# report sections whose identical_macro_clusters flag must stay true
+CORRECTNESS_SECTIONS = ("integration", "naive_fixpoint")
+
+
+def _fail(message: str) -> SystemExit:
+    """Bad-input exit (code 2, message on stderr): ``raise _fail(...)``."""
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_report(path: Path) -> dict:
+    try:
+        report = json.loads(path.read_text())
+    except OSError as exc:
+        raise _fail(f"error: cannot read report {path}: {exc}")
+    except ValueError as exc:
+        raise _fail(f"error: {path} is not valid JSON: {exc}")
+    if not isinstance(report, dict):
+        raise _fail(f"error: {path} is not a benchmark report")
+    return report
+
+
+def phase_seconds(report: dict, path: Path) -> Dict[str, float]:
+    spans = report.get("spans")
+    if not isinstance(spans, dict) or "phase_seconds" not in spans:
+        raise _fail(f"error: {path} has no spans.phase_seconds section")
+    return {str(k): float(v) for k, v in spans["phase_seconds"].items()}
+
+
+def parse_phase_tolerances(specs: List[str]) -> Dict[str, float]:
+    overrides: Dict[str, float] = {}
+    for spec in specs:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise _fail(
+                f"error: bad --phase-tolerance {spec!r} (expected PHASE=FRAC)"
+            )
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            raise _fail(f"error: bad tolerance in {spec!r}")
+    return overrides
+
+
+def git_sha() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def utc_now_iso() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
+def compare_phases(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float,
+    overrides: Dict[str, float],
+    min_seconds: float,
+) -> List[dict]:
+    """One row per phase in either report; row["status"] drives the gate."""
+    rows = []
+    for name in sorted(set(current) | set(baseline)):
+        cur = current.get(name)
+        base = baseline.get(name)
+        row = {"phase": name, "baseline": base, "current": cur}
+        if base is None:
+            row.update(status="new", ratio=None)
+        elif cur is None:
+            row.update(status="gone", ratio=None)
+        else:
+            band = overrides.get(name, tolerance)
+            ratio = (cur - base) / base if base > 0 else 0.0
+            row["ratio"] = ratio
+            row["tolerance"] = band
+            if base < min_seconds:
+                row["status"] = "noise"
+            elif ratio > band:
+                row["status"] = "REGRESSION"
+            else:
+                row["status"] = "ok"
+        rows.append(row)
+    return rows
+
+
+def check_correctness(report: dict) -> List[str]:
+    failures = []
+    for section in CORRECTNESS_SECTIONS:
+        data = report.get(section)
+        if isinstance(data, dict) and data.get("identical_macro_clusters") is False:
+            failures.append(f"{section}.identical_macro_clusters is false")
+    return failures
+
+
+def render_rows(rows: List[dict]) -> str:
+    def fmt(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value * 1e3:10.2f}ms"
+
+    lines = [
+        f"  {'phase':<20} {'baseline':>12} {'current':>12} {'delta':>8}  status"
+    ]
+    for row in rows:
+        if row.get("ratio") is None:
+            delta = "-"
+        else:
+            delta = f"{row['ratio'] * 100:+.1f}%"
+        lines.append(
+            f"  {row['phase']:<20} {fmt(row['baseline']):>12}"
+            f" {fmt(row['current']):>12} {delta:>8}  {row['status']}"
+        )
+    return "\n".join(lines)
+
+
+def history_row(report: dict, rows: List[dict]) -> dict:
+    meta = report.get("meta") if isinstance(report.get("meta"), dict) else {}
+    speedups = {}
+    for section in ("similarity_kernel", "integration", "naive_fixpoint"):
+        data = report.get(section)
+        if isinstance(data, dict) and "speedup" in data:
+            speedups[section] = data["speedup"]
+    return {
+        "git_sha": meta.get("git_sha") or git_sha(),
+        "timestamp": meta.get("timestamp") or utc_now_iso(),
+        "phase_seconds": {
+            row["phase"]: row["current"]
+            for row in rows
+            if row["current"] is not None
+        },
+        "speedups": speedups,
+    }
+
+
+def append_history(path: Path, row: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report",
+        nargs="?",
+        type=Path,
+        default=DEFAULT_REPORT,
+        help="fresh BENCH_integration.json (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(
+            os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)
+        ),
+        help="allowed fractional slowdown per phase (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--phase-tolerance",
+        action="append",
+        default=[],
+        metavar="PHASE=FRAC",
+        help="per-phase tolerance override (repeatable)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="baseline phases faster than this never fail (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=DEFAULT_HISTORY,
+        help="JSONL trajectory appended on success (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the history append even when the gate passes",
+    )
+    args = parser.parse_args(argv)
+
+    overrides = parse_phase_tolerances(args.phase_tolerance)
+    report = load_report(args.report)
+    baseline = load_report(args.baseline)
+    rows = compare_phases(
+        phase_seconds(report, args.report),
+        phase_seconds(baseline, args.baseline),
+        args.tolerance,
+        overrides,
+        args.min_seconds,
+    )
+    correctness = check_correctness(report)
+
+    print(f"bench gate: {args.report} vs baseline {args.baseline}")
+    print(render_rows(rows))
+    for failure in correctness:
+        print(f"  correctness: {failure}")
+
+    regressions = [row for row in rows if row["status"] == "REGRESSION"]
+    if regressions or correctness:
+        names = ", ".join(row["phase"] for row in regressions) or "-"
+        print(
+            f"FAIL: {len(regressions)} phase regression(s) [{names}],"
+            f" {len(correctness)} correctness failure(s)"
+        )
+        return 1
+
+    print("PASS: all phases within tolerance")
+    if not args.no_history:
+        row = history_row(report, rows)
+        append_history(args.history, row)
+        print(f"history: appended {row['git_sha'][:12]} to {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,14 @@
 # Runs the vectorized-vs-dict-loop benchmark with a fixed seed and
 # min-of-3 timing, writes the machine-readable report to
 # benchmarks/results/BENCH_integration.json (per-phase timings included
-# under "spans") plus the observability snapshot BENCH_metrics.json,
-# then smoke-checks the tier-1 core suite so a perf run can't land on a
-# broken engine. Fails fast on any step.
+# under "spans", git SHA + UTC timestamp under "meta") plus the
+# observability snapshot BENCH_metrics.json and the Chrome-trace
+# artifact BENCH_trace.json (loadable in Perfetto), then smoke-checks
+# the tier-1 core suite so a perf run can't land on a broken engine.
+# Fails fast on any step.
+#
+# The regression gate is a separate step (CI runs it after this
+# script):  python benchmarks/compare.py
 #
 # Usage: benchmarks/run_bench.sh [extra `repro bench` args...]
 set -euo pipefail
@@ -17,7 +22,31 @@ export PYTHONPATH=src
 python -m repro bench \
     --out benchmarks/results/BENCH_integration.json \
     --metrics-out benchmarks/results/BENCH_metrics.json \
+    --trace-out benchmarks/results/BENCH_trace.json \
     --clusters 400 --seed 7 --repeats 3 "$@"
+
+# stamp provenance into the report so compare.py can build the
+# BENCH_history.jsonl trajectory without re-deriving it
+python - <<'PY'
+import datetime
+import json
+import pathlib
+import subprocess
+
+path = pathlib.Path("benchmarks/results/BENCH_integration.json")
+report = json.loads(path.read_text())
+proc = subprocess.run(
+    ["git", "rev-parse", "HEAD"], capture_output=True, text=True
+)
+report["meta"] = {
+    "git_sha": proc.stdout.strip() if proc.returncode == 0 else "unknown",
+    "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    ),
+}
+path.write_text(json.dumps(report, indent=2) + "\n")
+print(f"stamped meta: {report['meta']}")
+PY
 
 # the snapshot must round-trip through the stats renderer
 python -m repro stats benchmarks/results/BENCH_metrics.json > /dev/null

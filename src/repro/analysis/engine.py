@@ -279,8 +279,13 @@ class AnalysisEngine:
         final_check: bool = False,
         delta_s: Optional[float] = None,
         use_materialized: bool = False,
+        explain: bool = False,
     ) -> QueryResult:
-        """Answer ``Q(W, T)`` over ``num_days`` days starting at ``first_day``."""
+        """Answer ``Q(W, T)`` over ``num_days`` days starting at ``first_day``.
+
+        ``explain=True`` attaches the per-stage cost report (see
+        :class:`~repro.core.query.QueryExplain`) to the result.
+        """
         query = AnalyticalQuery.over_days(region, first_day, num_days)
         missing = [d for d in query.days if d not in self._built_days]
         if missing:
@@ -293,6 +298,7 @@ class AnalysisEngine:
             final_check=final_check,
             delta_s=delta_s,
             use_materialized=use_materialized,
+            explain=explain,
         )
 
     # ------------------------------------------------------------------

@@ -13,13 +13,20 @@ simulation config, so every later step rebuilds the same sensor network
 and district partition from it.
 
 Every subcommand accepts ``--log-level`` (structured key=value logging to
-stderr) and ``--metrics-out PATH`` (enable the observability layer for the
-run and write the registry snapshot as JSON on exit).
+stderr), ``--metrics-out PATH`` (enable the observability layer for the
+run and write the registry snapshot as JSON on exit), ``--trace-out PATH``
+(write the span tree as Chrome ``trace_event`` JSON, loadable in
+Perfetto), and ``--profile {cprofile,tracemalloc}`` (wrap the command in a
+profiler; hotspots go to stderr, the artifact beside the working
+directory or to ``--profile-out``). ``repro query --explain`` adds the
+per-stage cost report of the query engine.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -55,6 +62,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="collect pipeline metrics and write the JSON snapshot here",
     )
+    common.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="collect phase spans and write a Chrome trace_event JSON here "
+        "(load in Perfetto / chrome://tracing)",
+    )
+    common.add_argument(
+        "--profile",
+        dest="profiler",
+        choices=obs.PROFILERS,
+        default=None,
+        help="wrap the command in a profiler and print its hotspot summary "
+        "to stderr",
+    )
+    common.add_argument(
+        "--profile-out",
+        type=Path,
+        default=None,
+        help="profiler artifact path (default: repro_<command>.prof / "
+        ".heap.txt beside the working directory)",
+    )
 
     generate = commands.add_parser(
         "generate",
@@ -63,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument("--out", required=True, type=Path, help="target directory")
     generate.add_argument(
-        "--profile",
+        "--scale",
         choices=("small", "benchmark"),
         default="small",
         help="simulation scale (default: small)",
@@ -109,6 +138,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the other strategies and score them",
     )
     query.add_argument("--limit", type=int, default=10, help="clusters to print")
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-stage cost report (clusters scanned, red-zone "
+        "pruning, integration rounds, cache hit ratio, bytes read)",
+    )
+    query.add_argument(
+        "--explain-out",
+        type=Path,
+        default=None,
+        help="also write the explain report as JSON here (implies --explain)",
+    )
     _add_engine_arguments(query)
 
     info = commands.add_parser(
@@ -162,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit Prometheus text exposition format instead of a summary",
     )
+    # for `stats`, --trace-out converts the *loaded* snapshot to a Chrome
+    # trace instead of recording a new one
 
     return parser
 
@@ -194,13 +237,27 @@ def _simulator_for(data_dir: Path) -> TrafficSimulator:
     return TrafficSimulator.from_catalog_dir(data_dir)
 
 
+def _query_io_totals(catalog: Optional[DatasetCatalog], model_dir: Path) -> dict:
+    """Storage accounting for the explain report: catalog byte counters
+    (zero when the query answered entirely from the in-memory model) plus
+    the size of the model files the engine loaded."""
+    totals: dict = {"model_bytes": 0}
+    for name in ("forest.bin", "cube.bin", "engine.json"):
+        path = model_dir / name
+        if path.exists():
+            totals["model_bytes"] += path.stat().st_size
+    if catalog is not None:
+        totals.update(catalog.io_totals())
+    return totals
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
 def cmd_generate(args: argparse.Namespace) -> int:
     base = (
         SimulationConfig.small(seed=args.seed)
-        if args.profile == "small"
+        if args.scale == "small"
         else SimulationConfig.benchmark(seed=args.seed)
     )
     if args.months is not None:
@@ -239,8 +296,12 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    explain = args.explain or args.explain_out is not None
     simulator = _simulator_for(args.data)
     config = _engine_config(args)
+    catalog = DatasetCatalog(args.data) if explain else None
+    if catalog is not None:
+        catalog.reset_io()
     engine = AnalysisEngine.load(
         args.model, simulator.network, simulator.districts(), config
     )
@@ -251,6 +312,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         final_check=args.final_check,
         delta_s=args.delta_s,
+        explain=explain,
     )
     print(
         f"Q(city, days {args.first_day}..{args.first_day + args.days - 1}) "
@@ -258,6 +320,15 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"{len(result.returned)} clusters, "
         f"{result.stats.elapsed_seconds:.2f}s"
     )
+    if explain and result.explain is not None:
+        result.explain.io = _query_io_totals(catalog, args.model)
+        print()
+        print(result.explain.render())
+        if args.explain_out is not None:
+            args.explain_out.parent.mkdir(parents=True, exist_ok=True)
+            args.explain_out.write_text(
+                json.dumps(result.explain.to_dict(), indent=2) + "\n"
+            )
     report = build_report(
         result, engine.network, simulator.window_spec, limit=args.limit
     )
@@ -332,9 +403,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
     except FileNotFoundError:
         print(f"error: no such snapshot: {args.path}", file=sys.stderr)
         return 2
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except OSError as exc:
+        # unreadable path (directory, permissions, ...) — one line, no trace
+        print(f"error: cannot read snapshot {args.path}: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        # corrupt JSON (json.JSONDecodeError) or a non-snapshot document
+        print(f"error: {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_out is not None:
+        obs.write_chrome_trace(snapshot, args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
     if args.prometheus:
         print(obs.to_prometheus_text(snapshot), end="")
     else:
@@ -352,17 +431,51 @@ _COMMANDS = {
 }
 
 
+_PROFILE_SUFFIX = {"cprofile": ".prof", "tracemalloc": ".heap.txt"}
+
+
+def _invoke(command, args: argparse.Namespace) -> int:
+    """Run ``command``, optionally wrapped in the requested profiler."""
+    profiler: Optional[str] = getattr(args, "profiler", None)
+    if profiler is None:
+        return command(args)
+    out = getattr(args, "profile_out", None)
+    if out is None:
+        out = Path(f"repro_{args.command}{_PROFILE_SUFFIX[profiler]}")
+    with obs.profile_phase(profiler, out_path=out) as report:
+        code = command(args)
+    print(report.render(), file=sys.stderr)
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # stdout closed early (e.g. `repro stats m.json | head`): the
+        # truncation is the reader's choice, not an error — but Python
+        # would otherwise print a traceback while flushing at shutdown
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     obs.configure_logging(getattr(args, "log_level", "warning"))
     command = _COMMANDS[args.command]
     metrics_out: Optional[Path] = getattr(args, "metrics_out", None)
-    if metrics_out is None or args.command == "stats":
-        return command(args)
+    trace_out: Optional[Path] = getattr(args, "trace_out", None)
+    # `stats` reads snapshots instead of recording them — its --trace-out
+    # converts the loaded snapshot inside cmd_stats
+    if args.command == "stats" or (metrics_out is None and trace_out is None):
+        return _invoke(command, args)
     registry = obs.MetricsRegistry()
     with obs.activate(registry):
-        code = command(args)
-    obs.write_snapshot(registry, metrics_out)
+        code = _invoke(command, args)
+    if metrics_out is not None:
+        obs.write_snapshot(registry, metrics_out)
+    if trace_out is not None:
+        obs.write_chrome_trace(registry, trace_out)
     return code
 
 

@@ -384,6 +384,12 @@ class EventExtractor:
         """
         if not len(batch):
             return []
+        # Canonicalize the accumulation order: severities are summed in
+        # (window, sensor) order so the result is bit-identical no matter
+        # how the batch rows were arranged — and matches the streaming
+        # tracker, which by construction absorbs records window by window
+        # (float addition is not associative, so order must be pinned).
+        batch = batch.sorted_by_window()
         labels = self.label_components(batch)
         generator = ids if ids is not None else ClusterIdGenerator()
         _, cluster_idx = np.unique(labels, return_inverse=True)

@@ -116,6 +116,14 @@ class IntegrationResult:
     fixpoint iteration, the active clusters the index (or
     ``can_be_similar``) never offered as candidates — skip *events*, not
     unique pairs.
+
+    ``rounds`` counts fixpoint driver iterations: queue pops for the
+    indexed path, heap pops for the naive path — *including* stale
+    entries skipped by lazy deletion, so it measures the driver's actual
+    work, not just merges. ``cache_hits``/``cache_misses`` are this run's
+    deltas of the (possibly shared) :class:`SimilarityCache` counters —
+    the same numbers the observability layer exports, surfaced here so
+    the query explain report can mirror them exactly.
     """
 
     clusters: List[AtypicalCluster]
@@ -123,6 +131,9 @@ class IntegrationResult:
     comparisons: int = 0
     fast_rejects: int = 0
     created: Dict[int, AtypicalCluster] = field(default_factory=dict)
+    rounds: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def __iter__(self):
         return iter(self.clusters)
@@ -200,11 +211,10 @@ class ClusterIntegrator:
             else:
                 result = self._integrate_indexed(cluster_list, ids, cache)
             result.clusters.sort(key=lambda c: (-c.severity(), c.cluster_id))
+            result.cache_hits = cache.hits - hits_before
+            result.cache_misses = cache.misses - misses_before
             if obs.enabled():
-                self._export_metrics(
-                    sp, result, len(cluster_list),
-                    cache.hits - hits_before, cache.misses - misses_before,
-                )
+                self._export_metrics(sp, result, len(cluster_list))
         return result
 
     def _export_metrics(
@@ -212,24 +222,25 @@ class ClusterIntegrator:
         sp,
         result: "IntegrationResult",
         inputs: int,
-        cache_hits: int,
-        cache_misses: int,
     ) -> None:
         """Feed one run's counters into the registry and span attributes.
 
-        The per-run deltas of the :class:`SimilarityCache` attributes are
-        pushed here in one shot, so the hot loops never touch the registry
-        and the legacy ``hits``/``misses`` attributes stay the source of
-        truth (the test suite asserts both views agree).
+        The per-run deltas of the :class:`SimilarityCache` attributes
+        (mirrored onto ``result.cache_hits``/``cache_misses`` by
+        :meth:`integrate`) are pushed here in one shot, so the hot loops
+        never touch the registry and the legacy ``hits``/``misses``
+        attributes stay the source of truth (the test suite asserts both
+        views agree).
         """
         obs.counter("integration.runs").inc()
         obs.counter("integration.merges").inc(result.merges)
         obs.counter("integration.comparisons").inc(result.comparisons)
         obs.counter("integration.fast_rejects").inc(result.fast_rejects)
-        obs.counter("similarity.cache.hits").inc(cache_hits)
-        obs.counter("similarity.cache.misses").inc(cache_misses)
+        obs.counter("integration.rounds").inc(result.rounds)
+        obs.counter("similarity.cache.hits").inc(result.cache_hits)
+        obs.counter("similarity.cache.misses").inc(result.cache_misses)
         obs.histogram("integration.input_clusters").observe(inputs)
-        looked_up = cache_hits + cache_misses
+        looked_up = result.cache_hits + result.cache_misses
         sp.set(
             method=self._method,
             input_clusters=inputs,
@@ -237,8 +248,9 @@ class ClusterIntegrator:
             merges=result.merges,
             comparisons=result.comparisons,
             fast_rejects=result.fast_rejects,
+            rounds=result.rounds,
             cache_hit_ratio=(
-                round(cache_hits / looked_up, 4) if looked_up else 0.0
+                round(result.cache_hits / looked_up, 4) if looked_up else 0.0
             ),
         )
 
@@ -363,7 +375,9 @@ class ClusterIntegrator:
         for pos in np.nonzero(values > threshold)[0].tolist():
             heapq.heappush(heap, (-float(values[pos]), pair_a[pos], pair_b[pos]))
 
+        rounds = 0
         while heap:
+            rounds += 1
             neg_sim, a_id, b_id = heapq.heappop(heap)
             first = active.get(a_id)
             second = active.get(b_id)
@@ -397,6 +411,7 @@ class ClusterIntegrator:
             comparisons=comparisons,
             fast_rejects=fast_rejects,
             created=created,
+            rounds=rounds,
         )
 
     # Above this size the n x n similarity matrix of the warm-up pass costs
@@ -508,7 +523,9 @@ class ClusterIntegrator:
         queue: List[int] = sorted(active)
         queued: Set[int] = set(queue)
         head = 0
+        rounds = 0
         while head < len(queue):
+            rounds += 1
             cid = queue[head]
             head += 1
             queued.discard(cid)
@@ -569,6 +586,7 @@ class ClusterIntegrator:
             comparisons=comparisons,
             fast_rejects=fast_rejects,
             created=created,
+            rounds=rounds,
         )
 
 

@@ -34,6 +34,8 @@ __all__ = [
     "AnalyticalQuery",
     "QueryStats",
     "QueryResult",
+    "StageCost",
+    "QueryExplain",
     "RegionSeverityProvider",
     "QueryProcessor",
     "STRATEGIES",
@@ -85,7 +87,12 @@ class AnalyticalQuery:
 
 @dataclass
 class QueryStats:
-    """Cost accounting of one query execution (Fig. 17)."""
+    """Cost accounting of one query execution (Fig. 17).
+
+    ``comparisons``/``merges``/``fast_rejects``/``rounds`` and the cache
+    deltas mirror the :class:`~repro.core.integration.IntegrationResult`
+    fields of the query's integration run, field for field.
+    """
 
     elapsed_seconds: float = 0.0
     input_clusters: int = 0
@@ -95,6 +102,94 @@ class QueryStats:
     comparisons: int = 0
     merges: int = 0
     final_check_removed: int = 0
+    fast_rejects: int = 0
+    rounds: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """One stage of a query explain report: a name, wall time, metrics."""
+
+    name: str
+    seconds: float
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class QueryExplain:
+    """Structured per-stage cost report of one query execution.
+
+    Produced by ``QueryProcessor.run(..., explain=True)`` (and surfaced by
+    ``repro query --explain``). The ``integrate`` stage metrics are copied
+    verbatim from the run's :class:`IntegrationResult`, so every count here
+    is exact — no sampling, no re-derivation. ``io`` is optional storage
+    accounting attached by the caller (the CLI adds catalog byte counters
+    and model file sizes).
+    """
+
+    strategy: str
+    first_day: int
+    num_days: int
+    region_sensors: int
+    delta_s: float
+    min_severity: float
+    elapsed_seconds: float
+    returned: int
+    stages: List[StageCost] = field(default_factory=list)
+    io: Dict[str, object] = field(default_factory=dict)
+
+    def stage(self, name: str) -> Optional[StageCost]:
+        """The stage named ``name``, or None when the strategy skipped it."""
+        return next((s for s in self.stages if s.name == name), None)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (``repro query --explain-out``)."""
+        return {
+            "version": 1,
+            "strategy": self.strategy,
+            "first_day": self.first_day,
+            "num_days": self.num_days,
+            "region_sensors": self.region_sensors,
+            "delta_s": self.delta_s,
+            "min_severity": self.min_severity,
+            "elapsed_seconds": self.elapsed_seconds,
+            "returned": self.returned,
+            "stages": [
+                {"name": s.name, "seconds": s.seconds, **s.metrics}
+                for s in self.stages
+            ],
+            "io": dict(self.io),
+        }
+
+    def render(self) -> str:
+        """Terminal rendering in the ``repro stats`` style."""
+        from repro.obs.exporters import format_seconds
+
+        last_day = self.first_day + self.num_days - 1
+        lines = [
+            f"query explain: strategy={self.strategy} "
+            f"days={self.first_day}..{last_day} "
+            f"region={self.region_sensors} sensors "
+            f"delta_s={self.delta_s:g} (bar {self.min_severity:,.0f} min)"
+        ]
+        width = max(len(s.name) for s in self.stages) if self.stages else 4
+        for stage in self.stages:
+            detail = " ".join(f"{k}={v}" for k, v in stage.metrics.items())
+            lines.append(
+                f"  {stage.name:<{width}}  "
+                f"{format_seconds(stage.seconds):>10}  {detail}"
+            )
+        lines.append(
+            f"  {'total':<{width}}  "
+            f"{format_seconds(self.elapsed_seconds):>10}  "
+            f"returned={self.returned}"
+        )
+        if self.io:
+            detail = " ".join(f"{k}={v}" for k, v in self.io.items())
+            lines.append(f"  io: {detail}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -107,6 +202,7 @@ class QueryResult:
     threshold: SignificanceThreshold
     stats: QueryStats
     registry: Dict[int, AtypicalCluster] = field(default_factory=dict)
+    explain: Optional["QueryExplain"] = None
 
     def significant(self) -> List[AtypicalCluster]:
         """The returned clusters that meet Def. 5."""
@@ -170,12 +266,18 @@ class QueryProcessor:
         final_check: bool = False,
         delta_s: Optional[float] = None,
         use_materialized: bool = False,
+        explain: bool = False,
     ) -> QueryResult:
         """Process ``query`` with the chosen strategy.
 
         ``final_check`` enables Algorithm 4 lines 5-7 (drop returned
         clusters below the significance bar). The paper disables it in the
         precision experiments "for a fair play", so it defaults to off.
+
+        ``explain`` attaches a :class:`QueryExplain` per-stage cost report
+        to the result. The stage counts are the exact integration and
+        red-zone accounting of this run (never re-computed), so explain
+        adds only a handful of clock reads to the query cost.
 
         ``use_materialized`` consumes pre-computed week-level
         macro-clusters for the whole calendar weeks covered by the query
@@ -194,14 +296,19 @@ class QueryProcessor:
             )
         threshold = query.threshold(delta_s if delta_s is not None else self._delta_s)
         stats = QueryStats()
+        stage_seconds: Dict[str, float] = {}
         started = time.perf_counter()
 
         with obs.span("query.run") as sp:
             with obs.span("query.select"):
+                mark = time.perf_counter()
                 if use_materialized:
                     micro = self._materialized_inputs(query)
                 else:
                     micro = self._forest.micro_clusters(query.days, query.region)
+                stage_seconds["select"] = time.perf_counter() - mark
+                scanned = len(micro)
+                mark = time.perf_counter()
                 if strategy == "all":
                     qualified = micro
                 elif strategy == "pru":
@@ -210,24 +317,33 @@ class QueryProcessor:
                     qualified = self._red_zone_filter(
                         query, micro, threshold, stats
                     )
+                stage_seconds["filter"] = time.perf_counter() - mark
             stats.input_clusters = len(qualified)
 
             registry: Dict[int, AtypicalCluster] = {
                 c.cluster_id: c for c in qualified
             }
+            mark = time.perf_counter()
             with obs.span("query.integrate"):
                 outcome = self._integrator.integrate(qualified, self._forest.ids)
+            stage_seconds["integrate"] = time.perf_counter() - mark
             stats.comparisons = outcome.comparisons
             stats.merges = outcome.merges
+            stats.fast_rejects = outcome.fast_rejects
+            stats.rounds = outcome.rounds
+            stats.cache_hits = outcome.cache_hits
+            stats.cache_misses = outcome.cache_misses
             returned = outcome.clusters
             # include every intermediate merge product so that leaf_ids() can
             # walk complete provenance chains
             registry.update(outcome.created)
 
             if final_check:
+                mark = time.perf_counter()
                 kept = [c for c in returned if threshold.is_significant(c)]
                 stats.final_check_removed = len(returned) - len(kept)
                 returned = kept
+                stage_seconds["final_check"] = time.perf_counter() - mark
 
             stats.elapsed_seconds = time.perf_counter() - started
             if obs.enabled():
@@ -243,6 +359,12 @@ class QueryProcessor:
                     red_zones=stats.red_zones,
                     returned=len(returned),
                 )
+        report: Optional[QueryExplain] = None
+        if explain:
+            report = self._build_explain(
+                query, strategy, threshold, stats, stage_seconds,
+                scanned, use_materialized, outcome, len(returned),
+            )
         return QueryResult(
             query=query,
             strategy=strategy,
@@ -250,6 +372,89 @@ class QueryProcessor:
             threshold=threshold,
             stats=stats,
             registry=registry,
+            explain=report,
+        )
+
+    def _build_explain(
+        self,
+        query: AnalyticalQuery,
+        strategy: str,
+        threshold: SignificanceThreshold,
+        stats: QueryStats,
+        stage_seconds: Dict[str, float],
+        scanned: int,
+        use_materialized: bool,
+        outcome,
+        returned: int,
+    ) -> "QueryExplain":
+        """Assemble the per-stage report from this run's exact accounting."""
+        stages: List[StageCost] = [
+            StageCost(
+                "select",
+                stage_seconds["select"],
+                {"scanned": scanned, "materialized": use_materialized},
+            )
+        ]
+        if strategy == "pru":
+            stages.append(
+                StageCost(
+                    "prune",
+                    stage_seconds["filter"],
+                    {"pruned": stats.pruned_clusters},
+                )
+            )
+        elif strategy == "gui":
+            stages.append(
+                StageCost(
+                    "redzone",
+                    stage_seconds["filter"],
+                    {
+                        "candidate_districts": stats.candidate_districts,
+                        "red_zones": stats.red_zones,
+                        "pruned": stats.pruned_clusters,
+                    },
+                )
+            )
+        looked_up = outcome.cache_hits + outcome.cache_misses
+        stages.append(
+            StageCost(
+                "integrate",
+                stage_seconds["integrate"],
+                {
+                    "input_clusters": stats.input_clusters,
+                    "output_clusters": len(outcome.clusters),
+                    "comparisons": outcome.comparisons,
+                    "merges": outcome.merges,
+                    "fast_rejects": outcome.fast_rejects,
+                    "rounds": outcome.rounds,
+                    "cache_hits": outcome.cache_hits,
+                    "cache_misses": outcome.cache_misses,
+                    "cache_hit_ratio": (
+                        round(outcome.cache_hits / looked_up, 4)
+                        if looked_up
+                        else 0.0
+                    ),
+                },
+            )
+        )
+        if "final_check" in stage_seconds:
+            stages.append(
+                StageCost(
+                    "final_check",
+                    stage_seconds["final_check"],
+                    {"removed": stats.final_check_removed},
+                )
+            )
+        return QueryExplain(
+            strategy=strategy,
+            first_day=query.days[0],
+            num_days=len(query.days),
+            region_sensors=len(query.region),
+            delta_s=threshold.delta_s,
+            min_severity=threshold.min_severity,
+            elapsed_seconds=stats.elapsed_seconds,
+            returned=returned,
+            stages=stages,
         )
 
     # ------------------------------------------------------------------

@@ -11,6 +11,10 @@ exportable set of runtime signals:
   (``with obs.span("integrate.fixpoint"): ...``);
 * :mod:`repro.obs.exporters` — JSON snapshots (``--metrics-out``,
   ``repro stats``) and Prometheus text exposition output;
+* :mod:`repro.obs.tracing` — Chrome ``trace_event`` export of the span
+  tree (``--trace-out``, loadable in Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.profiling` — opt-in cProfile / tracemalloc phase
+  profiling (``--profile``);
 * :mod:`repro.obs.logs` — stdlib logging with a key=value formatter.
 
 Collection is **disabled by default** and costs one flag check per
@@ -19,6 +23,7 @@ taxonomy and metric names are documented in DESIGN.md ("Observability").
 """
 
 from repro.obs.exporters import (
+    format_seconds,
     load_snapshot,
     render_snapshot,
     to_json,
@@ -31,6 +36,8 @@ from repro.obs.logs import (
     configure_logging,
     get_logger,
 )
+from repro.obs.profiling import PROFILERS, ProfileReport, profile_phase
+from repro.obs.tracing import to_chrome_trace, write_chrome_trace
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -81,6 +88,14 @@ __all__ = [
     "load_snapshot",
     "to_prometheus_text",
     "render_snapshot",
+    "format_seconds",
+    # tracing
+    "to_chrome_trace",
+    "write_chrome_trace",
+    # profiling
+    "PROFILERS",
+    "ProfileReport",
+    "profile_phase",
     # logging
     "KeyValueFormatter",
     "configure_logging",

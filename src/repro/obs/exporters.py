@@ -24,6 +24,7 @@ __all__ = [
     "load_snapshot",
     "to_prometheus_text",
     "render_snapshot",
+    "format_seconds",
 ]
 
 _PROM_PREFIX = "repro_"
@@ -129,12 +130,16 @@ def to_prometheus_text(snapshot: Mapping[str, object]) -> str:
 # ----------------------------------------------------------------------
 # Terminal rendering (``repro stats``)
 # ----------------------------------------------------------------------
-def _fmt_seconds(seconds: float) -> str:
+def format_seconds(seconds: float) -> str:
+    """Adaptive s/ms/us rendering shared by the terminal exporters."""
     if seconds >= 1.0:
         return f"{seconds:.3f}s"
     if seconds >= 1e-3:
         return f"{seconds * 1e3:.2f}ms"
     return f"{seconds * 1e6:.0f}us"
+
+
+_fmt_seconds = format_seconds
 
 
 def _fmt_number(value: float) -> str:

@@ -1,0 +1,205 @@
+"""Opt-in phase profiling: cProfile hotspots and tracemalloc heap peaks.
+
+``profile_phase(kind)`` wraps one pipeline phase with a profiler and
+yields a :class:`ProfileReport` that is populated at exit:
+
+* ``"cprofile"`` — deterministic call profiling; the report carries the
+  top-N functions by cumulative time and (optionally) a binary ``.prof``
+  artifact loadable with :mod:`pstats` / snakeviz.
+* ``"tracemalloc"`` — allocation tracing; the report carries the top-N
+  allocation sites by net size delta, the traced-heap peak, and a plain
+  text artifact.
+
+Both flavours also record the process RSS delta across the phase. When
+the observability layer is collecting, the phase runs inside a
+``profile.<kind>`` span whose attributes summarize the same numbers, so
+profiled runs stay visible in ``--metrics-out`` snapshots and
+``--trace-out`` traces. Profiling works with observability disabled too —
+the report object is always populated.
+
+This is *opt-in* instrumentation (the CLI's ``--profile`` flag): the
+profilers themselves are far too heavy for the always-on layer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import cProfile
+import pstats
+import sys
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs import spans
+
+__all__ = ["PROFILERS", "ProfileReport", "profile_phase"]
+
+PROFILERS = ("cprofile", "tracemalloc")
+
+
+def _rss_bytes() -> int:
+    """Peak RSS of this process in bytes (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS
+    return usage if sys.platform == "darwin" else usage * 1024
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of one profiled phase."""
+
+    kind: str
+    top: List[Dict[str, object]] = field(default_factory=list)
+    artifact: Optional[Path] = None
+    peak_traced_bytes: int = 0
+    current_traced_bytes: int = 0
+    rss_delta_bytes: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "top": list(self.top),
+            "artifact": str(self.artifact) if self.artifact else None,
+            "peak_traced_bytes": self.peak_traced_bytes,
+            "current_traced_bytes": self.current_traced_bytes,
+            "rss_delta_bytes": self.rss_delta_bytes,
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI prints this to stderr)."""
+        lines = [f"profile ({self.kind})"]
+        if self.kind == "cprofile":
+            for row in self.top:
+                lines.append(
+                    f"  {row['cumulative_seconds']:8.4f}s cum  "
+                    f"{row['total_seconds']:8.4f}s self  "
+                    f"{row['calls']:>8}x  {row['function']}"
+                )
+        else:
+            lines.append(
+                f"  traced heap peak {self.peak_traced_bytes:,} B, "
+                f"current {self.current_traced_bytes:,} B"
+            )
+            for row in self.top:
+                lines.append(
+                    f"  {row['size_diff_bytes']:>+12,} B  "
+                    f"{row['count_diff']:>+8} blocks  {row['site']}"
+                )
+        if self.rss_delta_bytes:
+            lines.append(f"  peak-RSS delta {self.rss_delta_bytes:+,} B")
+        if self.artifact is not None:
+            lines.append(f"  artifact: {self.artifact}")
+        return "\n".join(lines)
+
+
+def _function_label(func: tuple) -> str:
+    filename, lineno, name = func
+    if filename == "~":
+        return name  # builtins: ``<built-in method ...>``
+    return f"{Path(filename).name}:{lineno}({name})"
+
+
+def profile_phase(
+    kind: str, out_path: Optional[Path | str] = None, top_n: int = 10
+):
+    """Context manager profiling the enclosed phase with ``kind``."""
+    if kind == "cprofile":
+        return _cprofile_phase(out_path, top_n)
+    if kind == "tracemalloc":
+        return _tracemalloc_phase(out_path, top_n)
+    raise ValueError(f"unknown profiler {kind!r}; expected one of {PROFILERS}")
+
+
+@contextlib.contextmanager
+def _cprofile_phase(
+    out_path: Optional[Path | str], top_n: int
+) -> Iterator[ProfileReport]:
+    report = ProfileReport(kind="cprofile")
+    with spans.span("profile.cprofile") as sp:
+        rss_before = _rss_bytes()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            yield report
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler)
+            rows = [
+                {
+                    "function": _function_label(func),
+                    "calls": nc,
+                    "total_seconds": tt,
+                    "cumulative_seconds": ct,
+                }
+                for func, (cc, nc, tt, ct, _callers) in stats.stats.items()  # type: ignore[attr-defined]
+            ]
+            rows.sort(key=lambda r: -r["cumulative_seconds"])  # type: ignore[operator]
+            report.top = rows[:top_n]
+            report.rss_delta_bytes = _rss_bytes() - rss_before
+            if out_path is not None:
+                path = Path(out_path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                profiler.dump_stats(str(path))
+                report.artifact = path
+            sp.set(
+                hotspots=[
+                    f"{r['function']} cum={r['cumulative_seconds']:.4f}s"
+                    for r in report.top[:5]
+                ],
+                rss_delta_bytes=report.rss_delta_bytes,
+                artifact=str(report.artifact) if report.artifact else "",
+            )
+
+
+@contextlib.contextmanager
+def _tracemalloc_phase(
+    out_path: Optional[Path | str], top_n: int
+) -> Iterator[ProfileReport]:
+    report = ProfileReport(kind="tracemalloc")
+    with spans.span("profile.tracemalloc") as sp:
+        rss_before = _rss_bytes()
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        else:  # pragma: no cover - nested profiling
+            tracemalloc.reset_peak()
+        before = tracemalloc.take_snapshot()
+        try:
+            yield report
+        finally:
+            report.current_traced_bytes, report.peak_traced_bytes = (
+                tracemalloc.get_traced_memory()
+            )
+            after = tracemalloc.take_snapshot()
+            if not was_tracing:
+                tracemalloc.stop()
+            diff = after.compare_to(before, "lineno")
+            report.top = [
+                {
+                    "site": str(stat.traceback),
+                    "size_diff_bytes": stat.size_diff,
+                    "count_diff": stat.count_diff,
+                }
+                for stat in diff[:top_n]
+            ]
+            report.rss_delta_bytes = _rss_bytes() - rss_before
+            if out_path is not None:
+                path = Path(out_path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(report.render() + "\n")
+                report.artifact = path
+            sp.set(
+                peak_traced_bytes=report.peak_traced_bytes,
+                rss_delta_bytes=report.rss_delta_bytes,
+                top_sites=[
+                    f"{r['site']} {r['size_diff_bytes']:+}B"
+                    for r in report.top[:5]
+                ],
+                artifact=str(report.artifact) if report.artifact else "",
+            )

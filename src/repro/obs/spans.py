@@ -83,6 +83,18 @@ class Span:
         stack = runtime.span_stack()
         if stack and stack[-1] == self._id:
             stack.pop()
+        elif self._id in stack:
+            # Out-of-order exit: everything opened above us never exited
+            # (or will exit late). Unwind through our own id so depth and
+            # parent attribution stay correct for every later span, and
+            # flag the record instead of silently corrupting the tree.
+            while stack.pop() != self._id:
+                pass
+            self._attrs.setdefault("leaked", True)
+        elif self._id >= 0:
+            # our id was already unwound by an ancestor's out-of-order
+            # exit — nothing to pop, but the leak is ours to report too
+            self._attrs.setdefault("leaked", True)
         if exc_type is not None:
             self._attrs.setdefault("error", exc_type.__name__)
         self._registry.record_span(

@@ -1,0 +1,139 @@
+"""Tests for the query explain facility (per-stage cost reports).
+
+The acceptance bar: every count in the explain report must be copied
+verbatim from the run's own accounting (``QueryStats`` mirrors of the
+``IntegrationResult``), never re-derived.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.query import AnalyticalQuery, QueryProcessor, STRATEGIES
+from repro.spatial.regions import QueryRegion
+
+from tests.core.test_query import build_world
+
+
+@pytest.fixture()
+def world():
+    return build_world()
+
+
+def run_query(world, strategy, **kwargs):
+    net, districts, forest, cube = world
+    processor = QueryProcessor(forest, districts, cube)
+    query = AnalyticalQuery.over_days(QueryRegion.whole_network(net), 0, 7)
+    return processor.run(query, strategy=strategy, explain=True, **kwargs)
+
+
+class TestAttachment:
+    def test_absent_by_default(self, world):
+        net, districts, forest, cube = world
+        processor = QueryProcessor(forest, districts, cube)
+        query = AnalyticalQuery.over_days(
+            QueryRegion.whole_network(net), 0, 7
+        )
+        assert processor.run(query, strategy="all").explain is None
+
+    def test_header_fields(self, world):
+        result = run_query(world, "gui")
+        explain = result.explain
+        assert explain.strategy == "gui"
+        assert explain.first_day == 0
+        assert explain.num_days == 7
+        assert explain.region_sensors == 10
+        assert explain.min_severity == result.threshold.min_severity
+        assert explain.returned == len(result.returned)
+        assert explain.elapsed_seconds == result.stats.elapsed_seconds
+
+
+class TestExactParity:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_integrate_stage_mirrors_stats(self, world, strategy):
+        result = run_query(world, strategy)
+        stage = result.explain.stage("integrate")
+        stats = result.stats
+        assert stage is not None
+        assert stage.metrics["input_clusters"] == stats.input_clusters
+        assert stage.metrics["comparisons"] == stats.comparisons
+        assert stage.metrics["merges"] == stats.merges
+        assert stage.metrics["fast_rejects"] == stats.fast_rejects
+        assert stage.metrics["rounds"] == stats.rounds
+        assert stage.metrics["cache_hits"] == stats.cache_hits
+        assert stage.metrics["cache_misses"] == stats.cache_misses
+
+    def test_cache_hit_ratio(self, world):
+        stage = run_query(world, "all").explain.stage("integrate")
+        hits = stage.metrics["cache_hits"]
+        looked_up = hits + stage.metrics["cache_misses"]
+        expected = round(hits / looked_up, 4) if looked_up else 0.0
+        assert stage.metrics["cache_hit_ratio"] == expected
+
+    def test_select_stage_counts_scanned(self, world):
+        net, districts, forest, cube = world
+        result = run_query(world, "all")
+        stage = result.explain.stage("select")
+        # the world holds 2 micro-clusters per day over 7 days
+        assert stage.metrics["scanned"] == 14
+        assert stage.metrics["materialized"] is False
+
+
+class TestStrategyStages:
+    def test_all_has_no_filter_stage(self, world):
+        explain = run_query(world, "all").explain
+        assert [s.name for s in explain.stages] == ["select", "integrate"]
+
+    def test_pru_reports_pruned(self, world):
+        result = run_query(world, "pru")
+        stage = result.explain.stage("prune")
+        assert stage is not None
+        assert stage.metrics["pruned"] == result.stats.pruned_clusters
+        assert result.explain.stage("redzone") is None
+
+    def test_gui_reports_red_zones(self, world):
+        result = run_query(world, "gui")
+        stage = result.explain.stage("redzone")
+        assert stage is not None
+        assert stage.metrics["red_zones"] == result.stats.red_zones
+        assert (
+            stage.metrics["candidate_districts"]
+            == result.stats.candidate_districts
+        )
+        assert stage.metrics["pruned"] == result.stats.pruned_clusters
+
+    def test_final_check_stage(self, world):
+        result = run_query(world, "all", final_check=True)
+        stage = result.explain.stage("final_check")
+        assert stage is not None
+        assert stage.metrics["removed"] == result.stats.final_check_removed
+
+    def test_stage_seconds_non_negative(self, world):
+        explain = run_query(world, "gui").explain
+        for stage in explain.stages:
+            assert stage.seconds >= 0.0
+
+
+class TestSerialization:
+    def test_to_dict_is_json_serializable(self, world):
+        explain = run_query(world, "gui").explain
+        doc = json.loads(json.dumps(explain.to_dict()))
+        assert doc["version"] == 1
+        assert doc["strategy"] == "gui"
+        names = [s["name"] for s in doc["stages"]]
+        assert names == ["select", "redzone", "integrate"]
+
+    def test_render_mentions_every_stage(self, world):
+        explain = run_query(world, "pru").explain
+        text = explain.render()
+        assert text.startswith("query explain: strategy=pru")
+        for stage in explain.stages:
+            assert stage.name in text
+        assert f"returned={explain.returned}" in text
+
+    def test_render_includes_io_when_set(self, world):
+        explain = run_query(world, "all").explain
+        explain.io = {"model_bytes": 123, "bytes_read": 0}
+        assert "io: model_bytes=123" in explain.render()

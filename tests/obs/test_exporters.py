@@ -84,6 +84,77 @@ class TestPrometheus:
         assert 'repro_span_duration_seconds_count{span="query.run"} 1' in text
 
 
+class TestChromeTrace:
+    def test_snapshot_round_trip(self, populated, tmp_path):
+        snap_path = tmp_path / "metrics.json"
+        obs.write_snapshot(populated, snap_path)
+        trace_path = tmp_path / "deep" / "trace.json"
+        obs.write_chrome_trace(obs.load_snapshot(snap_path), trace_path)
+        doc = json.loads(trace_path.read_text())
+        names = {
+            e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert names == {"query.run", "query.integrate"}
+
+    def test_document_shape(self, populated):
+        doc = obs.to_chrome_trace(populated)
+        assert doc["displayTimeUnit"] == "ms"
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        assert meta[0]["args"]["name"] == "repro"
+
+    def test_complete_events_well_formed(self, populated):
+        from repro.obs.tracing import TRACE_PID, TRACE_TID
+
+        doc = obs.to_chrome_trace(populated)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            assert event["pid"] == TRACE_PID
+            assert event["tid"] == TRACE_TID
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+            assert event["cat"] == event["name"].split(".", 1)[0]
+
+    def test_parent_child_containment(self, registry):
+        with obs.span("query.run"):
+            with obs.span("query.select"):
+                with obs.span("forest.scan"):
+                    pass
+            with obs.span("query.integrate"):
+                pass
+        doc = obs.to_chrome_trace(registry)
+        by_id = {
+            e["args"]["span_id"]: e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert len(by_id) == 4
+        nested = 0
+        for event in by_id.values():
+            parent = by_id.get(event["args"]["parent_id"])
+            if parent is None:
+                continue
+            nested += 1
+            assert parent["ts"] <= event["ts"]
+            assert (
+                event["ts"] + event["dur"] <= parent["ts"] + parent["dur"]
+            )
+        assert nested == 3
+
+    def test_attrs_become_args(self, registry):
+        with obs.span("s", method="indexed") as sp:
+            sp.set(merges=4)
+        doc = obs.to_chrome_trace(registry)
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["args"]["method"] == "indexed"
+        assert event["args"]["merges"] == 4
+
+    def test_rejects_spanless_source(self):
+        with pytest.raises(ValueError, match="no span list"):
+            obs.to_chrome_trace({"spans": 3})
+
+
 class TestRender:
     def test_mentions_every_metric(self, populated):
         out = obs.render_snapshot(populated.snapshot())

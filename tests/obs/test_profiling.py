@@ -1,0 +1,105 @@
+"""Profiling hooks: the cProfile / tracemalloc phase wrappers."""
+
+from __future__ import annotations
+
+import pstats
+
+import pytest
+
+from repro import obs
+from repro.obs.profiling import PROFILERS, profile_phase
+
+
+def _workload() -> int:
+    chunks = [b"x" * 256 for _ in range(200)]
+    return sum(i * i for i in range(20_000)) + len(chunks)
+
+
+class TestCProfile:
+    def test_report_top_and_artifact(self, registry, tmp_path):
+        out = tmp_path / "phase.prof"
+        with profile_phase("cprofile", out_path=out, top_n=5) as report:
+            _workload()
+        assert report.kind == "cprofile"
+        assert 0 < len(report.top) <= 5
+        row = report.top[0]
+        assert {
+            "function", "calls", "total_seconds", "cumulative_seconds"
+        } <= set(row)
+        assert report.artifact == out and out.exists()
+        # the artifact must be loadable by the stdlib toolchain
+        assert pstats.Stats(str(out)).total_calls > 0
+
+    def test_top_sorted_by_cumulative_time(self, registry):
+        with profile_phase("cprofile", top_n=10) as report:
+            _workload()
+        cumulative = [row["cumulative_seconds"] for row in report.top]
+        assert cumulative == sorted(cumulative, reverse=True)
+
+    def test_span_attributes(self, registry):
+        with profile_phase("cprofile") as report:
+            _workload()
+        record = next(
+            s for s in registry.spans if s.name == "profile.cprofile"
+        )
+        assert record.attrs["hotspots"]
+        assert record.attrs["rss_delta_bytes"] == report.rss_delta_bytes
+
+    def test_render_lists_functions(self, registry):
+        with profile_phase("cprofile", top_n=3) as report:
+            _workload()
+        text = report.render()
+        assert text.startswith("profile (cprofile)")
+        assert "cum" in text
+
+    def test_populated_with_observability_disabled(self):
+        assert not obs.enabled()
+        with profile_phase("cprofile") as report:
+            _workload()
+        assert report.top
+
+    def test_to_dict_round_trips_through_json(self, registry, tmp_path):
+        import json
+
+        with profile_phase("cprofile", out_path=tmp_path / "p.prof") as report:
+            _workload()
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["kind"] == "cprofile"
+        assert doc["artifact"].endswith("p.prof")
+
+
+class TestTracemalloc:
+    def test_peak_sites_and_artifact(self, registry, tmp_path):
+        out = tmp_path / "phase.heap.txt"
+        with profile_phase("tracemalloc", out_path=out, top_n=3) as report:
+            _workload()
+        assert report.kind == "tracemalloc"
+        assert report.peak_traced_bytes > 0
+        assert len(report.top) <= 3
+        assert out.exists() and "traced heap peak" in out.read_text()
+        record = next(
+            s for s in registry.spans if s.name == "profile.tracemalloc"
+        )
+        assert record.attrs["peak_traced_bytes"] == report.peak_traced_bytes
+
+    def test_site_rows_have_diffs(self, registry):
+        with profile_phase("tracemalloc", top_n=5) as report:
+            _workload()
+        assert report.top
+        assert {"site", "size_diff_bytes", "count_diff"} <= set(report.top[0])
+
+    def test_render_mentions_peak(self, registry):
+        with profile_phase("tracemalloc") as report:
+            _workload()
+        text = report.render()
+        assert text.startswith("profile (tracemalloc)")
+        assert "traced heap peak" in text
+
+
+class TestDispatch:
+    def test_registered_profilers(self):
+        assert PROFILERS == ("cprofile", "tracemalloc")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown profiler"):
+            profile_phase("perf")

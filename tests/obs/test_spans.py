@@ -84,6 +84,43 @@ class TestAttributes:
         assert record.attrs["error"] == "RuntimeError"
 
 
+class TestOutOfOrderExit:
+    def test_parent_exit_unwinds_and_flags_both_records(self, registry):
+        from repro.obs import runtime
+
+        outer = obs.span("outer")
+        inner = obs.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # exited in open order instead of reverse order: the parent's
+        # exit must unwind the child's stale id off the span stack
+        outer.__exit__(None, None, None)
+        inner.__exit__(None, None, None)
+        assert runtime.span_stack() == []
+        assert _by_name(registry, "outer").attrs.get("leaked") is True
+        assert _by_name(registry, "inner").attrs.get("leaked") is True
+
+    def test_later_spans_unaffected(self, registry):
+        outer = obs.span("outer")
+        inner = obs.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        outer.__exit__(None, None, None)
+        inner.__exit__(None, None, None)
+        with obs.span("later"):
+            pass
+        later = _by_name(registry, "later")
+        assert later.depth == 0
+        assert later.parent_id == -1
+
+    def test_well_nested_spans_not_flagged(self, registry):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        for record in registry.spans:
+            assert "leaked" not in record.attrs
+
+
 class TestDisabled:
     def test_returns_shared_null_span(self):
         assert obs.span("anything") is NULL_SPAN

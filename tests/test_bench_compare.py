@@ -1,0 +1,190 @@
+"""Tests for the bench regression gate (benchmarks/compare.py).
+
+``benchmarks/`` is outside the import path of the tier-1 suite, so the
+gate module is loaded by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare", _REPO_ROOT / "benchmarks" / "compare.py"
+)
+compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare)
+
+BASE_PHASES = {
+    "workload": 0.03,
+    "similarity_kernel": 1.0,
+    "integration": 0.4,
+    "naive_fixpoint": 0.25,
+}
+
+
+def make_report(phases, meta=None, identical=True):
+    report = {
+        "similarity_kernel": {"speedup": 58.0},
+        "integration": {
+            "identical_macro_clusters": identical,
+            "speedup": 1.7,
+        },
+        "naive_fixpoint": {
+            "identical_macro_clusters": True,
+            "speedup": 25.0,
+        },
+        "spans": {"phase_seconds": dict(phases)},
+    }
+    if meta is not None:
+        report["meta"] = meta
+    return report
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(make_report(BASE_PHASES)))
+    return tmp_path / "report.json", baseline, tmp_path / "history.jsonl"
+
+
+def run_gate(report_dict, paths, *extra):
+    report, baseline, history = paths
+    report.write_text(json.dumps(report_dict))
+    argv = [
+        str(report),
+        "--baseline", str(baseline),
+        "--history", str(history),
+        *extra,
+    ]
+    return compare.main(argv)
+
+
+class TestGate:
+    def test_identical_run_passes_and_appends_history(self, paths, capsys):
+        meta = {
+            "git_sha": "0123456789abcdef0123456789abcdef01234567",
+            "timestamp": "2026-08-05T00:00:00+00:00",
+        }
+        assert run_gate(make_report(BASE_PHASES, meta=meta), paths) == 0
+        _, _, history = paths
+        rows = [json.loads(l) for l in history.read_text().splitlines()]
+        assert len(rows) == 1
+        assert rows[0]["git_sha"] == meta["git_sha"]
+        assert rows[0]["timestamp"] == meta["timestamp"]
+        assert rows[0]["phase_seconds"] == BASE_PHASES
+        assert rows[0]["speedups"]["naive_fixpoint"] == 25.0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_doctored_regression_fails_without_history_row(
+        self, paths, capsys
+    ):
+        doctored = dict(BASE_PHASES)
+        doctored["integration"] *= 1.5  # +50% > the 25% band
+        assert run_gate(make_report(doctored), paths) == 1
+        _, _, history = paths
+        assert not history.exists()
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "FAIL: 1 phase regression(s) [integration]" in out
+
+    def test_within_tolerance_passes(self, paths):
+        near = dict(BASE_PHASES)
+        near["integration"] *= 1.2
+        assert run_gate(make_report(near), paths) == 0
+
+    def test_speedup_never_fails(self, paths):
+        fast = {name: value / 4 for name, value in BASE_PHASES.items()}
+        assert run_gate(make_report(fast), paths) == 0
+
+    def test_global_tolerance_flag(self, paths):
+        doctored = dict(BASE_PHASES)
+        doctored["integration"] *= 1.5
+        assert (
+            run_gate(make_report(doctored), paths, "--tolerance", "0.75")
+            == 0
+        )
+
+    def test_phase_tolerance_override(self, paths):
+        doctored = dict(BASE_PHASES)
+        doctored["integration"] *= 1.5
+        assert (
+            run_gate(
+                make_report(doctored),
+                paths,
+                "--phase-tolerance", "integration=0.75",
+            )
+            == 0
+        )
+
+    def test_correctness_flag_fails_gate(self, paths, capsys):
+        assert run_gate(make_report(BASE_PHASES, identical=False), paths) == 1
+        assert "identical_macro_clusters" in capsys.readouterr().out
+
+    def test_new_phase_does_not_fail(self, paths, capsys):
+        extended = dict(BASE_PHASES, brand_new_phase=9.0)
+        assert run_gate(make_report(extended), paths) == 0
+        assert "new" in capsys.readouterr().out
+
+    def test_no_history_flag_skips_append(self, paths):
+        assert (
+            run_gate(make_report(BASE_PHASES), paths, "--no-history") == 0
+        )
+        _, _, history = paths
+        assert not history.exists()
+
+    def test_sub_min_seconds_phases_are_noise(self, tmp_path):
+        baseline = tmp_path / "b.json"
+        report = tmp_path / "r.json"
+        baseline.write_text(json.dumps(make_report({"tiny": 0.001})))
+        # 10x slower, but under --min-seconds: scheduler noise, not signal
+        report.write_text(json.dumps(make_report({"tiny": 0.01})))
+        argv = [
+            str(report), "--baseline", str(baseline), "--no-history"
+        ]
+        assert compare.main(argv) == 0
+
+
+class TestBadInput:
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        report = tmp_path / "r.json"
+        report.write_text(json.dumps(make_report(BASE_PHASES)))
+        with pytest.raises(SystemExit) as excinfo:
+            compare.main(
+                [str(report), "--baseline", str(tmp_path / "none.json")]
+            )
+        assert excinfo.value.code == 2
+        assert "cannot read report" in capsys.readouterr().err
+
+    def test_report_without_phase_seconds_exits_2(self, tmp_path, capsys):
+        report = tmp_path / "r.json"
+        report.write_text('{"spans": {}}')
+        with pytest.raises(SystemExit) as excinfo:
+            compare.main([str(report), "--baseline", str(report)])
+        assert excinfo.value.code == 2
+        assert "phase_seconds" in capsys.readouterr().err
+
+    def test_bad_phase_tolerance_spec_exits_2(self, paths, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_gate(
+                make_report(BASE_PHASES), paths, "--phase-tolerance", "nope"
+            )
+        assert excinfo.value.code == 2
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_a_valid_report(self):
+        path = _REPO_ROOT / "benchmarks" / "results" / "BENCH_baseline.json"
+        report = compare.load_report(path)
+        phases = compare.phase_seconds(report, path)
+        assert set(phases) >= {
+            "workload",
+            "similarity_kernel",
+            "integration",
+            "naive_fixpoint",
+        }
+        assert not compare.check_correctness(report)

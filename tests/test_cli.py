@@ -13,7 +13,7 @@ from repro.simulate import SimulationConfig
 def trace_dir(tmp_path_factory):
     directory = tmp_path_factory.mktemp("trace")
     code = main(
-        ["generate", "--out", str(directory), "--profile", "small", "--months", "1"]
+        ["generate", "--out", str(directory), "--scale", "small", "--months", "1"]
     )
     assert code == 0
     return directory
@@ -36,9 +36,9 @@ class TestParser:
 
     def test_generate_args(self):
         args = build_parser().parse_args(
-            ["generate", "--out", "x", "--profile", "benchmark", "--seed", "3"]
+            ["generate", "--out", "x", "--scale", "benchmark", "--seed", "3"]
         )
-        assert args.profile == "benchmark"
+        assert args.scale == "benchmark"
         assert args.seed == 3
 
     def test_query_defaults(self):
@@ -214,8 +214,129 @@ class TestMetricsOut:
         assert code == 2
         assert "not a metrics snapshot" in capsys.readouterr().err
 
+    def test_stats_corrupt_json_no_traceback(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        code = main(["stats", str(path)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error" in captured.err and str(path) in captured.err
+        assert captured.err.count("\n") == 1  # one line, no traceback
+
+    def test_stats_unreadable_path(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path)])  # a directory, not a file
+        assert code == 2
+        assert "cannot read snapshot" in capsys.readouterr().err
+
     def test_observability_disabled_without_flag(self, trace_dir, capsys):
         # no --metrics-out: the global registry must stay untouched
         before = obs.registry().snapshot()
         assert main(["info", "--data", str(trace_dir)]) == 0
         assert obs.registry().snapshot() == before
+
+
+class TestExplainAndTrace:
+    def test_query_explain_prints_report(self, trace_dir, model_dir, capsys):
+        code = main(
+            [
+                "query",
+                "--data", str(trace_dir),
+                "--model", str(model_dir),
+                "--days", "7",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query explain: strategy=gui" in out
+        assert "select" in out and "integrate" in out
+        assert "io: model_bytes=" in out
+
+    def test_query_explain_out_json(
+        self, trace_dir, model_dir, tmp_path, capsys
+    ):
+        path = tmp_path / "explain.json"
+        code = main(
+            [
+                "query",
+                "--data", str(trace_dir),
+                "--model", str(model_dir),
+                "--days", "7",
+                "--explain-out", str(path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        names = [s["name"] for s in doc["stages"]]
+        assert "select" in names and "integrate" in names
+        integrate = next(s for s in doc["stages"] if s["name"] == "integrate")
+        assert integrate["comparisons"] > 0
+        assert integrate["cache_hits"] + integrate["cache_misses"] > 0
+        assert doc["io"]["model_bytes"] > 0
+
+    def test_query_trace_out(self, trace_dir, model_dir, tmp_path, capsys):
+        path = tmp_path / "q.trace.json"
+        code = main(
+            [
+                "query",
+                "--data", str(trace_dir),
+                "--model", str(model_dir),
+                "--days", "7",
+                "--trace-out", str(path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {"query.run", "query.integrate"} <= {
+            e["name"] for e in complete
+        }
+        for event in complete:
+            assert isinstance(event["ts"], int)
+            assert isinstance(event["dur"], int)
+
+    def test_stats_converts_snapshot_to_trace(
+        self, trace_dir, model_dir, tmp_path, capsys
+    ):
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "query",
+                "--data", str(trace_dir),
+                "--model", str(model_dir),
+                "--days", "7",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        trace = tmp_path / "t.trace.json"
+        assert main(["stats", str(metrics), "--trace-out", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestProfileFlag:
+    def test_query_profile_cprofile(
+        self, trace_dir, model_dir, tmp_path, capsys
+    ):
+        out = tmp_path / "q.prof"
+        code = main(
+            [
+                "query",
+                "--data", str(trace_dir),
+                "--model", str(model_dir),
+                "--days", "3",
+                "--profile", "cprofile",
+                "--profile-out", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "profile (cprofile)" in captured.err
+        assert out.exists()
+
+    def test_profile_choices_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--profile", "perf"])
