@@ -49,7 +49,7 @@ DEFAULT_TOLERANCE = 0.25
 DEFAULT_MIN_SECONDS = 0.005
 
 # report sections whose identical_macro_clusters flag must stay true
-CORRECTNESS_SECTIONS = ("integration", "naive_fixpoint")
+CORRECTNESS_SECTIONS = ("integration", "naive_fixpoint", "parallel_build")
 
 
 def _fail(message: str) -> SystemExit:
@@ -175,7 +175,12 @@ def render_rows(rows: List[dict]) -> str:
 def history_row(report: dict, rows: List[dict]) -> dict:
     meta = report.get("meta") if isinstance(report.get("meta"), dict) else {}
     speedups = {}
-    for section in ("similarity_kernel", "integration", "naive_fixpoint"):
+    for section in (
+        "similarity_kernel",
+        "integration",
+        "naive_fixpoint",
+        "parallel_build",
+    ):
         data = report.get(section)
         if isinstance(data, dict) and "speedup" in data:
             speedups[section] = data["speedup"]

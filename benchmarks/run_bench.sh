@@ -19,11 +19,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+# REPRO_BENCH_WORKERS sizes the parallel_build phase's process pool
+# (serial-vs-parallel sharded forest construction; the byte-identity
+# check runs at any worker count)
 python -m repro bench \
     --out benchmarks/results/BENCH_integration.json \
     --metrics-out benchmarks/results/BENCH_metrics.json \
     --trace-out benchmarks/results/BENCH_trace.json \
-    --clusters 400 --seed 7 --repeats 3 "$@"
+    --clusters 400 --seed 7 --repeats 3 \
+    --workers "${REPRO_BENCH_WORKERS:-4}" "$@"
 
 # stamp provenance into the report so compare.py can build the
 # BENCH_history.jsonl trajectory without re-deriving it

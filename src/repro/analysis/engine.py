@@ -99,6 +99,10 @@ class AnalysisEngine:
             self._forest, districts, self._cube, config.delta_s
         )
         self._built_days: set[int] = set()
+        # execution summary of the last parallel build (engine.json only —
+        # never serialized into the forest, which must stay independent of
+        # how it was computed)
+        self._build_info: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -186,6 +190,46 @@ class AnalysisEngine:
         _log.info("forest built from catalog", extra={"days": count})
         return count
 
+    def build_from_catalog_parallel(
+        self,
+        catalog: DatasetCatalog,
+        days: Optional[Iterable[int]] = None,
+        workers: int = 1,
+        shard_by: str = "day",
+        materialize: bool = False,
+    ):
+        """Construct the forest with the sharded parallel builder.
+
+        Produces a forest and cube **byte-identical** to
+        :meth:`build_from_catalog` at any worker count (the reducer
+        replays the serial id assignment; see :mod:`repro.parallel`).
+        ``workers=1`` runs the same shard/reduce path in process, so the
+        CLI routes every build through here. Returns the
+        :class:`~repro.parallel.builder.ParallelBuildReport`.
+        """
+        from repro.parallel.builder import ParallelForestBuilder
+
+        builder = ParallelForestBuilder(
+            self,
+            catalog,
+            workers=workers,
+            shard_by=shard_by,
+            materialize=materialize,
+        )
+        day_list = None if days is None else list(days)
+        # same top-level span name as build_from_catalog: both are "the
+        # offline catalog build", whatever the execution strategy
+        with obs.span("build.catalog") as sp:
+            report = builder.build(day_list)
+            sp.set(days=report.days_built, workers=workers, shard_by=shard_by)
+        self._built_days.update(self._forest.days)
+        self._build_info = report.to_dict()
+        _log.info(
+            "forest built in parallel",
+            extra={"days": report.days_built, "workers": report.workers},
+        )
+        return report
+
     def build_from_simulator(self, simulator, days: Iterable[int]) -> int:
         """Construct the forest directly from a simulator (no disk files)."""
         count = 0
@@ -223,6 +267,8 @@ class AnalysisEngine:
             "similarity_threshold": self._config.similarity_threshold,
             "balance_function": self._config.balance_function,
         }
+        if self._build_info is not None:
+            meta["build"] = self._build_info
         import json
 
         (directory / "engine.json").write_text(json.dumps(meta))

@@ -20,6 +20,13 @@ Perfetto), and ``--profile {cprofile,tracemalloc}`` (wrap the command in a
 profiler; hotspots go to stderr, the artifact beside the working
 directory or to ``--profile-out``). ``repro query --explain`` adds the
 per-stage cost report of the query engine.
+
+``build``, ``query`` and ``bench`` also accept ``--workers N`` and
+``--shard-by {day,day-district}``: with ``N > 1`` the forest is built by a
+process pool over day (or day-by-district-group) shards and reduced in
+canonical order, producing a model byte-identical to the serial build
+(Property 3). ``build --materialize`` eagerly integrates the week/month
+levels at build time instead of on first query.
 """
 
 from __future__ import annotations
@@ -112,7 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--days", type=int, default=None, help="build only the first N days"
     )
+    build.add_argument(
+        "--materialize",
+        action="store_true",
+        help="also materialize every week/month level of the forest "
+        "(Algorithm 3 per level shard, in workers when --workers > 1)",
+    )
     _add_engine_arguments(build)
+    _add_parallel_arguments(build)
 
     query = commands.add_parser(
         "query",
@@ -151,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the explain report as JSON here (implies --explain)",
     )
     _add_engine_arguments(query)
+    _add_parallel_arguments(query)
 
     info = commands.add_parser(
         "info", parents=[common], help="describe a stored trace"
@@ -191,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=150,
         help="workload slice for the quadratic re-scan baseline",
     )
+    _add_parallel_arguments(bench)
 
     stats = commands.add_parser(
         "stats",
@@ -220,6 +236,30 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("max", "min", "avg", "geo", "har"),
         default="avg",
         help="balance function g",
+    )
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--workers`` / ``--shard-by`` (see the repro.parallel subsystem).
+
+    ``build`` and ``bench`` execute shards in a process pool; ``query``
+    accepts the flags for command-line symmetry but answers online queries
+    serially (the online path is latency-, not throughput-bound), so they
+    only affect which model-build hints are echoed back.
+    """
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded forest construction "
+        "(default: 1 = in-process; output is byte-identical at any count)",
+    )
+    parser.add_argument(
+        "--shard-by",
+        choices=("day", "day-district"),
+        default="day",
+        help="shard axis: whole days, or days split by district "
+        "connectivity group (default: day)",
     )
 
 
@@ -281,15 +321,35 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
     simulator = _simulator_for(args.data)
     catalog = DatasetCatalog(args.data)
     engine = AnalysisEngine.from_simulator(simulator, _engine_config(args))
     days = range(args.days) if args.days is not None else None
-    built = engine.build_from_catalog(catalog, days)
+    # every build goes through the sharded builder — workers=1 runs the
+    # same shard/reduce path in process, so the saved model is
+    # byte-identical at any worker count
+    report = engine.build_from_catalog_parallel(
+        catalog,
+        days,
+        workers=args.workers,
+        shard_by=args.shard_by,
+        materialize=args.materialize,
+    )
     engine.save(args.model)
     stats = engine.forest.stats()
+    detail = f"{stats.num_micro} micro-clusters"
+    if args.materialize:
+        detail += (
+            f", {stats.num_week_macro} week + "
+            f"{stats.num_month_macro} month macro-clusters"
+        )
     print(
-        f"built {built} days: {stats.num_micro} micro-clusters, "
+        f"built {report.days_built} days "
+        f"({report.shards} {report.shard_by} shards, "
+        f"{report.workers} worker(s)): {detail}, "
         f"model saved to {args.model}"
     )
     return 0
@@ -366,6 +426,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         print("error: --repeats must be at least 1", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
     report = run_integration_benchmark(
         num_clusters=args.clusters,
         seed=args.seed,
@@ -374,6 +437,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         balance=args.balance,
         naive_subset=args.naive_subset,
         out_path=args.out,
+        workers=args.workers,
+        shard_by=args.shard_by,
     )
     print(format_report(report))
     if args.out is not None:

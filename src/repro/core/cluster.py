@@ -37,6 +37,7 @@ class ClusterIdGenerator:
         self._lock = threading.Lock()
 
     def next_id(self) -> int:
+        """Return the next unique cluster id (thread-safe, never reused)."""
         with self._lock:
             return next(self._counter)
 
@@ -95,6 +96,7 @@ class AtypicalCluster:
     # ------------------------------------------------------------------
     @property
     def is_micro(self) -> bool:
+        """True when the cluster has no children (a day-level leaf, Def. 4)."""
         return not self.members
 
     @property
@@ -116,6 +118,7 @@ class AtypicalCluster:
         return self.temporal.min_key()
 
     def end_window(self) -> int:
+        """Last time-of-day window touched by the cluster (max temporal key)."""
         return self.temporal.max_key()
 
     def most_serious_sensor(self) -> Tuple[int, float]:

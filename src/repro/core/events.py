@@ -75,6 +75,7 @@ class UnionFind:
         self._size = [1] * n
 
     def find(self, x: int) -> int:
+        """Root of ``x``'s component, with path halving."""
         parent = self._parent
         while parent[x] != x:
             parent[x] = parent[parent[x]]
@@ -115,6 +116,7 @@ class AtypicalEvent:
 
     @property
     def records(self) -> RecordBatch:
+        """The event's records as one batch."""
         return self._records
 
     def __len__(self) -> int:
@@ -122,13 +124,16 @@ class AtypicalEvent:
 
     @property
     def sensor_ids(self) -> frozenset[int]:
+        """Distinct sensors touched by the event."""
         return frozenset(int(s) for s in np.unique(self._records.sensor_ids))
 
     @property
     def windows(self) -> frozenset[int]:
+        """Distinct absolute windows touched by the event."""
         return frozenset(int(w) for w in np.unique(self._records.windows))
 
     def total_severity(self) -> float:
+        """Sum of the event's record severities, in minutes."""
         return self._records.total_severity()
 
     def to_micro_cluster(
@@ -218,6 +223,7 @@ class EventExtractor:
 
     @property
     def params(self) -> ExtractionParams:
+        """The ``(delta_d, delta_t)`` relatedness thresholds (Def. 2)."""
         return self._params
 
     # ------------------------------------------------------------------
@@ -382,8 +388,51 @@ class EventExtractor:
         vectorized group-bys, so the holistic event objects are never
         materialized.
         """
+        clusters, _ = self._extract(batch, ids, with_order_keys=False)
+        return clusters
+
+    def extract_micro_clusters_ordered(
+        self,
+        batch: RecordBatch,
+        ids: Optional[ClusterIdGenerator] = None,
+    ) -> Tuple[List[AtypicalCluster], List[int]]:
+        """Algorithm 1 plus a canonical *order key* per micro-cluster.
+
+        The order key is the packed ``(sensor_id << 32) | window`` minimum
+        over the cluster's records — the position of the component's first
+        record in the sensor-major record order, which is exactly the order
+        the ``"grid"`` labeller assigns component ranks (and therefore
+        cluster ids) in. A sharded builder that partitions one day's
+        records into connectivity-closed sub-batches (see
+        :mod:`repro.parallel.sharding`) can sort the union of shard
+        clusters by order key to reproduce the id assignment a whole-day
+        extraction would have produced.
+
+        When ``delta_t`` is below one window every record is its own event
+        and ranks follow the window-major record order, so the packed key
+        degenerates to ``(window << 32) | sensor_id``.
+
+        Raises ``ValueError`` for the ``"naive"`` method, whose union-find
+        root ranks are not a function of per-cluster record sets.
+        """
+        if self._method == "naive" and self._max_gap >= 0:
+            raise ValueError(
+                "ordered extraction requires the 'grid' method: naive "
+                "union-find component ranks are not reproducible from "
+                "per-shard record sets"
+            )
+        clusters, keys = self._extract(batch, ids, with_order_keys=True)
+        assert keys is not None
+        return clusters, keys
+
+    def _extract(
+        self,
+        batch: RecordBatch,
+        ids: Optional[ClusterIdGenerator],
+        with_order_keys: bool,
+    ) -> Tuple[List[AtypicalCluster], Optional[List[int]]]:
         if not len(batch):
-            return []
+            return [], ([] if with_order_keys else None)
         # Canonicalize the accumulation order: severities are summed in
         # (window, sensor) order so the result is bit-identical no matter
         # how the batch rows were arranged — and matches the streaming
@@ -429,14 +478,35 @@ class EventExtractor:
                 t_key_groups[c], t_sum_groups[c], assume_sorted=True, validate=False
             )
             clusters.append(AtypicalCluster.micro(spatial, temporal, generator))
-        clusters.sort(key=lambda c: (-c.severity(), c.start_window()))
+
+        order_keys: Optional[List[int]] = None
+        if with_order_keys:
+            # min packed (sensor, window) — or (window, sensor) in the
+            # degenerate every-record-its-own-event case — per component;
+            # see extract_micro_clusters_ordered
+            sensors64 = batch.sensor_ids.astype(np.int64)
+            windows64 = batch.windows.astype(np.int64)
+            if self._max_gap < 0:
+                packed = (windows64 << 32) | sensors64
+            else:
+                packed = (sensors64 << 32) | windows64
+            mins = np.full(num_clusters, np.iinfo(np.int64).max, dtype=np.int64)
+            np.minimum.at(mins, cluster_idx, packed)
+            keyed = sorted(
+                zip(clusters, mins.tolist()),
+                key=lambda pair: (-pair[0].severity(), pair[0].start_window()),
+            )
+            clusters = [c for c, _ in keyed]
+            order_keys = [k for _, k in keyed]
+        else:
+            clusters.sort(key=lambda c: (-c.severity(), c.start_window()))
         if obs.enabled():
             obs.counter("extract.records").inc(len(batch))
             obs.counter("extract.micro_clusters").inc(num_clusters)
             obs.histogram("extract.records_per_event").observe(
                 len(batch) / num_clusters
             )
-        return clusters
+        return clusters, order_keys
 
 
 def _group_indices(labels: np.ndarray) -> List[np.ndarray]:

@@ -172,13 +172,16 @@ class SeverityFeature:
         return float(self._values[pos])
 
     def get(self, key: int, default: float = 0.0) -> float:
+        """Severity at ``key``, or ``default`` when the key is absent."""
         pos = self._find(key)
         return float(self._values[pos]) if pos >= 0 else default
 
     def keys(self) -> frozenset[int]:
+        """The feature's keys as a frozenset."""
         return frozenset(self._keys.tolist())
 
     def items(self) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(key, severity)`` pairs in ascending key order."""
         return iter(zip(self._keys.tolist(), self._values.tolist()))
 
     def __eq__(self, other: object) -> bool:
@@ -327,6 +330,7 @@ class SeverityFeature:
         return int(self._keys[0])
 
     def max_key(self) -> int:
+        """Largest key; raises ``ValueError`` on an empty feature."""
         if self._keys.size == 0:
             raise ValueError("empty feature has no keys")
         return int(self._keys[-1])

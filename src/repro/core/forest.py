@@ -63,22 +63,30 @@ class AtypicalForest:
         # the new day introduced (cluster ids are never reused, so stale
         # entries are simply never looked up again)
         self._sim_cache = SimilarityCache()
+        # how the forest was constructed (set by the sharded builder);
+        # deliberately independent of the worker count so that serial and
+        # parallel builds of the same shard plan serialize identically
+        self._provenance: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
     def calendar(self) -> Calendar:
+        """The day/week/month calendar the forest levels follow."""
         return self._calendar
 
     @property
     def window_spec(self) -> WindowSpec:
+        """The time-of-day window spec shared with extraction."""
         return self._spec
 
     @property
     def ids(self) -> ClusterIdGenerator:
+        """The forest's cluster-id generator; ids are never reused."""
         return self._ids
 
     @property
     def integrator(self) -> ClusterIntegrator:
+        """The Algorithm 3 integrator used to materialize levels."""
         return self._integrator
 
     @property
@@ -88,7 +96,25 @@ class AtypicalForest:
 
     @property
     def days(self) -> List[int]:
+        """Days with stored micro-clusters, ascending."""
         return sorted(self._micro_by_day)
+
+    @property
+    def provenance(self) -> Optional[Dict[str, object]]:
+        """Shard provenance recorded by the parallel builder, or None.
+
+        A JSON-compatible description of how the day partition was
+        constructed: the shard axis (``day`` / ``day-district``), the
+        district connectivity groups, and per-shard cluster-id ranges. It
+        is a function of the shard *plan*, never of the worker count, so
+        ``--workers 1`` and ``--workers 4`` builds serialize byte-for-byte
+        identically (see :mod:`repro.storage.forest_io`).
+        """
+        return self._provenance
+
+    def set_provenance(self, provenance: Optional[Dict[str, object]]) -> None:
+        """Attach shard provenance (see :attr:`provenance`)."""
+        self._provenance = dict(provenance) if provenance is not None else None
 
     # ------------------------------------------------------------------
     def add_day(self, day: int, clusters: Sequence[AtypicalCluster]) -> None:
@@ -196,12 +222,57 @@ class AtypicalForest:
         return result.clusters
 
     # ------------------------------------------------------------------
+    # Externally computed materializations (see repro.parallel.reduce)
+    # ------------------------------------------------------------------
+    def install_week(
+        self,
+        week: int,
+        clusters: Sequence[AtypicalCluster],
+        created: Sequence[AtypicalCluster] = (),
+    ) -> None:
+        """Install a week materialization computed outside the forest.
+
+        The parallel builder integrates week shards in worker processes
+        (Algorithm 3) and installs the remapped results here. Registration
+        order matches :meth:`_integrate_and_register` — intermediate merge
+        products first, result clusters second — so a forest populated
+        this way serializes identically to one that materialized in
+        process. Clusters that survived integration unmerged must be the
+        registry's own objects (use :meth:`lookup`), because re-registering
+        an id with a different object is an error.
+        """
+        if week in self._week_cache:
+            raise ValueError(f"week {week} already materialized")
+        for cluster in created:
+            self._register(cluster)
+        for cluster in clusters:
+            self._register(cluster)
+        self._week_cache[week] = list(clusters)
+
+    def install_month(
+        self,
+        month: int,
+        clusters: Sequence[AtypicalCluster],
+        created: Sequence[AtypicalCluster] = (),
+    ) -> None:
+        """Install a month materialization (see :meth:`install_week`)."""
+        if month in self._month_cache:
+            raise ValueError(f"month {month} already materialized")
+        for cluster in created:
+            self._register(cluster)
+        for cluster in clusters:
+            self._register(cluster)
+        self._month_cache[month] = list(clusters)
+
+    # ------------------------------------------------------------------
     # Provenance (clustering trees)
     # ------------------------------------------------------------------
     def lookup(self, cluster_id: int) -> AtypicalCluster:
+        """The registered cluster with this id (KeyError if unknown)."""
         return self._registry[cluster_id]
 
     def children_of(self, cluster: AtypicalCluster) -> List[AtypicalCluster]:
+        """Registered child clusters that were merged into ``cluster``."""
         return [self._registry[m] for m in cluster.members if m in self._registry]
 
     def leaves_of(self, cluster: AtypicalCluster) -> List[AtypicalCluster]:
@@ -237,6 +308,7 @@ class AtypicalForest:
                 month: [c.cluster_id for c in clusters]
                 for month, clusters in self._month_cache.items()
             },
+            "provenance": self._provenance,
         }
 
     def import_state(
@@ -245,10 +317,12 @@ class AtypicalForest:
         micro_by_day: Dict[int, List[int]],
         week_cache: Dict[int, List[int]],
         month_cache: Dict[int, List[int]],
+        provenance: Optional[Dict[str, object]] = None,
     ) -> None:
         """Restore a snapshot into an empty forest."""
         if self._registry or self._micro_by_day:
             raise ValueError("import_state requires an empty forest")
+        self._provenance = dict(provenance) if provenance is not None else None
         for cluster in clusters:
             self._register(cluster)
         for day, ids in micro_by_day.items():

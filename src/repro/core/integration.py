@@ -80,6 +80,7 @@ class SimilarityCache:
         return (a_id, b_id) if a_id <= b_id else (b_id, a_id)
 
     def get(self, a_id: int, b_id: int) -> Optional[float]:
+        """Cached similarity for the pair, counting a hit or a miss."""
         value = self._store.get(self._key(a_id, b_id))
         if value is None:
             self.misses += 1
@@ -88,16 +89,52 @@ class SimilarityCache:
         return value
 
     def put(self, a_id: int, b_id: int, value: float) -> None:
+        """Memoize the similarity of an id pair (order-insensitive)."""
         self._store[self._key(a_id, b_id)] = value
 
     def contains(self, a_id: int, b_id: int) -> bool:
         """Membership peek that does not touch the hit/miss counters."""
         return self._key(a_id, b_id) in self._store
 
+    def merge_from(
+        self,
+        other: "SimilarityCache",
+        id_map: Optional[Dict[int, int]] = None,
+    ) -> int:
+        """Absorb another cache's entries, optionally remapping ids.
+
+        This is the shard-safety hook for parallel construction: a worker
+        process integrates a shard under *local* (or temporary) cluster
+        ids and ships its cache back; the reducer folds it into the
+        forest's shared cache after remapping local ids to their canonical
+        values. ``id_map`` translates ids — ids absent from the map are
+        assumed to already be canonical (micro-cluster ids are never
+        remapped by the materialization phase). Similarity is a pure
+        function of the two immutable clusters (Eq. 2-4), so absorbed
+        entries are exactly what the parent would have computed itself.
+
+        Returns the number of entries absorbed. The hit/miss counters of
+        ``other`` are folded in too, keeping metrics parity.
+        """
+        absorbed = 0
+        if id_map:
+            for (low, high), value in other._store.items():
+                self._store[
+                    self._key(id_map.get(low, low), id_map.get(high, high))
+                ] = value
+                absorbed += 1
+        else:
+            absorbed = len(other._store)
+            self._store.update(other._store)
+        self.hits += other.hits
+        self.misses += other.misses
+        return absorbed
+
     def __len__(self) -> int:
         return len(self._store)
 
     def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
         self._store.clear()
         self.hits = 0
         self.misses = 0
@@ -176,10 +213,12 @@ class ClusterIntegrator:
 
     @property
     def threshold(self) -> float:
+        """The merge threshold ``delta_sim`` (Algorithm 3 stop condition)."""
         return self._threshold
 
     @property
     def similarity(self) -> ClusterSimilarity:
+        """The :class:`ClusterSimilarity` measure in use (Eq. 2-4)."""
         return self._sim
 
     # ------------------------------------------------------------------

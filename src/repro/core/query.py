@@ -73,6 +73,7 @@ class AnalyticalQuery:
     def over_days(
         cls, region: QueryRegion, first_day: int, num_days: int
     ) -> "AnalyticalQuery":
+        """Query covering ``num_days`` consecutive days from ``first_day``."""
         return cls(region, tuple(range(first_day, first_day + num_days)))
 
     @property
@@ -256,6 +257,7 @@ class QueryProcessor:
 
     @property
     def delta_s(self) -> float:
+        """The significance-threshold fraction ``delta_s`` (Def. 5)."""
         return self._delta_s
 
     # ------------------------------------------------------------------

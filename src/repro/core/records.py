@@ -71,10 +71,12 @@ class RecordBatch:
     # ------------------------------------------------------------------
     @classmethod
     def empty(cls) -> "RecordBatch":
+        """A batch with zero records."""
         return cls(np.empty(0, np.int32), np.empty(0, np.int32), np.empty(0, np.float64))
 
     @classmethod
     def from_records(cls, records: Iterable[AtypicalRecord]) -> "RecordBatch":
+        """Batch from an iterable of :class:`AtypicalRecord`."""
         records = list(records)
         return cls(
             np.array([r.sensor_id for r in records], dtype=np.int32),
@@ -84,6 +86,7 @@ class RecordBatch:
 
     @classmethod
     def concat(cls, batches: Sequence["RecordBatch"]) -> "RecordBatch":
+        """Concatenate batches in order, dropping empty ones."""
         batches = [b for b in batches if len(b)]
         if not batches:
             return cls.empty()
@@ -96,14 +99,17 @@ class RecordBatch:
     # ------------------------------------------------------------------
     @property
     def sensor_ids(self) -> np.ndarray:
+        """Per-record sensor ids (int32 array, read-only view)."""
         return self._sensor_ids
 
     @property
     def windows(self) -> np.ndarray:
+        """Per-record absolute window indices (int32 array)."""
         return self._windows
 
     @property
     def severities(self) -> np.ndarray:
+        """Per-record severities in minutes (float64 array)."""
         return self._severities
 
     def __len__(self) -> int:
@@ -147,6 +153,7 @@ class RecordBatch:
         return self.select(mask)
 
     def sorted_by_window(self) -> "RecordBatch":
+        """Copy sorted by ``(window, sensor)`` — the canonical record order."""
         order = np.lexsort((self._sensor_ids, self._windows))
         return RecordBatch(
             self._sensor_ids[order], self._windows[order], self._severities[order]

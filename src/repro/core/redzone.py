@@ -35,6 +35,7 @@ class RedZones:
 
     @property
     def num_zones(self) -> int:
+        """Number of red-zone districts."""
         return len(self.districts)
 
     def covers(self, cluster: AtypicalCluster) -> bool:

@@ -235,20 +235,25 @@ class ClusterSimilarity:
 
     @property
     def name(self) -> str:
+        """Name of the balance function: ``avg``, ``min`` or ``max``."""
         return self._name
 
     @property
     def g(self) -> BalanceFn:
+        """The scalar balance function ``g`` of Eq. 3-4."""
         return self._g
 
     @property
     def g_vector(self) -> VectorBalanceFn:
+        """Vectorized form of ``g`` used by the similarity kernels."""
         return self._g_vec
 
     def spatial(self, a: AtypicalCluster, b: AtypicalCluster) -> float:
+        """Spatial similarity ``simS(a, b)`` (Eq. 3)."""
         return spatial_similarity(a, b, self._g)
 
     def temporal(self, a: AtypicalCluster, b: AtypicalCluster) -> float:
+        """Temporal similarity ``simT(a, b)`` (Eq. 4)."""
         return temporal_similarity(a, b, self._g)
 
     def __call__(self, a: AtypicalCluster, b: AtypicalCluster) -> float:

@@ -53,6 +53,7 @@ class OpenEvent:
     num_records: int = 0
 
     def absorb(self, sensor: int, window: int, severity: float, tf_key: int) -> None:
+        """Fold one record into the running feature maps."""
         self.spatial[sensor] = self.spatial.get(sensor, 0.0) + severity
         self.temporal[tf_key] = self.temporal.get(tf_key, 0.0) + severity
         current = self.frontier.get(sensor)
@@ -63,6 +64,7 @@ class OpenEvent:
         self.num_records += 1
 
     def merge_from(self, other: "OpenEvent") -> None:
+        """Absorb another open event after a record bridges the two."""
         for sensor, severity in other.spatial.items():
             self.spatial[sensor] = self.spatial.get(sensor, 0.0) + severity
         for key, severity in other.temporal.items():
@@ -81,6 +83,7 @@ class OpenEvent:
             del self.frontier[sensor]
 
     def severity(self) -> float:
+        """Total severity absorbed so far, in minutes."""
         return sum(self.spatial.values())
 
 
@@ -115,6 +118,7 @@ class OnlineEventTracker:
     # ------------------------------------------------------------------
     @property
     def open_events(self) -> List[OpenEvent]:
+        """Events still open (not yet emitted), in insertion order."""
         return list(self._open.values())
 
     # ------------------------------------------------------------------

@@ -152,6 +152,32 @@ class SeverityCube:
         result._records_added = self._records_added + other._records_added
         return result
 
+    def absorb_cells(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        records_added: int,
+    ) -> None:
+        """Accumulate pre-aggregated cells from a disjoint partition.
+
+        Used by the parallel builder's reducer: each shard ships the
+        non-zero ``(district, day)`` cells it computed locally, and
+        because shards never share a cell, plain ``+=`` onto the zero-
+        initialized cuboid reproduces the serial load bit-for-bit (the
+        distributivity of Property 4 without reassociating any float
+        additions).
+        """
+        if len(rows) == 0:
+            self._records_added += int(records_added)
+            return
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if int(rows.max()) >= self._cells.shape[0] or int(cols.max()) >= self._cells.shape[1]:
+            raise ValueError("absorbed cells fall outside the cube")
+        self._cells[rows, cols] += np.asarray(values, dtype=np.float64)
+        self._records_added += int(records_added)
+
     def import_cells(self, cells: np.ndarray, records_added: int) -> None:
         """Restore a persisted base cuboid (see repro.storage.forest_io)."""
         if cells.shape != self._cells.shape:

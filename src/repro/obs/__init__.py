@@ -57,7 +57,7 @@ from repro.obs.runtime import (
     registry,
     set_registry,
 )
-from repro.obs.spans import NULL_SPAN, NullSpan, Span, span
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, external_span, span
 
 __all__ = [
     # metrics
@@ -79,6 +79,7 @@ __all__ = [
     "histogram",
     # spans
     "span",
+    "external_span",
     "Span",
     "NullSpan",
     "NULL_SPAN",

@@ -31,6 +31,7 @@ _PROM_PREFIX = "repro_"
 
 
 def to_json(snapshot: Mapping[str, object]) -> str:
+    """Render a registry snapshot as pretty-printed JSON."""
     return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
 
 

@@ -51,6 +51,7 @@ class KeyValueFormatter(logging.Formatter):
     default_time_format = "%Y-%m-%dT%H:%M:%S"
 
     def format(self, record: logging.LogRecord) -> str:
+        """Render the record as one ``ts=... level=... key=value`` line."""
         parts = [
             f"ts={self.formatTime(record, self.default_time_format)}",
             f"level={record.levelname.lower()}",

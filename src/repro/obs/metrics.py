@@ -53,6 +53,7 @@ class Counter:
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (non-negative) to the counter."""
         if amount < 0:
             raise ValueError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
@@ -70,12 +71,15 @@ class Gauge:
         self.value: float = 0.0
 
     def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
         self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
         self.value -= amount
 
 
@@ -102,6 +106,7 @@ class Histogram:
         self.count: int = 0
 
     def observe(self, value: float) -> None:
+        """Record one observation into the sum/count and its bucket."""
         value = float(value)
         self.sum += value
         self.count += 1
@@ -156,6 +161,7 @@ class MetricsRegistry:
 
     @property
     def spans(self) -> List[SpanRecord]:
+        """Completed span records, in completion order."""
         return list(self._spans)
 
     def _check_kind(self, name: str, kind: str) -> None:
@@ -172,6 +178,7 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
+        """The counter registered under ``name``, created on first use."""
         metric = self._counters.get(name)
         if metric is None:
             with self._lock:
@@ -182,6 +189,7 @@ class MetricsRegistry:
         return metric
 
     def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name``, created on first use."""
         metric = self._gauges.get(name)
         if metric is None:
             with self._lock:
@@ -208,12 +216,14 @@ class MetricsRegistry:
     # Spans (recorded at exit by repro.obs.spans)
     # ------------------------------------------------------------------
     def next_span_id(self) -> int:
+        """Allocate the next span id (thread-safe)."""
         with self._lock:
             span_id = self._next_span_id
             self._next_span_id += 1
         return span_id
 
     def record_span(self, record: SpanRecord) -> None:
+        """Append a completed span record."""
         self._spans.append(record)
 
     def span_summary(self) -> Dict[str, Dict[str, float]]:
@@ -243,6 +253,7 @@ class MetricsRegistry:
         )
 
     def clear(self) -> None:
+        """Reset every metric and drop all span records."""
         with self._lock:
             self._counters.clear()
             self._gauges.clear()

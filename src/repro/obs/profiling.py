@@ -62,6 +62,7 @@ class ProfileReport:
     rss_delta_bytes: int = 0
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible view of the report."""
         return {
             "kind": self.kind,
             "top": list(self.top),

@@ -84,11 +84,13 @@ def enabled() -> bool:
 
 
 def enable() -> None:
+    """Turn the observability fast path on (accessors become live)."""
     global _enabled
     _enabled = True
 
 
 def disable() -> None:
+    """Turn observability off; accessors return null objects."""
     global _enabled
     _enabled = False
 
@@ -136,18 +138,21 @@ def span_stack() -> List[int]:
 # Accessors for instrumented code — null objects when disabled
 # ----------------------------------------------------------------------
 def counter(name: str) -> Counter:
+    """Active registry's counter ``name``, or a no-op when disabled."""
     if not _enabled:
         return _NULL_COUNTER  # type: ignore[return-value]
     return _registry.counter(name)
 
 
 def gauge(name: str) -> Gauge:
+    """Active registry's gauge ``name``, or a no-op when disabled."""
     if not _enabled:
         return _NULL_GAUGE  # type: ignore[return-value]
     return _registry.gauge(name)
 
 
 def histogram(name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+    """Active registry's histogram ``name``, or a no-op when disabled."""
     if not _enabled:
         return _NULL_HISTOGRAM  # type: ignore[return-value]
     return _registry.histogram(name, buckets)

@@ -25,7 +25,7 @@ from typing import Dict, Optional
 from repro.obs import runtime
 from repro.obs.metrics import MetricsRegistry, SpanRecord
 
-__all__ = ["Span", "NullSpan", "span", "NULL_SPAN"]
+__all__ = ["Span", "NullSpan", "span", "external_span", "NULL_SPAN"]
 
 
 class NullSpan:
@@ -40,6 +40,7 @@ class NullSpan:
         return False
 
     def set(self, **attrs: object) -> None:
+        """Accept and discard attributes (mirror of :meth:`Span.set`)."""
         pass
 
 
@@ -116,3 +117,38 @@ def span(name: str, **attrs: object):
     if not runtime.enabled():
         return NULL_SPAN
     return Span(name, runtime.registry(), attrs)
+
+
+def external_span(
+    name: str,
+    start: float,
+    seconds: float,
+    **attrs: object,
+) -> None:
+    """Record a span measured *outside* the active registry's process.
+
+    The parallel builder uses this to reconstruct worker-process shard
+    timelines: workers report ``time.perf_counter()`` start/duration pairs
+    and the parent synthesizes the span records. On Linux
+    ``perf_counter`` is ``CLOCK_MONOTONIC``, whose epoch is system-wide,
+    so child timestamps are directly comparable with the parent registry's
+    epoch and the shards line up truthfully on the Perfetto timeline.
+
+    The span is parented under the caller's currently open span (if any)
+    and is a no-op while observability is disabled, like :func:`span`.
+    """
+    if not runtime.enabled():
+        return
+    registry = runtime.registry()
+    stack = runtime.span_stack()
+    registry.record_span(
+        SpanRecord(
+            span_id=registry.next_span_id(),
+            parent_id=stack[-1] if stack else -1,
+            name=name,
+            depth=len(stack),
+            start=start - registry.epoch,
+            seconds=seconds,
+            attrs=dict(attrs),
+        )
+    )

@@ -1,0 +1,55 @@
+"""Parallel sharded construction of the atypical forest.
+
+The paper's cluster model is what makes the forest *parallelizable*: the
+spatial/temporal severity features are algebraic (Property 2) and the
+cluster merge of Algorithm 2 is commutative and associative (Property 3),
+so the model computed over a partition of the record stream can be
+combined into exactly the model a sequential pass would have produced —
+provided the partition never splits an atypical event and the combination
+happens in a pinned canonical order (float addition is not associative,
+so "exactly" here means *byte-identical*, which the test suite enforces).
+
+The subsystem has four parts:
+
+* :mod:`repro.parallel.sharding` — partitions the requested day range
+  into shards: one per day, or one per ``(day, district-connectivity
+  group)`` when sub-sharding by district. Groups are closed under the
+  ``delta_d`` sensor adjacency of Definition 1, so no atypical event ever
+  crosses a shard boundary.
+* :mod:`repro.parallel.worker` — the functions that run inside
+  ``ProcessPoolExecutor`` workers: Algorithm 1 extraction over one
+  shard's records (plus the shard's severity-cube cells), and Algorithm 3
+  integration of one week/month shard during materialization. Workers
+  re-open the dataset catalog from disk; only shard descriptors and
+  results cross the process boundary.
+* :mod:`repro.parallel.reduce` — the deterministic reducer: remaps
+  worker-local cluster ids onto the canonical serial id sequence in
+  (day, district) order, assembles the disjoint cube cells, and installs
+  worker-integrated week/month levels into the forest.
+* :mod:`repro.parallel.builder` — the orchestrator tying it together
+  (:class:`~repro.parallel.builder.ParallelForestBuilder`), used by
+  :meth:`repro.analysis.engine.AnalysisEngine.build_from_catalog_parallel`
+  and the ``repro build --workers N --shard-by {day,day-district}`` CLI.
+
+With observability enabled, the builder records ``parallel.build`` /
+``parallel.map`` / ``parallel.reduce`` / ``parallel.materialize`` spans
+plus one synthesized ``parallel.shard`` span per shard (worker wall time
+and queue wait), so ``--trace-out`` shows the fan-out in Perfetto.
+"""
+
+from repro.parallel.builder import ParallelBuildReport, ParallelForestBuilder
+from repro.parallel.sharding import (
+    ShardPlan,
+    ShardSpec,
+    district_groups,
+    plan_shards,
+)
+
+__all__ = [
+    "ParallelForestBuilder",
+    "ParallelBuildReport",
+    "ShardPlan",
+    "ShardSpec",
+    "district_groups",
+    "plan_shards",
+]

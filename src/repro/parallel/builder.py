@@ -1,0 +1,409 @@
+"""The parallel build orchestrator: map shards, reduce in canonical order.
+
+:class:`ParallelForestBuilder` fans the shard plan out over a
+``ProcessPoolExecutor`` (or runs it in process for ``workers=1``) and
+reduces the results in canonical ``(day, group)`` order regardless of
+completion order, so the constructed forest and cube are byte-identical
+to a serial build — the invariant the whole subsystem is built around
+(Property 3 licenses the parallelism; the pinned reduce order pins the
+floats).
+
+The ``workers=1`` path goes through the exact same shard/reduce
+machinery with no pool, which is why ``repro build`` routes *every*
+build through this builder: serial and parallel runs share one code
+path and one output.
+
+With observability enabled the builder emits a ``parallel.build`` span
+containing ``parallel.map`` / ``parallel.reduce`` (and, when asked to
+materialize, ``parallel.materialize.week`` / ``parallel.materialize.month``)
+plus one synthesized ``parallel.shard`` span per shard carrying the
+worker's wall time, queue wait, pid and cluster counts — visible as a
+fan-out lane in Perfetto via ``--trace-out``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.core.cluster import AtypicalCluster
+from repro.parallel import reduce as preduce
+from repro.parallel import worker as pworker
+from repro.parallel.sharding import ShardPlan, ShardSpec, plan_shards
+from repro.storage.catalog import DatasetCatalog
+
+__all__ = ["ParallelBuildReport", "ParallelForestBuilder"]
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Execution record of one shard (for reports and shard spans)."""
+
+    day: int
+    group: Optional[int]
+    records: int
+    clusters: int
+    queue_wait: float
+    seconds: float
+    pid: int
+
+
+@dataclass(frozen=True)
+class ParallelBuildReport:
+    """What a parallel build did and how long each phase took.
+
+    Execution details (worker count, timings) live here — and in the
+    ``engine.json`` sidecar — never in the forest itself, which records
+    only the worker-count-independent shard plan.
+    """
+
+    shard_by: str
+    workers: int
+    days_built: int
+    shards: int
+    records: int
+    clusters: int
+    map_seconds: float
+    reduce_seconds: float
+    materialize_seconds: float = 0.0
+    shard_timings: Tuple[ShardTiming, ...] = field(default=())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible summary for ``engine.json`` / bench output."""
+        return {
+            "shard_by": self.shard_by,
+            "workers": self.workers,
+            "days_built": self.days_built,
+            "shards": self.shards,
+            "records": self.records,
+            "clusters": self.clusters,
+            "map_seconds": self.map_seconds,
+            "reduce_seconds": self.reduce_seconds,
+            "materialize_seconds": self.materialize_seconds,
+        }
+
+
+class ParallelForestBuilder:
+    """Builds an engine's forest and cube from a catalog, in parallel.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.analysis.engine.AnalysisEngine` whose forest,
+        cube and id generator receive the build.
+    catalog:
+        On-disk :class:`~repro.storage.catalog.DatasetCatalog`; workers
+        re-open it independently (only shard descriptors cross the
+        process boundary).
+    workers:
+        Process count; ``1`` runs the same shard/reduce path in process.
+    shard_by:
+        ``"day"`` or ``"day-district"`` (see
+        :func:`repro.parallel.sharding.plan_shards`).
+    materialize:
+        Also build every week/month level, integrating the level shards
+        in workers (Algorithm 3 under temporary ids) and installing them
+        in canonical order.
+    """
+
+    def __init__(
+        self,
+        engine,
+        catalog: DatasetCatalog,
+        workers: int = 1,
+        shard_by: str = "day",
+        materialize: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._engine = engine
+        self._catalog = catalog
+        self._workers = int(workers)
+        self._shard_by = shard_by
+        self._materialize = materialize
+
+    # ------------------------------------------------------------------
+    def plan(self, days: Optional[Sequence[int]] = None) -> ShardPlan:
+        """The shard plan for the requested (or all catalogued) days."""
+        available: List[int] = []
+        for dataset in self._catalog:
+            wanted = (
+                dataset.days
+                if days is None
+                else [d for d in days if d in dataset.days]
+            )
+            available.extend(wanted)
+        config = self._engine.config
+        return plan_shards(
+            available,
+            self._shard_by,
+            network=self._engine.network,
+            districts=self._engine.districts,
+            delta_d=config.distance_miles,
+            extraction_method=config.extraction_method,
+        )
+
+    # ------------------------------------------------------------------
+    def build(self, days: Optional[Sequence[int]] = None) -> ParallelBuildReport:
+        """Run the full map/reduce build; returns the execution report."""
+        plan = self.plan(days)
+        config_dict = dataclasses.asdict(self._engine.config)
+        data_dir = str(self._catalog.directory)
+        with obs.span("parallel.build") as sp:
+            map_start = time.perf_counter()
+            if self._workers == 1:
+                results, timings = self._map_serial(plan, data_dir, config_dict)
+            else:
+                results, timings = self._map_pooled(plan, data_dir, config_dict)
+            map_seconds = time.perf_counter() - map_start
+
+            reduce_start = time.perf_counter()
+            clusters, ranges = self._reduce(plan, results)
+            reduce_seconds = time.perf_counter() - reduce_start
+
+            provenance = dict(plan.provenance())
+            provenance["day_cluster_ranges"] = ranges
+            self._engine.forest.set_provenance(provenance)
+
+            materialize_seconds = 0.0
+            if self._materialize:
+                materialize_start = time.perf_counter()
+                self._materialize_levels(data_dir, config_dict)
+                materialize_seconds = time.perf_counter() - materialize_start
+
+            report = ParallelBuildReport(
+                shard_by=plan.shard_by,
+                workers=self._workers,
+                days_built=len(plan.days),
+                shards=len(plan.shards),
+                records=sum(t.records for t in timings),
+                clusters=clusters,
+                map_seconds=map_seconds,
+                reduce_seconds=reduce_seconds,
+                materialize_seconds=materialize_seconds,
+                shard_timings=tuple(timings),
+            )
+            sp.set(
+                workers=self._workers,
+                shard_by=plan.shard_by,
+                days=len(plan.days),
+                shards=len(plan.shards),
+                clusters=clusters,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Map phase
+    # ------------------------------------------------------------------
+    def _map_serial(
+        self,
+        plan: ShardPlan,
+        data_dir: str,
+        config_dict: dict,
+    ) -> Tuple[Dict[Tuple[int, int], pworker.ExtractionShardResult], List[ShardTiming]]:
+        pworker.configure(data_dir, config_dict)
+        results: Dict[Tuple[int, int], pworker.ExtractionShardResult] = {}
+        timings: List[ShardTiming] = []
+        with obs.span("parallel.map", mode="in-process"):
+            for shard in plan.shards:
+                submitted = time.perf_counter()
+                result = pworker.run_extraction_shard(shard)
+                results[shard.key] = result
+                timings.append(self._record_shard(shard, result, submitted))
+        return results, timings
+
+    def _map_pooled(
+        self,
+        plan: ShardPlan,
+        data_dir: str,
+        config_dict: dict,
+    ) -> Tuple[Dict[Tuple[int, int], pworker.ExtractionShardResult], List[ShardTiming]]:
+        results: Dict[Tuple[int, int], pworker.ExtractionShardResult] = {}
+        timings: List[ShardTiming] = []
+        with obs.span("parallel.map", mode="process-pool") as sp:
+            with ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=pworker.init_worker,
+                initargs=(data_dir, config_dict),
+            ) as pool:
+                submitted = time.perf_counter()
+                futures = {
+                    pool.submit(pworker.run_extraction_shard, shard): shard
+                    for shard in plan.shards
+                }
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        shard = futures[future]
+                        result = future.result()
+                        results[shard.key] = result
+                        timings.append(
+                            self._record_shard(shard, result, submitted)
+                        )
+            sp.set(shards=len(plan.shards))
+        timings.sort(key=lambda t: (t.day, -1 if t.group is None else t.group))
+        return results, timings
+
+    def _record_shard(
+        self,
+        shard: ShardSpec,
+        result: pworker.ExtractionShardResult,
+        submitted: float,
+    ) -> ShardTiming:
+        timing = ShardTiming(
+            day=shard.day,
+            group=shard.group,
+            records=result.records,
+            clusters=len(result.clusters),
+            queue_wait=max(0.0, result.started - submitted),
+            seconds=result.finished - result.started,
+            pid=result.pid,
+        )
+        obs.external_span(
+            "parallel.shard",
+            result.started,
+            timing.seconds,
+            day=timing.day,
+            group=timing.group,
+            records=timing.records,
+            clusters=timing.clusters,
+            queue_wait=timing.queue_wait,
+            pid=timing.pid,
+        )
+        return timing
+
+    # ------------------------------------------------------------------
+    # Reduce phase
+    # ------------------------------------------------------------------
+    def _reduce(
+        self,
+        plan: ShardPlan,
+        results: Dict[Tuple[int, int], pworker.ExtractionShardResult],
+    ) -> Tuple[int, List[List[int]]]:
+        """Install every day in canonical order; returns (clusters, ranges)."""
+        forest = self._engine.forest
+        cube = self._engine.cube
+        by_day: Dict[int, List[pworker.ExtractionShardResult]] = {}
+        for shard in plan.shards:  # plan order IS canonical order
+            by_day.setdefault(shard.day, []).append(results[shard.key])
+        total = 0
+        ranges: List[List[int]] = []
+        with obs.span("parallel.reduce") as sp:
+            for day in plan.days:
+                shards = by_day.get(day, [])
+                merged = preduce.merge_day_shards(shards, forest.ids)
+                forest.add_day(day, merged)
+                for shard in shards:
+                    preduce.absorb_cube_shard(cube, shard)
+                if merged:
+                    first = min(c.cluster_id for c in merged)
+                    ranges.append([day, first, len(merged)])
+                else:
+                    ranges.append([day, -1, 0])
+                total += len(merged)
+            sp.set(days=len(plan.days), clusters=total)
+        return total, ranges
+
+    # ------------------------------------------------------------------
+    # Optional level materialization (Algorithm 3 in workers)
+    # ------------------------------------------------------------------
+    def _materialize_levels(self, data_dir: str, config_dict: dict) -> None:
+        forest = self._engine.forest
+        calendar = self._engine.calendar
+        days = forest.days
+        weeks = sorted({calendar.week_of_day(d) for d in days})
+        week_tasks = [
+            pworker.IntegrationShardTask(
+                kind="week",
+                key=week,
+                clusters=forest.micro_clusters(calendar.week_day_range(week)),
+            )
+            for week in weeks
+        ]
+        with obs.span("parallel.materialize.week", shards=len(week_tasks)):
+            week_results = self._run_integration(week_tasks, data_dir, config_dict)
+            for week in weeks:  # ascending = the serial materialize() order
+                preduce.install_integration_shard(forest, week_results[week])
+        months = sorted({calendar.month_of_day(d) for d in days})
+        month_tasks = []
+        for month in months:
+            month_weeks = sorted(
+                {
+                    calendar.week_of_day(day)
+                    for day in calendar.month_day_range(month)
+                    if day in set(days)
+                }
+            )
+            inputs: List[AtypicalCluster] = []
+            for week in month_weeks:
+                inputs.extend(forest.week_clusters(week))
+            month_tasks.append(
+                pworker.IntegrationShardTask(kind="month", key=month, clusters=inputs)
+            )
+        with obs.span("parallel.materialize.month", shards=len(month_tasks)):
+            month_results = self._run_integration(month_tasks, data_dir, config_dict)
+            for month in months:
+                preduce.install_integration_shard(forest, month_results[month])
+
+    def _run_integration(
+        self,
+        tasks: List[pworker.IntegrationShardTask],
+        data_dir: str,
+        config_dict: dict,
+    ) -> Dict[int, pworker.IntegrationShardResult]:
+        config = self._engine.config
+        call_args = (
+            config.similarity_threshold,
+            config.balance_function,
+            config.integration_method,
+        )
+        results: Dict[int, pworker.IntegrationShardResult] = {}
+        if self._workers == 1:
+            pworker.configure(data_dir, config_dict)
+            for task in tasks:
+                submitted = time.perf_counter()
+                result = pworker.run_integration_shard(task, *call_args)
+                results[task.key] = result
+                self._record_integration(result, submitted)
+            return results
+        with ProcessPoolExecutor(
+            max_workers=self._workers,
+            initializer=pworker.init_worker,
+            initargs=(data_dir, config_dict),
+        ) as pool:
+            submitted = time.perf_counter()
+            futures = {
+                pool.submit(pworker.run_integration_shard, task, *call_args): task
+                for task in tasks
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures[future]
+                    result = future.result()
+                    results[task.key] = result
+                    self._record_integration(result, submitted)
+        return results
+
+    def _record_integration(
+        self,
+        result: pworker.IntegrationShardResult,
+        submitted: float,
+    ) -> None:
+        obs.external_span(
+            "parallel.integrate",
+            result.started,
+            result.finished - result.started,
+            kind=result.kind,
+            key=result.key,
+            clusters=len(result.clusters),
+            merges=result.merges,
+            queue_wait=max(0.0, result.started - submitted),
+            pid=result.pid,
+        )

@@ -1,0 +1,154 @@
+"""Deterministic reduction of shard results into the canonical model.
+
+The reducer is what turns "parallel" into "byte-identical". Workers
+compute clusters under worker-local (or temporary) ids; this module
+replays the serial run's id assignment and registration order exactly:
+
+* :func:`merge_day_shards` — combine one day's extraction shards into
+  the day's canonical micro-cluster list. Ids are drawn from the
+  forest's generator in whole-day component-rank order (reconstructed
+  from the shards' order keys), and the final list is stable-sorted by
+  ``(-severity, start_window)`` — precisely what
+  :meth:`~repro.core.events.EventExtractor.extract_micro_clusters`
+  produces in process.
+* :func:`absorb_cube_shard` — accumulate a shard's severity-cube cells.
+  Shards are cell-disjoint (day shards own whole columns, district
+  groups own disjoint rows), so each base-cuboid cell is written by
+  exactly one shard and carries the bit-exact serial sum.
+* :func:`install_integration_shard` — remap a worker-side Algorithm 3
+  result (week/month materialization) onto real forest ids and install
+  it. Temporary merge-product ids are remapped in creation order, which
+  is the order the serial run would have drawn them in; the shard's
+  similarity memo is folded into the forest's shared cache under the
+  remapped ids.
+
+Everything here is pure sequential bookkeeping — the reducer's cost is
+proportional to the number of clusters, not records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
+from repro.core.forest import AtypicalForest
+from repro.core.integration import SimilarityCache
+from repro.cube.datacube import SeverityCube
+from repro.parallel.worker import (
+    TEMP_ID_BASE,
+    ExtractionShardResult,
+    IntegrationShardResult,
+)
+
+__all__ = [
+    "merge_day_shards",
+    "absorb_cube_shard",
+    "install_integration_shard",
+]
+
+
+def merge_day_shards(
+    shards: Sequence[ExtractionShardResult],
+    ids: ClusterIdGenerator,
+) -> List[AtypicalCluster]:
+    """One day's canonical micro-cluster list from its extraction shards.
+
+    ``shards`` must all belong to the same day and arrive in canonical
+    group order (the builder guarantees this regardless of completion
+    order). For a single whole-day shard the worker-local ids *are* the
+    component ranks, so the remap is positional. For district-group
+    shards, the whole-day component rank of every cluster is the rank of
+    its order key (the minimum packed node key of its component — see
+    ``extract_micro_clusters_ordered``), which is comparable across
+    groups because the groups partition the day's sensors.
+    """
+    if len(shards) == 1 and shards[0].group is None:
+        shard = shards[0]
+        # worker-local ids are 0..n-1 in component-rank order; draw the
+        # real ids in that order, then keep the worker's already-final
+        # (-severity, start_window) arrangement
+        id_map = {
+            local: ids.next_id() for local in range(len(shard.clusters))
+        }
+        return [
+            replace(c, cluster_id=id_map[c.cluster_id]) for c in shard.clusters
+        ]
+    keyed: List[tuple[int, AtypicalCluster]] = []
+    for shard in shards:
+        if shard.order_keys is None:
+            raise ValueError(
+                "multi-shard day reduction requires order keys "
+                f"(day {shard.day}, group {shard.group})"
+            )
+        keyed.extend(zip(shard.order_keys, shard.clusters))
+    # order keys are min-of-component node keys over disjoint components,
+    # hence unique; ranking them restores the whole-day component order
+    keyed.sort(key=lambda pair: pair[0])
+    merged = [
+        replace(cluster, cluster_id=ids.next_id()) for _, cluster in keyed
+    ]
+    # ...and the serial extractor's final arrangement is a stable sort of
+    # the id-ordered list by (-severity, start_window)
+    merged.sort(key=lambda c: (-c.severity(), c.start_window()))
+    return merged
+
+
+def absorb_cube_shard(cube: SeverityCube, shard: ExtractionShardResult) -> None:
+    """Accumulate one shard's non-zero base-cuboid cells.
+
+    Exactness argument: the shard computed each of its cells with the
+    same ``np.add.at`` record order the serial cube uses, shards never
+    share a cell, and adding a shard value onto the cell's initial 0.0 is
+    exact — so the assembled cuboid equals the serial one bit-for-bit
+    (Property 4's distributivity, realized without reassociating floats).
+    """
+    cube.absorb_cells(shard.cube_rows, shard.cube_cols, shard.cube_vals, shard.records)
+
+
+def install_integration_shard(
+    forest: AtypicalForest,
+    shard: IntegrationShardResult,
+) -> List[AtypicalCluster]:
+    """Remap one worker-side week/month materialization and install it.
+
+    The worker numbered merge products from ``TEMP_ID_BASE`` in creation
+    order. Drawing real ids from the forest generator in that same order
+    reproduces the serial id sequence (Algorithm 3's merge order is
+    deterministic and id-order-isomorphic under the temp scheme — see
+    :func:`repro.parallel.worker.run_integration_shard`). Survivor
+    clusters keep their ids and are resolved through :meth:`~repro.core.
+    forest.AtypicalForest.lookup` so the registry keeps its original
+    objects.
+    """
+    id_map: Dict[int, int] = {}
+    remapped: Dict[int, AtypicalCluster] = {}
+    created: List[AtypicalCluster] = []
+    for cluster in shard.created:
+        real_id = forest.ids.next_id()
+        id_map[cluster.cluster_id] = real_id
+        renumbered = replace(
+            cluster,
+            cluster_id=real_id,
+            members=tuple(id_map.get(m, m) for m in cluster.members),
+        )
+        remapped[cluster.cluster_id] = renumbered
+        created.append(renumbered)
+    clusters = [
+        remapped[c.cluster_id]
+        if c.cluster_id >= TEMP_ID_BASE
+        else forest.lookup(c.cluster_id)
+        for c in shard.clusters
+    ]
+    shadow = SimilarityCache()
+    shadow._store = dict(shard.cache_entries)
+    shadow.hits = shard.cache_hits
+    shadow.misses = shard.cache_misses
+    forest.similarity_cache.merge_from(shadow, id_map)
+    if shard.kind == "week":
+        forest.install_week(shard.key, clusters, created)
+    elif shard.kind == "month":
+        forest.install_month(shard.key, clusters, created)
+    else:
+        raise ValueError(f"unknown integration shard kind: {shard.kind!r}")
+    return clusters

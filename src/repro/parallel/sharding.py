@@ -1,0 +1,172 @@
+"""Shard planning: partition the record stream without splitting events.
+
+Two shard axes are supported:
+
+* ``"day"`` — one shard per day. Always sound: the serial builder
+  (Algorithm 1 per day) processes days independently, so a day is a
+  natural unit of parallelism for any extraction method.
+* ``"day-district"`` — each day is further split by *district
+  connectivity group*. Definition 1 relates two records only when their
+  sensors are within ``delta_d``, so an atypical event (Def. 3, a
+  connected component of the record graph) can never span two districts
+  whose sensor sets have no cross pair within ``delta_d``. Grouping
+  districts by the transitive closure of that adjacency therefore yields
+  sub-day shards that are closed under event connectivity — every event
+  falls entirely inside one shard, and per-shard Algorithm 1 finds
+  exactly the components the whole-day pass would have found.
+
+The plan is a pure function of the deployment and the day range — never
+of the worker count — which is what lets the reducer produce
+byte-identical output at any parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.events import UnionFind
+from repro.spatial.grid import SensorGridIndex
+from repro.spatial.network import SensorNetwork
+from repro.spatial.regions import DistrictGrid
+
+__all__ = ["ShardSpec", "ShardPlan", "district_groups", "plan_shards"]
+
+SHARD_AXES = ("day", "day-district")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of map-phase work: a day, optionally restricted to a group.
+
+    ``group`` is an index into the plan's district-connectivity groups
+    (None for whole-day shards); ``sensor_ids`` is the sorted sensor
+    subset of that group (None means all sensors).
+    """
+
+    day: int
+    group: Optional[int] = None
+    sensor_ids: Optional[Tuple[int, ...]] = None
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Canonical reduce order: days ascending, groups ascending."""
+        return (self.day, -1 if self.group is None else self.group)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full partition of a build: shards in canonical order.
+
+    ``groups`` lists the district ids of each connectivity group (empty
+    for day sharding). The plan, not the execution, is what forest
+    provenance records (see :meth:`provenance`).
+    """
+
+    shard_by: str
+    days: Tuple[int, ...]
+    shards: Tuple[ShardSpec, ...]
+    groups: Tuple[Tuple[int, ...], ...] = ()
+
+    def provenance(self) -> Dict[str, object]:
+        """JSON-compatible shard provenance for the forest header.
+
+        Deliberately excludes anything execution-dependent (worker count,
+        timings, pids): two builds of the same plan must serialize to
+        byte-identical forests regardless of parallelism.
+        """
+        return {
+            "shard_by": self.shard_by,
+            "days": list(self.days),
+            "groups": [list(g) for g in self.groups],
+            "shards": [
+                {"day": s.day, "group": s.group} for s in self.shards
+            ],
+        }
+
+
+def district_groups(
+    network: SensorNetwork,
+    districts: DistrictGrid,
+    delta_d: float,
+) -> Tuple[Tuple[int, ...], ...]:
+    """Connectivity groups of districts under the ``delta_d`` adjacency.
+
+    Two districts join the same group when any sensor pair across them
+    lies strictly within ``delta_d`` (the Definition 1 spatial
+    threshold); groups are the transitive closure. Events (Def. 3) can
+    only connect records through such pairs, so no event crosses a group
+    boundary — the soundness condition for ``day-district`` sharding.
+
+    Returns the groups as sorted district-id tuples, ordered by their
+    smallest district id (a deterministic canonical order).
+    """
+    grid = SensorGridIndex(network, delta_d)
+    uf = UnionFind(len(districts))
+    for a, b in grid.neighbour_pairs():
+        da = districts.district_of(a)
+        db = districts.district_of(b)
+        if da != db:
+            uf.union(da, db)
+    by_root: Dict[int, List[int]] = {}
+    for district in range(len(districts)):
+        by_root.setdefault(uf.find(district), []).append(district)
+    groups = sorted((tuple(sorted(members)) for members in by_root.values()))
+    return tuple(groups)
+
+
+def plan_shards(
+    days: Sequence[int],
+    shard_by: str = "day",
+    *,
+    network: Optional[SensorNetwork] = None,
+    districts: Optional[DistrictGrid] = None,
+    delta_d: Optional[float] = None,
+    extraction_method: str = "grid",
+) -> ShardPlan:
+    """Build the shard plan for ``days`` along the requested axis.
+
+    ``day-district`` requires the deployment (``network`` / ``districts``
+    / ``delta_d``) to compute connectivity groups, and requires the
+    ``"grid"`` extraction method: the reducer reconstructs whole-day
+    component ranks from per-cluster order keys (see
+    :meth:`repro.core.events.EventExtractor.extract_micro_clusters_ordered`),
+    which the naive union-find labeller cannot provide.
+    """
+    if shard_by not in SHARD_AXES:
+        raise ValueError(
+            f"unknown shard axis {shard_by!r}; expected one of {SHARD_AXES}"
+        )
+    day_list = tuple(sorted(set(int(d) for d in days)))
+    if shard_by == "day":
+        return ShardPlan(
+            shard_by=shard_by,
+            days=day_list,
+            shards=tuple(ShardSpec(day=d) for d in day_list),
+        )
+    if extraction_method != "grid":
+        raise ValueError(
+            "day-district sharding requires the 'grid' extraction method; "
+            f"got {extraction_method!r} (see extract_micro_clusters_ordered)"
+        )
+    if network is None or districts is None or delta_d is None:
+        raise ValueError(
+            "day-district sharding needs network, districts and delta_d "
+            "to compute connectivity groups"
+        )
+    groups = district_groups(network, districts, delta_d)
+    group_sensors: List[Tuple[int, ...]] = []
+    for members in groups:
+        sensors: List[int] = []
+        for district_id in members:
+            sensors.extend(districts[district_id].sensor_ids)
+        group_sensors.append(tuple(sorted(sensors)))
+    shards = tuple(
+        ShardSpec(day=d, group=g, sensor_ids=group_sensors[g])
+        for d in day_list
+        for g in range(len(groups))
+        if group_sensors[g]
+    )
+    return ShardPlan(
+        shard_by=shard_by, days=day_list, shards=shards, groups=groups
+    )

@@ -1,0 +1,285 @@
+"""Worker-side execution: what runs inside the process pool.
+
+Workers are initialized with the catalog directory and the engine
+configuration only — record data never crosses the process boundary.
+Each worker lazily rebuilds the deployment
+(:meth:`~repro.simulate.generator.TrafficSimulator.from_catalog_dir`)
+and reads its shards' records straight from the on-disk datasets, so the
+parent sends a few-hundred-byte :class:`~repro.parallel.sharding.ShardSpec`
+per task and receives the extracted micro-clusters back.
+
+Two task kinds exist:
+
+* :func:`run_extraction_shard` — Algorithm 1 over one shard's records
+  (plus the shard's severity-cube cells, Property 4's distributive
+  measure). Micro-clusters are numbered from a worker-local
+  :class:`~repro.core.cluster.ClusterIdGenerator`; the reducer remaps
+  them onto the canonical id sequence.
+* :func:`run_integration_shard` — Algorithm 3 over one week/month
+  shard's input clusters during forest materialization, using the
+  incremental indexed engine and a private
+  :class:`~repro.core.integration.SimilarityCache`. Merge products are
+  numbered from a temporary id base far above any real id; the reducer
+  remaps them in creation order, which reproduces the serial id sequence
+  exactly (merging is order-deterministic given the tie-breaking rules,
+  and Property 3 makes the merged features independent of who computed
+  them).
+
+Timings are ``time.perf_counter()`` pairs. On Linux that clock is
+``CLOCK_MONOTONIC`` with a system-wide epoch, so the parent can place
+worker spans truthfully on its own trace timeline (see
+:func:`repro.obs.external_span`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.engine import EngineConfig
+from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
+from repro.core.events import EventExtractor
+from repro.core.integration import ClusterIntegrator, SimilarityCache
+from repro.core.records import RecordBatch
+from repro.cube.datacube import SeverityCube
+from repro.parallel.sharding import ShardSpec
+from repro.simulate.generator import TrafficSimulator
+from repro.storage.catalog import DatasetCatalog
+
+__all__ = [
+    "ExtractionShardResult",
+    "IntegrationShardTask",
+    "IntegrationShardResult",
+    "init_worker",
+    "configure",
+    "run_extraction_shard",
+    "run_integration_shard",
+]
+
+#: Worker-local merge products are numbered from here upward — far above
+#: any id a real forest can reach — so the reducer can tell "temporary,
+#: remap me" ids from final micro/macro ids by a single comparison.
+TEMP_ID_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class ExtractionShardResult:
+    """One extraction shard's output, ready for the deterministic reduce.
+
+    ``clusters`` carry worker-local ids (0, 1, ... in component order);
+    ``order_keys`` align with ``clusters`` and are only present for
+    sub-day shards (see
+    :meth:`~repro.core.events.EventExtractor.extract_micro_clusters_ordered`).
+    ``cube_rows``/``cube_cols``/``cube_vals`` are the shard's non-zero
+    ``(district, day)`` severity cells — shards are cell-disjoint, so the
+    reducer assembles the base cuboid exactly (Property 4).
+    """
+
+    day: int
+    group: Optional[int]
+    clusters: List[AtypicalCluster]
+    order_keys: Optional[List[int]]
+    cube_rows: np.ndarray
+    cube_cols: np.ndarray
+    cube_vals: np.ndarray
+    records: int
+    started: float
+    finished: float
+    pid: int
+
+
+@dataclass(frozen=True)
+class IntegrationShardTask:
+    """One materialization shard: integrate ``clusters`` (Algorithm 3)."""
+
+    kind: str  # "week" | "month"
+    key: int
+    clusters: List[AtypicalCluster]
+
+
+@dataclass(frozen=True)
+class IntegrationShardResult:
+    """Algorithm 3 output of one week/month shard.
+
+    ``created`` lists intermediate merge products in creation order with
+    temporary ids (>= :data:`TEMP_ID_BASE`); ``clusters`` is the final
+    macro-cluster set (survivor micros keep their real ids).
+    ``cache_entries`` ships the worker's similarity memo for
+    :meth:`~repro.core.integration.SimilarityCache.merge_from`.
+    """
+
+    kind: str
+    key: int
+    clusters: List[AtypicalCluster]
+    created: List[AtypicalCluster]
+    merges: int
+    comparisons: int
+    fast_rejects: int
+    rounds: int
+    cache_entries: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    started: float = 0.0
+    finished: float = 0.0
+    pid: int = 0
+
+
+class _WorkerState:
+    """Per-process deployment, rebuilt lazily from the catalog directory."""
+
+    def __init__(self, data_dir: str, config: EngineConfig):
+        self.config = config
+        self.simulator = TrafficSimulator.from_catalog_dir(data_dir)
+        self.catalog = DatasetCatalog(data_dir)
+        self.network = self.simulator.network
+        self.districts = self.simulator.districts()
+        self.calendar = self.simulator.calendar
+        self.spec = self.simulator.window_spec
+        self.extractor = EventExtractor(
+            self.network,
+            config.extraction_params(),
+            self.spec,
+            method=config.extraction_method,
+        )
+
+
+_INIT: Optional[Tuple[str, dict]] = None
+_STATE: Optional[_WorkerState] = None
+
+
+def init_worker(data_dir: str, config_dict: dict) -> None:
+    """``ProcessPoolExecutor`` initializer: remember what to build.
+
+    The heavy work (re-reading the simulation config, building the grid
+    index) happens lazily on the first task, so initialization failures
+    surface as task exceptions with usable tracebacks instead of an
+    opaque ``BrokenProcessPool``.
+    """
+    global _INIT, _STATE
+    _INIT = (str(data_dir), dict(config_dict))
+    _STATE = None
+
+
+def configure(data_dir: str, config_dict: dict) -> None:
+    """In-process variant of :func:`init_worker` (the ``--workers 1`` path)."""
+    init_worker(data_dir, config_dict)
+
+
+def _state() -> _WorkerState:
+    global _STATE
+    if _STATE is None:
+        if _INIT is None:
+            raise RuntimeError(
+                "parallel worker used before init_worker/configure"
+            )
+        data_dir, config_dict = _INIT
+        _STATE = _WorkerState(data_dir, EngineConfig(**config_dict))
+    return _STATE
+
+
+def _shard_batch(state: _WorkerState, shard: ShardSpec) -> RecordBatch:
+    """The shard's records: the day's PR output, group-filtered if needed."""
+    dataset = state.catalog.dataset_for_day(shard.day)
+    if dataset is None:
+        raise ValueError(f"day {shard.day} not found in catalog")
+    batch = dataset.atypical_day(shard.day)
+    if shard.sensor_ids is None:
+        return batch
+    members = np.asarray(shard.sensor_ids, dtype=batch.sensor_ids.dtype)
+    mask = np.isin(batch.sensor_ids, members)
+    return batch.select(mask)
+
+
+def run_extraction_shard(shard: ShardSpec) -> ExtractionShardResult:
+    """Algorithm 1 over one shard, plus its severity-cube cells.
+
+    Whole-day shards use the plain extractor (ids in component order are
+    already the canonical within-day order); sub-day shards use the
+    ordered variant so the reducer can reconstruct whole-day component
+    ranks across groups.
+    """
+    started = time.perf_counter()
+    state = _state()
+    batch = _shard_batch(state, shard)
+    ids = ClusterIdGenerator(0)
+    # a no-op inside pool processes (observability is per-process and off
+    # there — the parent synthesizes parallel.shard spans instead), but on
+    # the workers=1 in-process path this keeps the serial builder's span
+    # taxonomy: one extract.day per day under build.catalog
+    with obs.span("extract.day") as sp:
+        if shard.group is None:
+            clusters = state.extractor.extract_micro_clusters(batch, ids)
+            order_keys: Optional[List[int]] = None
+        else:
+            clusters, order_keys = (
+                state.extractor.extract_micro_clusters_ordered(batch, ids)
+            )
+        sp.set(
+            day=shard.day,
+            group=shard.group,
+            records=len(batch),
+            clusters=len(clusters),
+        )
+    cube = SeverityCube(state.districts, state.calendar, state.spec)
+    cube.add_records(batch)
+    cells = cube.cells()
+    rows, cols = np.nonzero(cells)
+    return ExtractionShardResult(
+        day=shard.day,
+        group=shard.group,
+        clusters=clusters,
+        order_keys=order_keys,
+        cube_rows=rows,
+        cube_cols=cols,
+        cube_vals=np.ascontiguousarray(cells[rows, cols]),
+        records=len(batch),
+        started=started,
+        finished=time.perf_counter(),
+        pid=os.getpid(),
+    )
+
+
+def run_integration_shard(
+    task: IntegrationShardTask,
+    threshold: float,
+    balance: str,
+    method: str,
+) -> IntegrationShardResult:
+    """Algorithm 3 over one materialization shard, under temporary ids.
+
+    Runs the same configured
+    :class:`~repro.core.integration.ClusterIntegrator` the forest would
+    use, with merge products numbered from :data:`TEMP_ID_BASE`. Because
+    every input id is below the base and creation order is deterministic,
+    the id *order* is isomorphic to the serial run's — which is all the
+    integrator's tie-breaking (lowest-id pair first, final sort by
+    ``(-severity, id)``) depends on — so the reducer's in-order remap
+    reproduces the serial result exactly.
+    """
+    started = time.perf_counter()
+    integrator = ClusterIntegrator(threshold, balance, method)
+    cache = SimilarityCache()
+    result = integrator.integrate(
+        task.clusters, ClusterIdGenerator(TEMP_ID_BASE), cache
+    )
+    return IntegrationShardResult(
+        kind=task.kind,
+        key=task.key,
+        clusters=result.clusters,
+        created=list(result.created.values()),
+        merges=result.merges,
+        comparisons=result.comparisons,
+        fast_rejects=result.fast_rejects,
+        rounds=result.rounds,
+        cache_entries=dict(cache._store),
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+        started=started,
+        finished=time.perf_counter(),
+        pid=os.getpid(),
+    )

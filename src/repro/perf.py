@@ -37,6 +37,7 @@ __all__ = [
     "dict_similarity",
     "scalar_indexed_integrate",
     "scalar_rescan_naive_integrate",
+    "run_parallel_build_benchmark",
     "run_integration_benchmark",
     "format_report",
 ]
@@ -304,6 +305,100 @@ def _signature(clusters: List[AtypicalCluster]) -> List[Tuple[bytes, bytes]]:
     )
 
 
+def run_parallel_build_benchmark(
+    workers: int = 1,
+    shard_by: str = "day",
+    build_days: int = 31,
+    seed: int = 7,
+    profile: str = "benchmark",
+    phase_seconds: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Benchmark the sharded parallel forest builder against serial.
+
+    Materializes one month of the requested simulation profile (default:
+    the ~270-sensor ``benchmark`` profile, big enough to amortize pool
+    startup), builds it once through the ``workers=1`` in-process path
+    and once with ``workers`` processes,
+    and byte-compares the two saved models (forest + cube). The
+    correctness flag is reported as ``identical_macro_clusters`` so the
+    regression gate (``benchmarks/compare.py``) enforces it the same way
+    it does for the kernel sections. The legacy serial builder
+    (:meth:`~repro.analysis.engine.AnalysisEngine.build_from_catalog`)
+    is compared too — the parallel path must reproduce it exactly.
+    """
+    import hashlib
+    import tempfile
+
+    from repro.analysis.engine import AnalysisEngine
+    from repro.simulate.generator import SimulationConfig, TrafficSimulator
+    from repro.storage.catalog import DatasetCatalog
+
+    seconds = phase_seconds if phase_seconds is not None else {}
+    with _phase("parallel_build", seconds):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            tmp_path = Path(tmp)
+            base = (
+                SimulationConfig.small(seed=seed)
+                if profile == "small"
+                else SimulationConfig.benchmark(seed=seed)
+            )
+            simulator = TrafficSimulator(base)
+            simulator.materialize_catalog(tmp_path / "data", months=[0])
+            catalog = DatasetCatalog(tmp_path / "data")
+            days = range(build_days)
+
+            def build(n: int):
+                engine = AnalysisEngine.from_simulator(simulator)
+                started = time.perf_counter()
+                report = engine.build_from_catalog_parallel(
+                    catalog, days, workers=n, shard_by=shard_by
+                )
+                elapsed = time.perf_counter() - started
+                return engine, report, elapsed
+
+            serial_engine, serial_report, serial_seconds = build(1)
+            parallel_engine, parallel_report, parallel_seconds = build(workers)
+
+            legacy_engine = AnalysisEngine.from_simulator(simulator)
+            legacy_engine.build_from_catalog(catalog, days)
+            # the legacy path records no shard provenance; align it so the
+            # byte comparison covers clusters, id maps and registry order
+            legacy_engine.forest.set_provenance(
+                parallel_engine.forest.provenance
+            )
+
+            digests = {}
+            for name, engine in (
+                ("serial", serial_engine),
+                ("parallel", parallel_engine),
+                ("legacy", legacy_engine),
+            ):
+                out_dir = tmp_path / name
+                engine.save(out_dir)
+                digests[name] = tuple(
+                    hashlib.sha256((out_dir / f).read_bytes()).hexdigest()
+                    for f in ("forest.bin", "cube.bin")
+                )
+    return {
+        "workers": workers,
+        "shard_by": shard_by,
+        "build_days": build_days,
+        "shards": parallel_report.shards,
+        "records": parallel_report.records,
+        "clusters": parallel_report.clusters,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds
+        if parallel_seconds
+        else float("inf"),
+        "map_seconds": parallel_report.map_seconds,
+        "reduce_seconds": parallel_report.reduce_seconds,
+        "identical_macro_clusters": (
+            digests["serial"] == digests["parallel"] == digests["legacy"]
+        ),
+    }
+
+
 def run_integration_benchmark(
     num_clusters: int = 400,
     seed: int = 7,
@@ -312,11 +407,18 @@ def run_integration_benchmark(
     balance: str = "avg",
     naive_subset: int = 150,
     out_path: Optional[Path] = None,
+    workers: int = 1,
+    shard_by: str = "day",
 ) -> dict:
     """Benchmark vectorized vs dict-loop similarity and integration.
 
     Returns (and optionally writes) the machine-readable report. Fixed
-    seed and min-of-``repeats`` timing keep it stable run to run.
+    seed and min-of-``repeats`` timing keep it stable run to run. The
+    ``parallel_build`` section (see :func:`run_parallel_build_benchmark`)
+    compares the sharded builder at ``workers`` processes against the
+    serial path; with the default ``workers=1`` it still runs — as the
+    identity check that the two code paths produce one model — and
+    reports a speedup of ~1.
     """
     if num_clusters < 2:
         raise ValueError("benchmark needs at least 2 clusters (one pair)")
@@ -378,6 +480,14 @@ def run_integration_benchmark(
         heap_best, heap_mean, heap_result = _time(heap_naive_integrate, repeats)
     rescan_clusters, rescan_merges, rescan_comparisons = rescan_out
 
+    # -- sharded forest builder: serial path vs N worker processes -------
+    parallel_build = run_parallel_build_benchmark(
+        workers=workers,
+        shard_by=shard_by,
+        seed=seed,
+        phase_seconds=phase_seconds,
+    )
+
     report = {
         "workload": {
             "num_clusters": num_clusters,
@@ -410,6 +520,7 @@ def run_integration_benchmark(
                 _signature(vec_result.clusters) == _signature(scalar_clusters)
             ),
         },
+        "parallel_build": parallel_build,
         "naive_fixpoint": {
             "subset_clusters": len(subset),
             "rescan_seconds": rescan_best,
@@ -469,6 +580,16 @@ def format_report(report: dict) -> str:
         f"heap comparisons={naive['heap_comparisons']} "
         f"identical={naive['identical_macro_clusters']}",
     ]
+    par = report.get("parallel_build")
+    if par:
+        lines.append(
+            f"parallel build ({par['shard_by']}, {par['build_days']} days): "
+            f"serial {par['serial_seconds']:.3f}s vs "
+            f"{par['workers']} worker(s) {par['parallel_seconds']:.3f}s "
+            f"({par['speedup']:.2f}x), {par['shards']} shards, "
+            f"{par['clusters']} clusters, "
+            f"identical={par['identical_macro_clusters']}"
+        )
     spans = report.get("spans")
     if spans:
         phases = " ".join(

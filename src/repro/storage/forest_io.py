@@ -46,7 +46,15 @@ _LEN = struct.Struct("<Q")
 
 
 def save_forest(forest: AtypicalForest, path: Path | str) -> None:
-    """Serialize ``forest`` (clusters, day partition, caches) to ``path``."""
+    """Serialize ``forest`` (clusters, day partition, caches) to ``path``.
+
+    When the forest carries shard provenance (set by the parallel builder,
+    see :mod:`repro.parallel`), it is stored as an extra header field. The
+    provenance describes the shard *plan* only — never the worker count or
+    timings — so builds of the same plan at any parallelism serialize to
+    byte-identical files; forests built without a plan omit the field and
+    keep the legacy layout byte-for-byte.
+    """
     state = forest.export_state()
     header = {
         "month_lengths": list(forest.calendar.month_lengths),
@@ -57,6 +65,8 @@ def save_forest(forest: AtypicalForest, path: Path | str) -> None:
         "week_cache": {str(k): v for k, v in state["week_cache"].items()},
         "month_cache": {str(k): v for k, v in state["month_cache"].items()},
     }
+    if state.get("provenance") is not None:
+        header["provenance"] = state["provenance"]
     header_bytes = json.dumps(header).encode("utf-8")
     blob = encode_clusters(state["clusters"])
     with open(path, "wb") as handle:
@@ -105,6 +115,7 @@ def load_forest(
         micro_by_day={int(k): v for k, v in header["micro_by_day"].items()},
         week_cache={int(k): v for k, v in header["week_cache"].items()},
         month_cache={int(k): v for k, v in header["month_cache"].items()},
+        provenance=header.get("provenance"),
     )
     return forest
 

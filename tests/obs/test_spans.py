@@ -134,3 +134,29 @@ class TestDisabled:
             obs.gauge("g").set(1)
             obs.histogram("h").observe(1)
         assert reg.is_empty()
+
+
+class TestExternalSpan:
+    def test_synthesized_record_lands_on_parent_timeline(self, registry):
+        start = time.perf_counter()
+        with obs.span("parallel.build"):
+            obs.external_span("parallel.shard", start, 0.25, day=3, pid=42)
+        shard = _by_name(registry, "parallel.shard")
+        parent = _by_name(registry, "parallel.build")
+        assert shard.parent_id == parent.span_id
+        assert shard.depth == 1
+        assert shard.seconds == 0.25
+        assert shard.attrs == {"day": 3, "pid": 42}
+        # perf_counter shares the registry epoch, so the offset is tiny
+        assert 0.0 <= shard.start - (start - registry.epoch) < 1e-6
+
+    def test_top_level_when_no_span_open(self, registry):
+        obs.external_span("orphan", time.perf_counter(), 0.1)
+        record = _by_name(registry, "orphan")
+        assert record.parent_id == -1 and record.depth == 0
+
+    def test_noop_while_disabled(self):
+        reg = obs.MetricsRegistry()
+        with obs.activate(reg, collecting=False):
+            obs.external_span("shard", time.perf_counter(), 0.1)
+        assert reg.is_empty()

@@ -1,0 +1,25 @@
+"""Fixtures for the parallel-construction tests.
+
+One small on-disk catalog is shared across the whole module set — the
+parallel builder's workers re-open it from disk, so every byte-identity
+test needs a real directory, not an in-memory batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.catalog import DatasetCatalog
+
+
+@pytest.fixture(scope="session")
+def catalog_dir(small_sim, tmp_path_factory):
+    """A materialized month of the small profile, session-shared."""
+    directory = tmp_path_factory.mktemp("parallel-trace")
+    small_sim.materialize_catalog(directory, months=[0])
+    return directory
+
+
+@pytest.fixture()
+def catalog(catalog_dir) -> DatasetCatalog:
+    return DatasetCatalog(catalog_dir)

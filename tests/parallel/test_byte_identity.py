@@ -1,0 +1,193 @@
+"""The tentpole invariant: parallel builds are byte-identical to serial.
+
+Every test here compares *serialized* models (``forest.bin`` /
+``cube.bin``), not just cluster sets — float summation order, cluster id
+assignment, registry insertion order and provenance all have to line up
+for the bytes to match (Property 3 merge algebra + the pinned reduce
+order).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine
+from repro.storage.forest_io import load_forest, save_cube, save_forest
+
+DAYS = range(10)
+
+
+def _build(sim, catalog, workers, shard_by="day", materialize=False):
+    engine = AnalysisEngine.from_simulator(sim)
+    engine.build_from_catalog_parallel(
+        catalog, DAYS, workers=workers, shard_by=shard_by, materialize=materialize
+    )
+    return engine
+
+
+def _model_bytes(engine, tmp_path, name):
+    forest_path = tmp_path / f"{name}.forest.bin"
+    cube_path = tmp_path / f"{name}.cube.bin"
+    save_forest(engine.forest, forest_path)
+    save_cube(engine.cube, cube_path)
+    return forest_path.read_bytes(), cube_path.read_bytes()
+
+
+class TestWorkerCountInvariance:
+    def test_day_axis_workers_1_vs_2(self, small_sim, catalog, tmp_path):
+        serial = _build(small_sim, catalog, workers=1)
+        pooled = _build(small_sim, catalog, workers=2)
+        assert _model_bytes(serial, tmp_path, "w1") == _model_bytes(
+            pooled, tmp_path, "w2"
+        )
+
+    def test_day_district_axis_workers_1_vs_2(self, small_sim, catalog, tmp_path):
+        serial = _build(small_sim, catalog, workers=1, shard_by="day-district")
+        pooled = _build(small_sim, catalog, workers=2, shard_by="day-district")
+        assert _model_bytes(serial, tmp_path, "d1") == _model_bytes(
+            pooled, tmp_path, "d2"
+        )
+
+    def test_materialized_forest_workers_1_vs_2(self, small_sim, catalog, tmp_path):
+        serial = _build(small_sim, catalog, workers=1, materialize=True)
+        pooled = _build(small_sim, catalog, workers=2, materialize=True)
+        assert _model_bytes(serial, tmp_path, "m1") == _model_bytes(
+            pooled, tmp_path, "m2"
+        )
+        stats = pooled.forest.stats()
+        assert stats.num_week_macro > 0 and stats.num_month_macro > 0
+
+
+def _state_signature(forest):
+    """Cluster payload + id maps + registry order, axis-independent."""
+    state = forest.export_state()
+
+    def feat(c):
+        return (
+            c.cluster_id,
+            c.level,
+            c.members,
+            c.spatial.key_array.tobytes(),
+            c.spatial.value_array.tobytes(),
+            c.temporal.key_array.tobytes(),
+            c.temporal.value_array.tobytes(),
+        )
+
+    return (
+        [feat(c) for c in state["clusters"]],
+        state["micro_by_day"],
+        state["week_cache"],
+        state["month_cache"],
+    )
+
+
+class TestAxisAndLegacyEquivalence:
+    def test_day_district_matches_day_axis(self, small_sim, catalog):
+        """Different shard plans, one model (only provenance differs)."""
+        by_day = _build(small_sim, catalog, workers=1)
+        by_group = _build(small_sim, catalog, workers=2, shard_by="day-district")
+        assert _state_signature(by_day.forest) == _state_signature(by_group.forest)
+        assert by_day.forest.provenance != by_group.forest.provenance
+
+    def test_parallel_matches_legacy_serial_builder(
+        self, small_sim, catalog, tmp_path
+    ):
+        """build_from_catalog and the sharded builder produce one model."""
+        legacy = AnalysisEngine.from_simulator(small_sim)
+        legacy.build_from_catalog(catalog, DAYS)
+        legacy.forest.materialize()
+        pooled = _build(small_sim, catalog, workers=2, materialize=True)
+        assert _state_signature(legacy.forest) == _state_signature(pooled.forest)
+        # align the one intended difference and the bytes must match too
+        legacy.forest.set_provenance(pooled.forest.provenance)
+        assert _model_bytes(legacy, tmp_path, "legacy") == _model_bytes(
+            pooled, tmp_path, "pooled"
+        )
+
+
+class TestEdgeCases:
+    def test_single_day_build(self, small_sim, catalog, tmp_path):
+        serial = AnalysisEngine.from_simulator(small_sim)
+        serial.build_from_catalog_parallel(catalog, [3], workers=1)
+        pooled = AnalysisEngine.from_simulator(small_sim)
+        pooled.build_from_catalog_parallel(
+            catalog, [3], workers=2, shard_by="day-district"
+        )
+        assert _state_signature(serial.forest) == _state_signature(pooled.forest)
+        assert serial.built_days == pooled.built_days == frozenset({3})
+
+    def test_days_outside_catalog_are_skipped(self, small_sim, catalog):
+        engine = AnalysisEngine.from_simulator(small_sim)
+        report = engine.build_from_catalog_parallel(
+            catalog, [0, 1, 10_000], workers=2
+        )
+        assert report.days_built == 2
+        assert engine.built_days == frozenset({0, 1})
+
+    def test_empty_day_list(self, small_sim, catalog):
+        engine = AnalysisEngine.from_simulator(small_sim)
+        report = engine.build_from_catalog_parallel(catalog, [], workers=2)
+        assert report.days_built == 0 and report.shards == 0
+        assert engine.forest.days == []
+
+    def test_rejects_zero_workers(self, small_sim, catalog):
+        engine = AnalysisEngine.from_simulator(small_sim)
+        with pytest.raises(ValueError, match="workers"):
+            engine.build_from_catalog_parallel(catalog, DAYS, workers=0)
+
+
+class TestProvenance:
+    def test_recorded_and_round_tripped(self, small_sim, catalog, tmp_path):
+        engine = _build(small_sim, catalog, workers=2, shard_by="day-district")
+        prov = engine.forest.provenance
+        assert prov["shard_by"] == "day-district"
+        assert prov["days"] == list(DAYS)
+        assert len(prov["groups"]) >= 1
+        assert [r[0] for r in prov["day_cluster_ranges"]] == list(DAYS)
+        path = tmp_path / "forest.bin"
+        save_forest(engine.forest, path)
+        loaded = load_forest(path, engine.forest.integrator)
+        assert loaded.provenance == prov
+
+    def test_legacy_forest_has_none(self, small_sim, catalog, tmp_path):
+        legacy = AnalysisEngine.from_simulator(small_sim)
+        legacy.build_from_catalog(catalog, DAYS)
+        path = tmp_path / "legacy.bin"
+        save_forest(legacy.forest, path)
+        assert load_forest(path, legacy.forest.integrator).provenance is None
+
+    def test_engine_json_records_execution(self, small_sim, catalog, tmp_path):
+        """Worker count lives in engine.json, never in the forest."""
+        import json
+
+        engine = _build(small_sim, catalog, workers=2)
+        engine.save(tmp_path / "model")
+        meta = json.loads((tmp_path / "model" / "engine.json").read_text())
+        assert meta["build"]["workers"] == 2
+        assert meta["build"]["shard_by"] == "day"
+        assert "workers" not in engine.forest.provenance
+
+
+class TestQueryParity:
+    def test_explain_counts_match_across_worker_counts(
+        self, small_sim, catalog, tmp_path
+    ):
+        serial = _build(small_sim, catalog, workers=1)
+        pooled = _build(small_sim, catalog, workers=2)
+        results = []
+        for engine in (serial, pooled):
+            result = engine.query(
+                engine.whole_city(), first_day=0, num_days=7, explain=True
+            )
+            stages = [
+                (s.name, {k: v for k, v in s.metrics.items()})
+                for s in result.explain.stages
+            ]
+            results.append(
+                (
+                    sorted(c.cluster_id for c in result.returned),
+                    result.stats.input_clusters,
+                    stages,
+                )
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,128 @@
+"""Unit coverage of the deterministic reducer and its cache plumbing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import ClusterIdGenerator
+from repro.core.integration import SimilarityCache
+from repro.cube.datacube import SeverityCube
+from repro.parallel.reduce import absorb_cube_shard, merge_day_shards
+from repro.parallel.worker import ExtractionShardResult
+
+from tests.conftest import make_cluster
+
+
+def _shard(day, group, clusters, order_keys=None, records=0):
+    empty = np.array([], dtype=np.int64)
+    return ExtractionShardResult(
+        day=day,
+        group=group,
+        clusters=clusters,
+        order_keys=order_keys,
+        cube_rows=empty,
+        cube_cols=empty,
+        cube_vals=np.array([], dtype=np.float64),
+        records=records,
+        started=0.0,
+        finished=0.0,
+        pid=0,
+    )
+
+
+class TestMergeDayShards:
+    def test_whole_day_shard_remaps_positionally(self):
+        # worker-local ids 0/1 in the worker's final order
+        a = make_cluster({1: 9.0}, {4: 9.0}, cluster_id=0)
+        b = make_cluster({2: 3.0}, {2: 3.0}, cluster_id=1)
+        ids = ClusterIdGenerator(100)
+        merged = merge_day_shards([_shard(0, None, [a, b])], ids)
+        assert [c.cluster_id for c in merged] == [100, 101]
+        assert merged[0].severity() == 9.0
+
+    def test_group_shards_interleave_by_order_key(self):
+        # group 0 holds component ranks 0 and 2; group 1 holds rank 1 —
+        # ids must interleave, then sort by (-severity, start_window)
+        g0 = [
+            make_cluster({0: 1.0}, {7: 1.0}, cluster_id=0),
+            make_cluster({4: 5.0}, {9: 5.0}, cluster_id=1),
+        ]
+        g1 = [make_cluster({2: 2.0}, {3: 2.0}, cluster_id=0)]
+        ids = ClusterIdGenerator(10)
+        merged = merge_day_shards(
+            [
+                _shard(0, 0, g0, order_keys=[(0 << 32) | 7, (4 << 32) | 9]),
+                _shard(0, 1, g1, order_keys=[(2 << 32) | 3]),
+            ],
+            ids,
+        )
+        # component order by key: sensor0 -> id 10, sensor2 -> id 11,
+        # sensor4 -> id 12; final order by descending severity
+        assert [(c.cluster_id, c.severity()) for c in merged] == [
+            (12, 5.0),
+            (11, 2.0),
+            (10, 1.0),
+        ]
+
+    def test_empty_shards_produce_empty_day(self):
+        assert merge_day_shards([_shard(0, None, [])], ClusterIdGenerator()) == []
+        assert (
+            merge_day_shards(
+                [_shard(0, 0, [], order_keys=[]), _shard(0, 1, [], order_keys=[])],
+                ClusterIdGenerator(),
+            )
+            == []
+        )
+
+    def test_missing_order_keys_rejected(self):
+        shards = [_shard(0, 0, [], order_keys=None), _shard(0, 1, [], order_keys=[])]
+        with pytest.raises(ValueError, match="order keys"):
+            merge_day_shards(shards, ClusterIdGenerator())
+
+
+class TestAbsorbCubeShard:
+    def test_disjoint_cells_accumulate_exactly(self, small_sim):
+        cube = SeverityCube(
+            small_sim.districts(), small_sim.calendar, small_sim.window_spec
+        )
+        shard = dataclasses.replace(
+            _shard(0, None, [], records=3),
+            cube_rows=np.array([0, 2]),
+            cube_cols=np.array([0, 1]),
+            cube_vals=np.array([1.5, 2.5]),
+        )
+        absorb_cube_shard(cube, shard)
+        assert cube.cell(0, 0) == 1.5
+        assert cube.cell(2, 1) == 2.5
+        assert cube.records_added == 3
+
+    def test_out_of_range_cells_rejected(self, small_sim):
+        cube = SeverityCube(
+            small_sim.districts(), small_sim.calendar, small_sim.window_spec
+        )
+        with pytest.raises(ValueError, match="outside the cube"):
+            cube.absorb_cells(
+                np.array([9999]), np.array([0]), np.array([1.0]), 1
+            )
+
+
+class TestSimilarityCacheMergeFrom:
+    def test_plain_merge_and_counters(self):
+        a, b = SimilarityCache(), SimilarityCache()
+        b.put(1, 2, 0.5)
+        b.get(1, 2)  # hit
+        b.get(3, 4)  # miss
+        absorbed = a.merge_from(b)
+        assert absorbed == 1
+        assert a.get(2, 1) == 0.5
+        assert (a.hits, a.misses) == (2, 1)  # 1 folded hit + our get
+
+    def test_id_map_renumbers_keys(self):
+        a, b = SimilarityCache(), SimilarityCache()
+        b.put(1 << 40, 5, 0.25)
+        a.merge_from(b, id_map={1 << 40: 7})
+        assert a.contains(5, 7)
+        assert not a.contains(1 << 40, 5)

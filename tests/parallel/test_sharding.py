@@ -1,0 +1,133 @@
+"""Shard planning: soundness of the partition, canonical ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventExtractor, ExtractionParams
+from repro.parallel.sharding import district_groups, plan_shards
+from repro.spatial.grid import SensorGridIndex
+from repro.spatial.regions import DistrictGrid
+from repro.temporal.windows import WindowSpec
+
+from tests.conftest import make_batch, two_road_network
+
+
+class TestPlanDays:
+    def test_one_shard_per_day_sorted_deduped(self):
+        plan = plan_shards([5, 1, 3, 1])
+        assert plan.days == (1, 3, 5)
+        assert [s.day for s in plan.shards] == [1, 3, 5]
+        assert all(s.group is None and s.sensor_ids is None for s in plan.shards)
+
+    def test_provenance_is_json_compatible_and_plan_only(self):
+        import json
+
+        plan = plan_shards([0, 1])
+        prov = plan.provenance()
+        assert json.loads(json.dumps(prov)) == prov
+        assert prov["shard_by"] == "day"
+        assert prov["shards"] == [{"day": 0, "group": None}, {"day": 1, "group": None}]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard axis"):
+            plan_shards([0], "hour")
+
+
+class TestDistrictGroups:
+    def test_groups_are_connectivity_closed(self, small_sim):
+        """No delta_d-adjacent sensor pair may cross a group boundary."""
+        network = small_sim.network
+        districts = small_sim.districts()
+        delta_d = 1.5
+        groups = district_groups(network, districts, delta_d)
+        group_of = {}
+        for gid, members in enumerate(groups):
+            for district in members:
+                group_of[district] = gid
+        grid = SensorGridIndex(network, delta_d)
+        for a, b in grid.neighbour_pairs():
+            assert (
+                group_of[districts.district_of(a)]
+                == group_of[districts.district_of(b)]
+            )
+
+    def test_groups_partition_districts(self, small_sim):
+        districts = small_sim.districts()
+        groups = district_groups(small_sim.network, districts, 1.5)
+        flat = sorted(d for g in groups for d in g)
+        assert flat == list(range(len(districts)))
+
+    def test_disconnected_roads_split(self):
+        """Two highways far beyond delta_d land in different groups."""
+        network = two_road_network(spacing=1.0, gap=5.0)
+        districts = DistrictGrid(network, 1, 2)
+        groups = district_groups(network, districts, 1.5)
+        assert len(groups) == 2
+
+
+class TestPlanDayDistrict:
+    def test_group_shards_cover_all_sensors(self, small_sim):
+        plan = plan_shards(
+            [0, 1],
+            "day-district",
+            network=small_sim.network,
+            districts=small_sim.districts(),
+            delta_d=1.5,
+        )
+        assert plan.shard_by == "day-district"
+        day0 = [s for s in plan.shards if s.day == 0]
+        covered = sorted(sid for s in day0 for sid in s.sensor_ids)
+        assert covered == sorted(s.sensor_id for s in small_sim.network)
+        # canonical order: day-major, group-minor
+        keys = [s.key for s in plan.shards]
+        assert keys == sorted(keys)
+
+    def test_requires_deployment(self):
+        with pytest.raises(ValueError, match="needs network"):
+            plan_shards([0], "day-district")
+
+    def test_requires_grid_method(self, small_sim):
+        with pytest.raises(ValueError, match="grid"):
+            plan_shards(
+                [0],
+                "day-district",
+                network=small_sim.network,
+                districts=small_sim.districts(),
+                delta_d=1.5,
+                extraction_method="naive",
+            )
+
+
+class TestOrderedExtraction:
+    def test_naive_method_rejected(self):
+        network = two_road_network()
+        extractor = EventExtractor(
+            network, ExtractionParams(1.5, 15.0), WindowSpec(), method="naive"
+        )
+        batch = make_batch([(0, 3, 5.0), (1, 3, 5.0)])
+        with pytest.raises(ValueError, match="ordered extraction"):
+            extractor.extract_micro_clusters_ordered(batch)
+
+    def test_keys_align_with_clusters(self):
+        network = two_road_network(gap=5.0)
+        extractor = EventExtractor(
+            network, ExtractionParams(1.5, 15.0), WindowSpec()
+        )
+        batch = make_batch(
+            [(0, 3, 5.0), (1, 3, 5.0), (6, 40, 2.0), (7, 40, 9.0)]
+        )
+        clusters, keys = extractor.extract_micro_clusters_ordered(batch)
+        assert len(clusters) == len(keys) == 2
+        # the key is the min packed (sensor << 32 | window) of the component
+        by_key = dict(zip(keys, clusters))
+        assert by_key[(0 << 32) | 3].sensor_ids == frozenset({0, 1})
+        assert by_key[(6 << 32) | 40].sensor_ids == frozenset({6, 7})
+
+    def test_empty_batch(self):
+        network = two_road_network()
+        extractor = EventExtractor(
+            network, ExtractionParams(1.5, 15.0), WindowSpec()
+        )
+        clusters, keys = extractor.extract_micro_clusters_ordered(make_batch([]))
+        assert clusters == [] and keys == []

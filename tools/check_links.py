@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links in the repo docs resolve.
+
+Offline stand-in for ``lychee``/``markdown-link-check`` (not baked into
+the runtime image): scans the top-level docs and everything under
+``docs/`` for ``[text](target)`` links and verifies that every relative
+target exists on disk (anchors are stripped; ``http(s)``/``mailto``
+targets are skipped — CI has no network guarantee and the external
+links are few and stable).
+
+Usage::
+
+    python tools/check_links.py [file-or-dir ...]   # default: repo docs
+
+Exit status 0 when every relative link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TARGETS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "docs")
+
+# [text](target) — ignores images' leading "!" by matching the core form,
+# and tolerates titles: [text](target "title")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_files(targets: list[Path]):
+    for target in targets:
+        if target.is_dir():
+            yield from sorted(target.rglob("*.md"))
+        elif target.suffix == ".md":
+            yield target
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(ROOT)
+                problems.append(f"{rel}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or list(DEFAULT_TARGETS)
+    targets = [ROOT / name for name in names]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        for t in missing:
+            print(f"error: no such file: {t}", file=sys.stderr)
+        return 2
+
+    problems: list[str] = []
+    checked = 0
+    for path in iter_files(targets):
+        checked += 1
+        problems.extend(check_file(path))
+    for line in problems:
+        print(line)
+    status = "FAIL" if problems else "OK"
+    print(f"{status}: {checked} files, {len(problems)} broken link(s)",
+          file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
