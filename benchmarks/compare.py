@@ -27,7 +27,12 @@ Tolerance policy (also documented in DESIGN.md "Observability"):
   dominates the signal;
 * phases present only in the report (or only in the baseline) are
   labelled ``new`` / ``gone`` and do not fail the gate, so adding a
-  benchmark phase does not require regenerating history.
+  benchmark phase (like ``serve_latency``) does not require regenerating
+  history.
+
+History rows record the per-section speedups plus, when present, the
+query service's ``serve_latency`` p50/p95 so the serving-path trajectory
+is tracked alongside the kernel speedups.
 """
 
 from __future__ import annotations
@@ -184,7 +189,19 @@ def history_row(report: dict, rows: List[dict]) -> dict:
         data = report.get(section)
         if isinstance(data, dict) and "speedup" in data:
             speedups[section] = data["speedup"]
+    serve = report.get("serve_latency")
+    serve_latency = (
+        {
+            "p50_seconds": serve.get("p50_seconds"),
+            "p95_seconds": serve.get("p95_seconds"),
+            "requests": serve.get("requests"),
+        }
+        if isinstance(serve, dict)
+        else None
+    )
+    row_extra = {"serve_latency": serve_latency} if serve_latency else {}
     return {
+        **row_extra,
         "git_sha": meta.get("git_sha") or git_sha(),
         "timestamp": meta.get("timestamp") or utc_now_iso(),
         "phase_seconds": {

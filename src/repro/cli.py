@@ -7,8 +7,11 @@ The CLI mirrors the system framework of Fig. 2 as a three-step workflow::
     python -m repro query    --data data/ --model model/ --days 7
 
 plus ``info`` for the dataset inventory, ``bench`` for the vectorized
-integration-kernel benchmark, and ``stats`` to render a metrics snapshot
-written by ``--metrics-out``. The trace directory carries the
+integration-kernel benchmark, ``stats`` to render a metrics snapshot
+written by ``--metrics-out``, ``serve`` to keep a loaded model resident
+behind an HTTP query endpoint (``/query``, ``/healthz``, ``/metrics`` —
+see :mod:`repro.serve`), and ``top`` for a live terminal dashboard over a
+running server's ``/metrics``. The trace directory carries the
 simulation config, so every later step rebuilds the same sensor network
 and district partition from it.
 
@@ -44,6 +47,7 @@ from repro.analysis.evaluation import score_strategy
 from repro.analysis.report import build_report
 from repro.simulate.generator import SimulationConfig, TrafficSimulator
 from repro.storage.catalog import DatasetCatalog
+from repro.storage.model_cache import load_engine_cached
 
 __all__ = ["main", "build_parser"]
 
@@ -208,6 +212,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_arguments(bench)
 
+    serve = commands.add_parser(
+        "serve",
+        parents=[common],
+        help="serve a built model over HTTP: POST /query, GET /healthz, "
+        "GET /metrics (Prometheus text)",
+    )
+    serve.add_argument("--data", required=True, type=Path, help="trace directory")
+    serve.add_argument("--model", required=True, type=Path, help="model directory")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="default clusters per /query response (overridable per request)",
+    )
+    serve.add_argument(
+        "--span-limit",
+        type=int,
+        default=10_000,
+        help="keep at most N raw spans in memory (aggregates are unaffected; "
+        "evictions are counted as spans_dropped)",
+    )
+    # access logs are the point of a server; default them on
+    serve.set_defaults(log_level="info")
+    _add_engine_arguments(serve)
+
+    top = commands.add_parser(
+        "top",
+        parents=[common],
+        help="live terminal dashboard over a repro serve /metrics endpoint",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321/metrics",
+        help="metrics endpoint to poll (default: the repro serve default)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between scrapes"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (for logs/tests)",
+    )
+
     stats = commands.add_parser(
         "stats",
         parents=[common],
@@ -362,9 +420,13 @@ def cmd_query(args: argparse.Namespace) -> int:
     catalog = DatasetCatalog(args.data) if explain else None
     if catalog is not None:
         catalog.reset_io()
-    engine = AnalysisEngine.load(
+    # the process-wide model cache makes repeat queries (and every server
+    # request) skip the deserialization; a one-shot CLI run is simply the
+    # cold-miss case
+    cached = load_engine_cached(
         args.model, simulator.network, simulator.districts(), config
     )
+    engine = cached.engine
     result = engine.query(
         engine.whole_city(),
         args.first_day,
@@ -462,6 +524,60 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QueryServer, ServeApp, install_signal_handlers
+
+    if not 0 <= args.port <= 65535:
+        print("error: --port must be in 0..65535", file=sys.stderr)
+        return 2
+    simulator = _simulator_for(args.data)
+    config = _engine_config(args)
+    try:
+        cached = load_engine_cached(
+            args.model, simulator.network, simulator.districts(), config
+        )
+    except FileNotFoundError as exc:
+        print(f"error: not a model directory: {exc}", file=sys.stderr)
+        return 2
+    app = ServeApp(
+        cached.engine,
+        digest=cached.digest,
+        model_dir=cached.model_dir,
+        query_lock=cached.query_lock,
+        default_limit=args.limit,
+    )
+    server = QueryServer(app, host=args.host, port=args.port)
+    install_signal_handlers(server)
+    print(
+        f"serving {cached.model_dir} on {server.url()} "
+        f"(digest {cached.digest[:12]}, {len(cached.engine.built_days)} days "
+        f"built; SIGTERM/Ctrl-C drains and exits)"
+    )
+    sys.stdout.flush()
+    # blocks until a signal triggers server.stop(); in-flight requests
+    # finish before serve_forever returns (block_on_close)
+    server.serve_forever()
+    print("drained, bye")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve import run_top
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    if args.iterations is not None and args.iterations < 1:
+        print("error: --iterations must be at least 1", file=sys.stderr)
+        return 2
+    return run_top(
+        args.url,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     try:
         snapshot = obs.load_snapshot(args.path)
@@ -492,6 +608,8 @@ _COMMANDS = {
     "query": cmd_query,
     "info": cmd_info,
     "bench": cmd_bench,
+    "serve": cmd_serve,
+    "top": cmd_top,
     "stats": cmd_stats,
 }
 
@@ -531,10 +649,14 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     metrics_out: Optional[Path] = getattr(args, "metrics_out", None)
     trace_out: Optional[Path] = getattr(args, "trace_out", None)
     # `stats` reads snapshots instead of recording them — its --trace-out
-    # converts the loaded snapshot inside cmd_stats
-    if args.command == "stats" or (metrics_out is None and trace_out is None):
+    # converts the loaded snapshot inside cmd_stats; `serve` always records
+    # (request telemetry is the point of a server), others only on request
+    always_records = args.command == "serve"
+    if args.command == "stats" or (
+        not always_records and metrics_out is None and trace_out is None
+    ):
         return _invoke(command, args)
-    registry = obs.MetricsRegistry()
+    registry = obs.MetricsRegistry(span_limit=getattr(args, "span_limit", None))
     with obs.activate(registry):
         code = _invoke(command, args)
     if metrics_out is not None:

@@ -353,6 +353,7 @@ class QueryProcessor:
                 obs.counter("query.input_clusters").inc(stats.input_clusters)
                 obs.counter("query.pruned_clusters").inc(stats.pruned_clusters)
                 obs.counter("query.returned_clusters").inc(len(returned))
+                self._record_stage_costs(strategy, stage_seconds)
                 sp.set(
                     strategy=strategy,
                     days=len(query.days),
@@ -376,6 +377,31 @@ class QueryProcessor:
             registry=registry,
             explain=report,
         )
+
+    def _record_stage_costs(
+        self, strategy: str, stage_seconds: Dict[str, float]
+    ) -> None:
+        """Mirror this run's per-stage wall times into obs histograms.
+
+        Aggregated across queries under ``query.stage.<name>_seconds``
+        (explain-report stage names: the ``filter`` slot becomes ``prune``
+        or ``redzone`` per strategy), these feed the query service's
+        hottest-stages view without keeping per-request state.
+        """
+        from repro.obs.metrics import LATENCY_BUCKETS
+
+        for raw_name, seconds in stage_seconds.items():
+            name = raw_name
+            if raw_name == "filter":
+                if strategy == "pru":
+                    name = "prune"
+                elif strategy == "gui":
+                    name = "redzone"
+                else:
+                    continue  # the All strategy has no filter stage
+            obs.histogram(
+                f"query.stage.{name}_seconds", LATENCY_BUCKETS
+            ).observe(seconds)
 
     def _build_explain(
         self,

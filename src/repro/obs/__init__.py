@@ -25,6 +25,7 @@ taxonomy and metric names are documented in DESIGN.md ("Observability").
 from repro.obs.exporters import (
     format_seconds,
     load_snapshot,
+    parse_prometheus_text,
     render_snapshot,
     to_json,
     to_prometheus_text,
@@ -40,14 +41,19 @@ from repro.obs.profiling import PROFILERS, ProfileReport, profile_phase
 from repro.obs.tracing import to_chrome_trace, write_chrome_trace
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    RATE_WINDOWS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    SlidingWindow,
     SpanRecord,
 )
 from repro.obs.runtime import (
     activate,
+    correlation,
+    correlation_id,
     counter,
     disable,
     enable,
@@ -56,6 +62,7 @@ from repro.obs.runtime import (
     histogram,
     registry,
     set_registry,
+    window,
 )
 from repro.obs.spans import NULL_SPAN, NullSpan, Span, external_span, span
 
@@ -64,9 +71,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "SlidingWindow",
     "MetricsRegistry",
     "SpanRecord",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "RATE_WINDOWS",
     # runtime
     "enabled",
     "enable",
@@ -77,6 +87,9 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "window",
+    "correlation",
+    "correlation_id",
     # spans
     "span",
     "external_span",
@@ -88,6 +101,7 @@ __all__ = [
     "write_snapshot",
     "load_snapshot",
     "to_prometheus_text",
+    "parse_prometheus_text",
     "render_snapshot",
     "format_seconds",
     # tracing

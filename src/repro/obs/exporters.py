@@ -23,6 +23,7 @@ __all__ = [
     "write_snapshot",
     "load_snapshot",
     "to_prometheus_text",
+    "parse_prometheus_text",
     "render_snapshot",
     "format_seconds",
 ]
@@ -59,9 +60,20 @@ def load_snapshot(path: Path | str) -> Dict[str, object]:
 # Prometheus text exposition format
 # ----------------------------------------------------------------------
 def _prom_name(name: str) -> str:
-    """Sanitize a dotted metric name into a Prometheus identifier."""
-    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
-    if out and out[0].isdigit():
+    """Sanitize a dotted metric name into a Prometheus identifier.
+
+    The exposition format allows only ``[a-zA-Z0-9_:]`` in metric names
+    (and a non-digit first character). Anything else — including non-ASCII
+    letters, which ``str.isalnum()`` would wave through — is mapped to
+    ``_``, so a hostile or merely unicode metric name can never corrupt a
+    sample line.
+    """
+    out = "".join(
+        c if (c.isascii() and c.isalnum()) or c == "_" else "_" for c in name
+    )
+    if not out:
+        out = "_"
+    if out[0].isdigit():
         out = "_" + out
     return _PROM_PREFIX + out
 
@@ -79,8 +91,16 @@ def _prom_value(value: float) -> str:
 
 
 def _prom_label(value: object) -> str:
+    """Quote a label value, escaping backslash, quote and newline (in that
+    order, per the exposition format)."""
     text = str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
     return f'"{text}"'
+
+
+def _prom_help(text: str) -> str:
+    """Escape a HELP docstring: backslash and newline only (quotes are
+    legal in HELP text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def to_prometheus_text(snapshot: Mapping[str, object]) -> str:
@@ -89,19 +109,29 @@ def to_prometheus_text(snapshot: Mapping[str, object]) -> str:
 
     for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
         prom = _prom_name(name) + "_total"
-        lines.append(f"# HELP {prom} Counter {name}")
+        lines.append(f"# HELP {prom} Counter {_prom_help(name)}")
         lines.append(f"# TYPE {prom} counter")
         lines.append(f"{prom} {_prom_value(value)}")
 
     for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
         prom = _prom_name(name)
-        lines.append(f"# HELP {prom} Gauge {name}")
+        lines.append(f"# HELP {prom} Gauge {_prom_help(name)}")
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom} {_prom_value(value)}")
 
+    for name, win in snapshot.get("windows", {}).items():  # type: ignore[union-attr]
+        prom = _prom_name(name) + "_rate"
+        lines.append(
+            f"# HELP {prom} Events/second over trailing windows ({_prom_help(name)})"
+        )
+        lines.append(f"# TYPE {prom} gauge")
+        for seconds, rate in win["rates"].items():
+            label = f"window={_prom_label(seconds + 's')}"
+            lines.append(f"{prom}{{{label}}} {_prom_value(float(rate))}")
+
     for name, hist in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
         prom = _prom_name(name)
-        lines.append(f"# HELP {prom} Histogram {name}")
+        lines.append(f"# HELP {prom} Histogram {_prom_help(name)}")
         lines.append(f"# TYPE {prom} histogram")
         running = 0
         for bound, count in zip(hist["buckets"], hist["counts"]):
@@ -126,6 +156,151 @@ def to_prometheus_text(snapshot: Mapping[str, object]) -> str:
             lines.append(f"{prom}_count{{{label}}} {int(agg['count'])}")
 
     return "\n".join(lines) + "\n"
+
+
+def _parse_label_block(text: str) -> Dict[str, str]:
+    """Parse the inside of a ``{...}`` label block, undoing the exposition
+    escapes (``\\\\``, ``\\"``, ``\\n``) in label values."""
+    labels: Dict[str, str] = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        while i < n and text[i] in ", \t":
+            i += 1
+        if i >= n:
+            break
+        eq = text.index("=", i)
+        key = text[i:eq].strip()
+        if eq + 1 >= n or text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value for {key!r}")
+        j = eq + 2
+        buf: List[str] = []
+        while j < n and text[j] != '"':
+            if text[j] == "\\" and j + 1 < n:
+                nxt = text[j + 1]
+                buf.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+                j += 2
+            else:
+                buf.append(text[j])
+                j += 1
+        if j >= n:
+            raise ValueError(f"unterminated label value for {key!r}")
+        labels[key] = "".join(buf)
+        i = j + 1
+    return labels
+
+
+def _split_sample(line: str) -> tuple:
+    """Split one sample line into ``(name, labels, value)``."""
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rindex("}")
+        name = line[:brace].strip()
+        labels = _parse_label_block(line[brace + 1 : close])
+        value_text = line[close + 1 :].strip()
+    else:
+        name, _, value_text = line.partition(" ")
+        labels = {}
+    return name, labels, float(value_text)
+
+
+def parse_prometheus_text(text: str) -> Dict[str, object]:
+    """Parse exposition text produced by :func:`to_prometheus_text`.
+
+    The inverse the ``repro top`` dashboard scrapes through, and the
+    round-trip oracle of the exporter tests. Returns a dict of::
+
+        {"counters":   {prom_name: value},           # includes _total suffix
+         "gauges":     {prom_name: value},
+         "rates":      {prom_name: {"60s": rate, ...}},  # *_rate window gauges
+         "histograms": {base_name: {"buckets": [...], "counts": [...],
+                                    "sum": s, "count": n}},
+         "summaries":  {base_name: {label_value: {"sum": s, "count": n}}}}
+
+    Histogram ``counts`` are converted back to the in-memory per-bucket
+    form (the final slot is the +Inf overflow), matching the snapshot
+    layout so values compare directly against the source registry. Lines
+    of unknown shape raise ``ValueError`` — a scrape is either well-formed
+    or rejected.
+    """
+    types: Dict[str, str] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    rates: Dict[str, Dict[str, float]] = {}
+    hist_raw: Dict[str, Dict[str, object]] = {}
+    summaries: Dict[str, Dict[str, Dict[str, float]]] = {}
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        name, labels, value = _split_sample(line)
+
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and types.get(name[: -len(suffix)]) in (
+                "histogram",
+                "summary",
+            ):
+                base = name[: -len(suffix)]
+                break
+        kind = types.get(base) or types.get(name)
+
+        if kind == "counter":
+            counters[name] = value
+        elif kind == "gauge":
+            if "window" in labels:
+                rates.setdefault(name, {})[labels["window"]] = value
+            else:
+                gauges[name] = value
+        elif kind == "histogram":
+            entry = hist_raw.setdefault(
+                base, {"le": [], "cumulative": [], "sum": 0.0, "count": 0}
+            )
+            if name.endswith("_bucket"):
+                entry["le"].append(labels["le"])  # type: ignore[union-attr]
+                entry["cumulative"].append(int(value))  # type: ignore[union-attr]
+            elif name.endswith("_sum"):
+                entry["sum"] = value
+            else:
+                entry["count"] = int(value)
+        elif kind == "summary":
+            label_value = next(iter(labels.values()), "")
+            slot = summaries.setdefault(base, {}).setdefault(
+                label_value, {"sum": 0.0, "count": 0}
+            )
+            if name.endswith("_sum"):
+                slot["sum"] = value
+            elif name.endswith("_count"):
+                slot["count"] = int(value)
+        else:
+            raise ValueError(f"sample {name!r} has no preceding # TYPE line")
+
+    histograms: Dict[str, Dict[str, object]] = {}
+    for base, entry in hist_raw.items():
+        bounds = [float(le) for le in entry["le"] if le != "+Inf"]  # type: ignore[union-attr]
+        cumulative: List[int] = list(entry["cumulative"])  # type: ignore[arg-type]
+        counts = [
+            c - (cumulative[i - 1] if i else 0) for i, c in enumerate(cumulative)
+        ]
+        histograms[base] = {
+            "buckets": bounds,
+            "counts": counts,
+            "sum": entry["sum"],
+            "count": entry["count"],
+        }
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "rates": rates,
+        "histograms": histograms,
+        "summaries": summaries,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -20,18 +20,22 @@ is disabled so the hot paths pay only a single flag check.
 from __future__ import annotations
 
 import bisect
+import collections
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "SlidingWindow",
     "SpanRecord",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "RATE_WINDOWS",
 ]
 
 #: Default histogram buckets — geometric-ish upper bounds suited to the
@@ -42,15 +46,33 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     1000.0, 2500.0, 5000.0, 10000.0,
 )
 
+#: Bucket bounds (seconds) for latency-like histograms — request wall
+#: times, per-stage query costs. Spans sub-millisecond handler turns to
+#: multi-second integrate-all queries.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: The trailing windows (seconds) a :class:`SlidingWindow` reports rates
+#: over in snapshots and the Prometheus export.
+RATE_WINDOWS: Tuple[int, ...] = (60, 300)
+
 
 class Counter:
-    """Monotonically increasing value (events since process start)."""
+    """Monotonically increasing value (events since process start).
 
-    __slots__ = ("name", "value")
+    Increments take a per-metric lock so concurrent handler threads (the
+    query service) can never lose updates; the disabled-observability path
+    never reaches a real counter, so the lock costs nothing while off.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         """Add ``amount`` (non-negative) to the counter."""
@@ -58,29 +80,34 @@ class Counter:
             raise ValueError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """Point-in-time value that can move both ways."""
+    """Point-in-time value that can move both ways (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Set the gauge to ``value``."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` to the gauge."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         """Subtract ``amount`` from the gauge."""
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -93,7 +120,7 @@ class Histogram:
     cumulative form the exposition format wants.
     """
 
-    __slots__ = ("name", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "_lock")
 
     def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
         bounds = tuple(float(b) for b in (buckets if buckets else DEFAULT_BUCKETS))
@@ -104,22 +131,106 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.sum: float = 0.0
         self.count: int = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation into the sum/count and its bucket."""
         value = float(value)
-        self.sum += value
-        self.count += 1
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+
+    def state(self) -> Tuple[List[int], float, int]:
+        """A consistent ``(counts, sum, count)`` triple (taken under lock)."""
+        with self._lock:
+            return list(self.counts), self.sum, self.count
 
     def cumulative_counts(self) -> List[int]:
         """Cumulative per-bucket counts; the last entry equals ``count``."""
+        counts, _, _ = self.state()
         out: List[int] = []
         running = 0
-        for c in self.counts:
+        for c in counts:
             running += c
             out.append(running)
         return out
+
+
+class SlidingWindow:
+    """Time-bucketed event counter answering "how many in the last N s?".
+
+    Backs the RED-style request/error *rates* of the query service: every
+    :meth:`record` lands in a coarse time bucket (default resolution 1 s),
+    buckets older than the horizon are dropped, and :meth:`total` /
+    :meth:`rate` sum the still-live buckets inside the asked-for window.
+    Memory is bounded by ``horizon / resolution`` buckets regardless of
+    traffic, which is what makes it safe inside a long-running daemon.
+
+    All methods take the window's lock; like the other metric primitives
+    the disabled path never constructs one.
+    """
+
+    __slots__ = ("name", "horizon", "resolution", "_buckets", "_total", "_lock")
+
+    def __init__(
+        self, name: str, horizon: float = 600.0, resolution: float = 1.0
+    ):
+        if horizon <= 0 or resolution <= 0:
+            raise ValueError(
+                f"window {name!r} needs positive horizon and resolution"
+            )
+        self.name = name
+        self.horizon = float(horizon)
+        self.resolution = float(resolution)
+        #: deque of [bucket_index, amount] pairs, oldest first
+        self._buckets: Deque[List[float]] = collections.deque()
+        self._total: float = 0.0
+        self._lock = threading.Lock()
+
+    def _prune(self, now_bucket: int) -> None:
+        horizon_buckets = int(self.horizon / self.resolution)
+        while self._buckets and self._buckets[0][0] <= now_bucket - horizon_buckets:
+            self._buckets.popleft()
+
+    def record(self, amount: float = 1.0, now: Optional[float] = None) -> None:
+        """Add ``amount`` at time ``now`` (default: ``time.monotonic()``)."""
+        stamp = time.monotonic() if now is None else float(now)
+        bucket = int(stamp / self.resolution)
+        with self._lock:
+            self._total += amount
+            if self._buckets and self._buckets[-1][0] == bucket:
+                self._buckets[-1][1] += amount
+            else:
+                self._buckets.append([bucket, amount])
+                self._prune(bucket)
+
+    def total(self, window_seconds: float, now: Optional[float] = None) -> float:
+        """Sum of amounts recorded within the trailing ``window_seconds``.
+
+        A window of W seconds at resolution r covers exactly ``W / r``
+        buckets ending at the current one — the bucket ``now`` itself
+        falls in counts as the newest, so the oldest included bucket is
+        ``now_bucket - W/r + 1``.
+        """
+        stamp = time.monotonic() if now is None else float(now)
+        now_bucket = int(stamp / self.resolution)
+        window_buckets = max(1, int(float(window_seconds) / self.resolution))
+        oldest = now_bucket - window_buckets + 1
+        with self._lock:
+            return float(
+                sum(amount for bucket, amount in self._buckets if bucket >= oldest)
+            )
+
+    def rate(self, window_seconds: float, now: Optional[float] = None) -> float:
+        """Events per second over the trailing ``window_seconds``."""
+        return self.total(window_seconds, now) / float(window_seconds)
+
+    @property
+    def lifetime_total(self) -> float:
+        """Total recorded since creation (independent of the horizon)."""
+        with self._lock:
+            return self._total
 
 
 @dataclass(frozen=True)
@@ -138,16 +249,27 @@ class SpanRecord:
 class MetricsRegistry:
     """Get-or-create store of counters, gauges, histograms and spans.
 
-    Metric creation takes a lock; increments rely on the GIL (the pipeline
-    is single-threaded per registry — the lock only protects the rare
-    first-touch races when spans run in helper threads).
+    Fully thread-safe: creation and the span list take the registry lock,
+    increments take the per-metric locks, and :meth:`snapshot` copies the
+    metric maps under the registry lock — so the query service's
+    concurrent handler threads can record and scrape without losing
+    updates. Single-threaded pipeline runs pay only uncontended locks.
+
+    ``span_limit`` bounds the retained span records (oldest dropped first,
+    counted in ``spans_dropped``); a long-running daemon sets it so the
+    registry cannot grow without bound, while batch runs keep the default
+    ``None`` (retain everything) for lossless traces.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, span_limit: Optional[int] = None) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
-        self._spans: List[SpanRecord] = []
+        self._windows: Dict[str, SlidingWindow] = {}
+        self._span_limit = span_limit
+        self._spans: Deque[SpanRecord] = collections.deque(maxlen=span_limit)
+        self._spans_dropped = 0
+        self._span_aggregates: Dict[str, Dict[str, float]] = {}
         self._lock = threading.Lock()
         self._next_span_id = 0
         self._epoch = time.perf_counter()
@@ -162,7 +284,13 @@ class MetricsRegistry:
     @property
     def spans(self) -> List[SpanRecord]:
         """Completed span records, in completion order."""
-        return list(self._spans)
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def spans_dropped(self) -> int:
+        """Records evicted by the ``span_limit`` cap since creation."""
+        return self._spans_dropped
 
     def _check_kind(self, name: str, kind: str) -> None:
         owners = {
@@ -212,6 +340,26 @@ class MetricsRegistry:
                     metric = self._histograms[name] = Histogram(name, buckets)
         return metric
 
+    def window(
+        self, name: str, horizon: float = 600.0, resolution: float = 1.0
+    ) -> SlidingWindow:
+        """Get-or-create a :class:`SlidingWindow`; parameters apply on the
+        first creation only.
+
+        Window names live in their own namespace (a window may share its
+        name with a counter): the Prometheus export adds a ``_rate``
+        suffix, so samples never collide with the other kinds.
+        """
+        metric = self._windows.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._windows.get(name)
+                if metric is None:
+                    metric = self._windows[name] = SlidingWindow(
+                        name, horizon, resolution
+                    )
+        return metric
+
     # ------------------------------------------------------------------
     # Spans (recorded at exit by repro.obs.spans)
     # ------------------------------------------------------------------
@@ -223,16 +371,22 @@ class MetricsRegistry:
         return span_id
 
     def record_span(self, record: SpanRecord) -> None:
-        """Append a completed span record."""
-        self._spans.append(record)
+        """Append a completed span record (evicting the oldest at the cap).
 
-    def span_summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-name aggregate: count, total/min/max seconds."""
-        summary: Dict[str, Dict[str, float]] = {}
-        for record in self._spans:
-            agg = summary.get(record.name)
+        Per-name aggregates are folded in here, *before* any eviction, so
+        ``span_summary`` stays complete over the registry's whole lifetime
+        even when ``span_limit`` has dropped the raw records.
+        """
+        with self._lock:
+            if (
+                self._span_limit is not None
+                and len(self._spans) == self._span_limit
+            ):
+                self._spans_dropped += 1
+            self._spans.append(record)
+            agg = self._span_aggregates.get(record.name)
             if agg is None:
-                summary[record.name] = {
+                self._span_aggregates[record.name] = {
                     "count": 1,
                     "total_seconds": record.seconds,
                     "min_seconds": record.seconds,
@@ -243,13 +397,22 @@ class MetricsRegistry:
                 agg["total_seconds"] += record.seconds
                 agg["min_seconds"] = min(agg["min_seconds"], record.seconds)
                 agg["max_seconds"] = max(agg["max_seconds"], record.seconds)
-        return summary
+
+    def span_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregate (count, total/min/max seconds) over *every*
+        span ever recorded — unaffected by ``span_limit`` eviction."""
+        with self._lock:
+            return {name: dict(agg) for name, agg in self._span_aggregates.items()}
 
     # ------------------------------------------------------------------
     def is_empty(self) -> bool:
         """True when no metric or span was ever recorded."""
         return not (
-            self._counters or self._gauges or self._histograms or self._spans
+            self._counters
+            or self._gauges
+            or self._histograms
+            or self._windows
+            or self._spans
         )
 
     def clear(self) -> None:
@@ -258,25 +421,44 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._windows.clear()
             self._spans.clear()
+            self._span_aggregates.clear()
+            self._spans_dropped = 0
             self._next_span_id = 0
             self._epoch = time.perf_counter()
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
-        """JSON-serializable view of everything recorded so far."""
-        return {
+        """JSON-serializable view of everything recorded so far.
+
+        Metric maps and the span list are copied under the registry lock,
+        histogram triples are read under their per-metric locks, so a
+        snapshot taken while handler threads are recording is internally
+        consistent per metric. Sliding windows are flattened to their
+        per-:data:`RATE_WINDOWS` rates at snapshot time.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            windows = dict(self._windows)
+            spans = list(self._spans)
+        histogram_states = {
+            n: h.state() for n, h in sorted(histograms.items())
+        }
+        snap: Dict[str, object] = {
             "version": 1,
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "counters": {n: counters[n].value for n in sorted(counters)},
+            "gauges": {n: gauges[n].value for n in sorted(gauges)},
             "histograms": {
                 n: {
-                    "buckets": list(h.buckets),
-                    "counts": list(h.counts),
-                    "sum": h.sum,
-                    "count": h.count,
+                    "buckets": list(histograms[n].buckets),
+                    "counts": counts,
+                    "sum": total,
+                    "count": count,
                 }
-                for n, h in sorted(self._histograms.items())
+                for n, (counts, total, count) in histogram_states.items()
             },
             "spans": [
                 {
@@ -288,7 +470,23 @@ class MetricsRegistry:
                     "seconds": s.seconds,
                     "attrs": dict(s.attrs),
                 }
-                for s in self._spans
+                for s in spans
             ],
             "span_summary": self.span_summary(),
         }
+        if windows:
+            now = time.monotonic()
+            snap["windows"] = {
+                n: {
+                    "horizon_seconds": w.horizon,
+                    "total": w.lifetime_total,
+                    "rates": {
+                        str(sec): w.rate(min(sec, w.horizon), now)
+                        for sec in RATE_WINDOWS
+                    },
+                }
+                for n, w in sorted(windows.items())
+            }
+        if self._spans_dropped:
+            snap["spans_dropped"] = self._spans_dropped
+        return snap

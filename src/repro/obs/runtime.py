@@ -24,10 +24,17 @@ nothing leaks across test cases or CLI invocations.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import threading
 from typing import Iterator, List, Optional, Sequence
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlidingWindow,
+)
 
 __all__ = [
     "enabled",
@@ -39,6 +46,9 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "window",
+    "correlation_id",
+    "correlation",
 ]
 
 
@@ -69,13 +79,28 @@ class _NullHistogram:
         pass
 
 
+class _NullWindow:
+    __slots__ = ()
+
+    def record(self, amount: float = 1.0, now: Optional[float] = None) -> None:
+        pass
+
+
 _NULL_COUNTER = _NullCounter()
 _NULL_GAUGE = _NullGauge()
 _NULL_HISTOGRAM = _NullHistogram()
+_NULL_WINDOW = _NullWindow()
 
 _enabled: bool = False
 _registry: MetricsRegistry = MetricsRegistry()
 _local = threading.local()
+
+#: Per-task correlation id (the query service's request id). A contextvar
+#: rather than a thread-local so the id follows the work even if a handler
+#: delegates to helper tasks.
+_correlation: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_obs_correlation", default=None
+)
 
 
 def enabled() -> bool:
@@ -156,3 +181,40 @@ def histogram(name: str, buckets: Optional[Sequence[float]] = None) -> Histogram
     if not _enabled:
         return _NULL_HISTOGRAM  # type: ignore[return-value]
     return _registry.histogram(name, buckets)
+
+
+def window(
+    name: str, horizon: float = 600.0, resolution: float = 1.0
+) -> SlidingWindow:
+    """Active registry's sliding window ``name``, or a no-op when disabled."""
+    if not _enabled:
+        return _NULL_WINDOW  # type: ignore[return-value]
+    return _registry.window(name, horizon, resolution)
+
+
+# ----------------------------------------------------------------------
+# Correlation ids (request tracing)
+# ----------------------------------------------------------------------
+def correlation_id() -> Optional[str]:
+    """The correlation id bound to the current task, or ``None``.
+
+    While set, every completed span is stamped with a ``request_id``
+    attribute and callers (the query service's access log) attach it to
+    their structured log lines, tying metrics, spans and logs of one
+    request together.
+    """
+    return _correlation.get()
+
+
+@contextlib.contextmanager
+def correlation(cid: Optional[str]) -> Iterator[Optional[str]]:
+    """Scoped correlation id: bind ``cid`` for the duration of the block.
+
+    Nesting restores the previous id on exit; binding ``None`` clears it
+    for the scope. Cheap enough to wrap every request.
+    """
+    token = _correlation.set(cid)
+    try:
+        yield cid
+    finally:
+        _correlation.reset(token)

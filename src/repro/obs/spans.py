@@ -98,6 +98,11 @@ class Span:
             self._attrs.setdefault("leaked", True)
         if exc_type is not None:
             self._attrs.setdefault("error", exc_type.__name__)
+        cid = runtime.correlation_id()
+        if cid is not None:
+            # stamp the active request id so per-request traces can be
+            # sliced out of a shared registry (serve's ?trace=1)
+            self._attrs.setdefault("request_id", cid)
         self._registry.record_span(
             SpanRecord(
                 span_id=self._id,
@@ -141,6 +146,10 @@ def external_span(
         return
     registry = runtime.registry()
     stack = runtime.span_stack()
+    merged = dict(attrs)
+    cid = runtime.correlation_id()
+    if cid is not None:
+        merged.setdefault("request_id", cid)
     registry.record_span(
         SpanRecord(
             span_id=registry.next_span_id(),
@@ -149,6 +158,6 @@ def external_span(
             depth=len(stack),
             start=start - registry.epoch,
             seconds=seconds,
-            attrs=dict(attrs),
+            attrs=merged,
         )
     )

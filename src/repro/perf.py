@@ -38,6 +38,7 @@ __all__ = [
     "scalar_indexed_integrate",
     "scalar_rescan_naive_integrate",
     "run_parallel_build_benchmark",
+    "run_serve_latency_benchmark",
     "run_integration_benchmark",
     "format_report",
 ]
@@ -399,6 +400,75 @@ def run_parallel_build_benchmark(
     }
 
 
+def _sorted_quantile(samples: List[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample list."""
+    if not samples:
+        return 0.0
+    rank = min(len(samples) - 1, max(0, int(math.ceil(q * len(samples))) - 1))
+    return samples[rank]
+
+
+def run_serve_latency_benchmark(
+    requests: int = 24,
+    build_days: int = 7,
+    seed: int = 7,
+    phase_seconds: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Benchmark the query service's handler stack, in process.
+
+    Builds a small engine, wraps it in a
+    :class:`~repro.serve.handlers.ServeApp`, and drives ``requests``
+    ``POST /query`` calls through ``dispatch`` — the full serving path
+    (request context, RED accounting, query, report rendering, JSON)
+    minus the socket, so the number isolates our code from kernel TCP
+    noise. Reports p50/p95 per-request latency plus one ``/metrics``
+    render time (the scrape cost an operator's poller pays).
+    """
+    from repro.analysis.engine import AnalysisEngine
+    from repro.serve import ServeApp
+    from repro.simulate.generator import SimulationConfig, TrafficSimulator
+
+    seconds = phase_seconds if phase_seconds is not None else {}
+    with _phase("serve_latency", seconds):
+        simulator = TrafficSimulator(SimulationConfig.small(seed=seed))
+        engine = AnalysisEngine.from_simulator(simulator)
+        engine.build_from_simulator(simulator, range(build_days))
+        body = json.dumps({"first_day": 0, "days": build_days}).encode()
+
+        def drive() -> Tuple[List[float], int, float]:
+            app = ServeApp(engine)
+            samples: List[float] = []
+            errors = 0
+            for _ in range(requests):
+                started = time.perf_counter()
+                status, _, _, _ = app.dispatch("POST", "/query", {}, body)
+                samples.append(time.perf_counter() - started)
+                if status != 200:
+                    errors += 1
+            started = time.perf_counter()
+            app.dispatch("GET", "/metrics", {}, b"")
+            return samples, errors, time.perf_counter() - started
+
+        if obs.enabled():
+            samples, errors, scrape_seconds = drive()
+        else:
+            # the real server always records telemetry, so the bench must
+            # pay the same accounting costs to be representative
+            with obs.activate(obs.MetricsRegistry(span_limit=10_000)):
+                samples, errors, scrape_seconds = drive()
+    samples.sort()
+    return {
+        "requests": requests,
+        "build_days": build_days,
+        "errors": errors,
+        "p50_seconds": _sorted_quantile(samples, 0.50),
+        "p95_seconds": _sorted_quantile(samples, 0.95),
+        "mean_seconds": math.fsum(samples) / len(samples) if samples else 0.0,
+        "total_seconds": math.fsum(samples),
+        "metrics_render_seconds": scrape_seconds,
+    }
+
+
 def run_integration_benchmark(
     num_clusters: int = 400,
     seed: int = 7,
@@ -488,6 +558,11 @@ def run_integration_benchmark(
         phase_seconds=phase_seconds,
     )
 
+    # -- query service: in-process handler-stack latency -----------------
+    serve_latency = run_serve_latency_benchmark(
+        seed=seed, phase_seconds=phase_seconds
+    )
+
     report = {
         "workload": {
             "num_clusters": num_clusters,
@@ -521,6 +596,7 @@ def run_integration_benchmark(
             ),
         },
         "parallel_build": parallel_build,
+        "serve_latency": serve_latency,
         "naive_fixpoint": {
             "subset_clusters": len(subset),
             "rescan_seconds": rescan_best,
@@ -589,6 +665,16 @@ def format_report(report: dict) -> str:
             f"({par['speedup']:.2f}x), {par['shards']} shards, "
             f"{par['clusters']} clusters, "
             f"identical={par['identical_macro_clusters']}"
+        )
+    serve = report.get("serve_latency")
+    if serve:
+        lines.append(
+            f"serve latency ({serve['requests']} in-process /query requests, "
+            f"{serve['build_days']} built days): "
+            f"p50 {serve['p50_seconds'] * 1e3:.1f}ms "
+            f"p95 {serve['p95_seconds'] * 1e3:.1f}ms, "
+            f"errors={serve['errors']}, "
+            f"metrics render {serve['metrics_render_seconds'] * 1e3:.1f}ms"
         )
     spans = report.get("spans")
     if spans:

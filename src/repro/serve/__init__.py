@@ -1,0 +1,47 @@
+"""The long-running query service: HTTP daemon, telemetry, dashboard.
+
+``repro serve`` loads a built model once and answers analytical queries
+over HTTP (see :mod:`repro.serve.handlers` for the endpoints), with
+RED-style request telemetry — correlation ids, request/error counters,
+sliding-window rates, latency histograms, per-stage query costs — wired
+through the shared :mod:`repro.obs` registry. ``repro top``
+(:mod:`repro.serve.dashboard`) renders a live terminal view from the
+``/metrics`` scrape.
+
+Layering: :mod:`~repro.serve.context` (per-request accounting) →
+:mod:`~repro.serve.handlers` (endpoint logic, socket-free) →
+:mod:`~repro.serve.server` (HTTP transport and graceful shutdown). The
+benchmark harness and tests drive the handler layer in-process.
+"""
+
+from repro.serve.context import ACCESS_LOGGER, RequestContext, new_request_id
+from repro.serve.dashboard import (
+    DashboardState,
+    DashboardView,
+    delta_histogram,
+    histogram_quantile,
+    render,
+    run_top,
+    scrape,
+)
+from repro.serve.handlers import JSON_TYPE, METRICS_TYPE, ServeApp
+from repro.serve.server import QueryServer, build_handler, install_signal_handlers
+
+__all__ = [
+    "ACCESS_LOGGER",
+    "RequestContext",
+    "new_request_id",
+    "ServeApp",
+    "JSON_TYPE",
+    "METRICS_TYPE",
+    "QueryServer",
+    "build_handler",
+    "install_signal_handlers",
+    "DashboardState",
+    "DashboardView",
+    "histogram_quantile",
+    "delta_histogram",
+    "render",
+    "run_top",
+    "scrape",
+]

@@ -1,0 +1,93 @@
+"""Per-request context: correlation ids, timing and RED accounting.
+
+Every request handled by the query service gets a :class:`RequestContext`
+carrying the correlation id (honoring an incoming ``X-Request-Id`` header,
+generating one otherwise), its wall-clock start, and the resolved endpoint
+label. The context manages the RED bookkeeping in one place: request and
+error counters, per-endpoint counters, latency histograms, sliding-window
+rates, the in-flight gauge, the logfmt access-log line, and the
+``obs.correlation`` scope that stamps the id onto every span the request
+produces (see :mod:`repro.obs.runtime`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import obs
+from repro.obs.metrics import LATENCY_BUCKETS
+
+__all__ = ["RequestContext", "new_request_id", "ACCESS_LOGGER"]
+
+#: Logger name the access log writes through (logfmt via repro.obs.logs).
+ACCESS_LOGGER = "repro.serve.access"
+
+_sequence = itertools.count(1)
+_sequence_lock = threading.Lock()
+
+
+def new_request_id() -> str:
+    """A process-unique correlation id: ``req-<seq>-<entropy>``.
+
+    The monotone sequence keeps ids greppable in arrival order; the random
+    suffix keeps them unique across server restarts (so aggregated logs
+    from several runs never collide).
+    """
+    with _sequence_lock:
+        seq = next(_sequence)
+    return f"req-{seq:06d}-{os.urandom(4).hex()}"
+
+
+@dataclass
+class RequestContext:
+    """One in-flight request: identity, timing, and telemetry hooks."""
+
+    method: str
+    path: str
+    endpoint: str  #: metric label: ``query`` / ``healthz`` / ``metrics`` / ``other``
+    request_id: str = field(default_factory=new_request_id)
+    started: float = field(default_factory=time.perf_counter)
+    status: int = 0
+
+    def __enter__(self) -> "RequestContext":
+        """Open the request scope: bind the correlation id, count arrival."""
+        self._correlation = obs.correlation(self.request_id)
+        self._correlation.__enter__()
+        if obs.enabled():
+            obs.gauge("serve.in_flight").inc()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close the scope: record RED metrics and the access-log line."""
+        seconds = time.perf_counter() - self.started
+        status = self.status if self.status else (500 if exc_type else 200)
+        if obs.enabled():
+            obs.gauge("serve.in_flight").dec()
+            obs.counter("serve.requests").inc()
+            obs.counter(f"serve.requests.{self.endpoint}").inc()
+            obs.counter(f"serve.responses.{status // 100}xx").inc()
+            obs.window("serve.requests").record()
+            obs.histogram("serve.request_seconds", LATENCY_BUCKETS).observe(
+                seconds
+            )
+            if status >= 400:
+                obs.counter("serve.errors").inc()
+                obs.window("serve.errors").record()
+        obs.get_logger(ACCESS_LOGGER).info(
+            "request",
+            extra={
+                "request_id": self.request_id,
+                "method": self.method,
+                "path": self.path,
+                "endpoint": self.endpoint,
+                "status": status,
+                "seconds": round(seconds, 6),
+            },
+        )
+        self._correlation.__exit__(exc_type, exc, tb)
+        return False

@@ -1,0 +1,324 @@
+"""``repro top``: a live terminal dashboard over a ``/metrics`` endpoint.
+
+The dashboard is a scrape loop around pure functions: :func:`scrape`
+fetches and parses the Prometheus text (via
+:func:`repro.obs.parse_prometheus_text`), :class:`DashboardState` diffs
+consecutive scrapes into a view of RED panels — request rate, error
+percentage, latency quantiles, cache hit ratios, hottest query stages —
+and :func:`render` turns one view into a screenful of text. Tests drive
+the pure parts with canned scrapes; only :func:`run_top` touches the
+network and the terminal.
+
+Latency quantiles are Prometheus-style estimates: linear interpolation
+inside the first cumulative histogram bucket whose count covers the
+target rank. When two scrapes are available the quantiles are computed
+over the *delta* between them (latency of recent traffic, the number an
+operator actually wants) and fall back to lifetime buckets on the first
+scrape.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, TextIO, Tuple
+
+from repro.obs.exporters import format_seconds, parse_prometheus_text
+
+__all__ = [
+    "scrape",
+    "histogram_quantile",
+    "delta_histogram",
+    "DashboardState",
+    "render",
+    "run_top",
+]
+
+#: Prometheus names the panels read (the exporter prefixes ``repro_``).
+REQUESTS_TOTAL = "repro_serve_requests_total"
+ERRORS_TOTAL = "repro_serve_errors_total"
+REQUESTS_RATE = "repro_serve_requests_rate"
+ERRORS_RATE = "repro_serve_errors_rate"
+IN_FLIGHT = "repro_serve_in_flight"
+REQUEST_SECONDS = "repro_serve_request_seconds"
+STAGE_PREFIX = "repro_query_stage_"
+CACHE_PAIRS: Tuple[Tuple[str, str, str], ...] = (
+    ("model cache", "repro_model_cache_hits_total", "repro_model_cache_misses_total"),
+    (
+        "similarity cache",
+        "repro_similarity_cache_hits_total",
+        "repro_similarity_cache_misses_total",
+    ),
+)
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def scrape(url: str, timeout: float = 2.0) -> Dict[str, object]:
+    """Fetch ``url`` and parse it as Prometheus exposition text."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        text = resp.read().decode("utf-8", errors="replace")
+    return parse_prometheus_text(text)
+
+
+def histogram_quantile(hist: Mapping[str, object], q: float) -> Optional[float]:
+    """Estimate quantile ``q`` from a snapshot-layout histogram.
+
+    Prometheus semantics: find the first bucket whose cumulative count
+    reaches rank ``q * count`` and interpolate linearly inside it (the
+    lower edge of the first bucket is 0). Returns ``None`` on an empty
+    histogram; ranks landing in the ``+Inf`` overflow clamp to the last
+    finite bound.
+    """
+    bounds: Sequence[float] = hist["buckets"]  # type: ignore[assignment]
+    counts: Sequence[int] = hist["counts"]  # type: ignore[assignment]
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    for i, bound in enumerate(bounds):
+        prev_cumulative = cumulative
+        cumulative += counts[i]
+        if cumulative >= rank:
+            lower = bounds[i - 1] if i else 0.0
+            inside = counts[i]
+            frac = (rank - prev_cumulative) / inside if inside else 0.0
+            return lower + (bound - lower) * frac
+    return bounds[-1] if bounds else None
+
+
+def delta_histogram(
+    current: Mapping[str, object], previous: Optional[Mapping[str, object]]
+) -> Mapping[str, object]:
+    """The histogram of observations made *between* two scrapes.
+
+    Falls back to ``current`` when there is no previous scrape, the bucket
+    layout changed, or nothing landed in between (counter resets — e.g. a
+    restarted server — also take this branch, since deltas go negative).
+    """
+    if previous is None or previous.get("buckets") != current.get("buckets"):
+        return current
+    delta_counts = [
+        c - p
+        for c, p in zip(current["counts"], previous["counts"])  # type: ignore[arg-type]
+    ]
+    delta_count = int(current["count"]) - int(previous["count"])  # type: ignore[arg-type]
+    if delta_count <= 0 or any(c < 0 for c in delta_counts):
+        return current
+    return {
+        "buckets": current["buckets"],
+        "counts": delta_counts,
+        "sum": float(current["sum"]) - float(previous["sum"]),  # type: ignore[arg-type]
+        "count": delta_count,
+    }
+
+
+@dataclass
+class DashboardView:
+    """Everything one frame of the dashboard displays."""
+
+    requests_total: float = 0.0
+    errors_total: float = 0.0
+    in_flight: float = 0.0
+    request_rate: Optional[float] = None  #: req/s (window gauge or scrape delta)
+    error_rate: Optional[float] = None
+    rate_source: str = "n/a"  #: ``window=60s`` / ``delta`` / ``n/a``
+    p50: Optional[float] = None
+    p95: Optional[float] = None
+    p99: Optional[float] = None
+    latency_count: int = 0  #: observations behind the quantiles
+    latency_recent: bool = False  #: True when quantiles are scrape-delta
+    caches: List[Tuple[str, float, float]] = field(default_factory=list)
+    stages: List[Tuple[str, float, int]] = field(default_factory=list)
+
+
+class DashboardState:
+    """Scrape-to-scrape memory: turns parsed scrapes into views."""
+
+    def __init__(self) -> None:
+        self._prev: Optional[Dict[str, object]] = None
+        self._prev_at: Optional[float] = None
+
+    def update(
+        self, parsed: Mapping[str, object], now: Optional[float] = None
+    ) -> DashboardView:
+        """Fold one parsed scrape into the state; returns the new view."""
+        now = time.monotonic() if now is None else now
+        counters: Mapping[str, float] = parsed.get("counters", {})  # type: ignore[assignment]
+        gauges: Mapping[str, float] = parsed.get("gauges", {})  # type: ignore[assignment]
+        rates: Mapping[str, Mapping[str, float]] = parsed.get("rates", {})  # type: ignore[assignment]
+        hists: Mapping[str, Mapping[str, object]] = parsed.get("histograms", {})  # type: ignore[assignment]
+
+        view = DashboardView(
+            requests_total=counters.get(REQUESTS_TOTAL, 0.0),
+            errors_total=counters.get(ERRORS_TOTAL, 0.0),
+            in_flight=gauges.get(IN_FLIGHT, 0.0),
+        )
+
+        # Rates: prefer the server-side sliding-window gauges (exact,
+        # independent of our scrape cadence), else diff our own scrapes.
+        req_windows = rates.get(REQUESTS_RATE, {})
+        if req_windows:
+            window = min(req_windows, key=_window_seconds)
+            view.request_rate = req_windows[window]
+            view.error_rate = rates.get(ERRORS_RATE, {}).get(window, 0.0)
+            view.rate_source = f"window={window}"
+        elif self._prev is not None and self._prev_at is not None:
+            dt = now - self._prev_at
+            prev_counters: Mapping[str, float] = self._prev.get("counters", {})  # type: ignore[assignment]
+            if dt > 0:
+                view.request_rate = max(
+                    0.0,
+                    (view.requests_total - prev_counters.get(REQUESTS_TOTAL, 0.0))
+                    / dt,
+                )
+                view.error_rate = max(
+                    0.0,
+                    (view.errors_total - prev_counters.get(ERRORS_TOTAL, 0.0)) / dt,
+                )
+                view.rate_source = "delta"
+
+        # Latency quantiles, over the scrape delta when possible.
+        hist = hists.get(REQUEST_SECONDS)
+        if hist is not None:
+            prev_hists: Mapping[str, Mapping[str, object]] = (
+                self._prev.get("histograms", {}) if self._prev else {}  # type: ignore[union-attr]
+            )
+            window_hist = delta_histogram(hist, prev_hists.get(REQUEST_SECONDS))
+            view.latency_recent = window_hist is not hist
+            view.latency_count = int(window_hist["count"])  # type: ignore[arg-type]
+            view.p50 = histogram_quantile(window_hist, 0.50)
+            view.p95 = histogram_quantile(window_hist, 0.95)
+            view.p99 = histogram_quantile(window_hist, 0.99)
+
+        for label, hit_name, miss_name in CACHE_PAIRS:
+            hits = counters.get(hit_name)
+            misses = counters.get(miss_name)
+            if hits is None and misses is None:
+                continue
+            view.caches.append((label, hits or 0.0, misses or 0.0))
+
+        for name, stage_hist in sorted(hists.items()):
+            if not name.startswith(STAGE_PREFIX):
+                continue
+            stage = name[len(STAGE_PREFIX):]
+            if stage.endswith("_seconds"):
+                stage = stage[: -len("_seconds")]
+            view.stages.append(
+                (stage, float(stage_hist["sum"]), int(stage_hist["count"]))  # type: ignore[arg-type]
+            )
+        view.stages.sort(key=lambda s: -s[1])
+
+        self._prev = dict(parsed)
+        self._prev_at = now
+        return view
+
+
+def _window_seconds(label: str) -> float:
+    """Order window labels like ``60s`` numerically, not lexically."""
+    try:
+        return float(label.rstrip("s"))
+    except ValueError:
+        return float("inf")
+
+
+def _fmt_quantile(value: Optional[float]) -> str:
+    return format_seconds(value) if value is not None else "-"
+
+
+def render(view: DashboardView, source: str = "") -> str:
+    """One dashboard frame as plain text (no ANSI, no I/O)."""
+    lines: List[str] = []
+    title = "repro top"
+    if source:
+        title += f" — {source}"
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    err_pct = (
+        100.0 * view.errors_total / view.requests_total
+        if view.requests_total
+        else 0.0
+    )
+    rate = f"{view.request_rate:.2f}/s" if view.request_rate is not None else "-"
+    erate = f"{view.error_rate:.2f}/s" if view.error_rate is not None else "-"
+    lines.append(
+        f"requests  total={int(view.requests_total):>8}  rate={rate:>10}  "
+        f"({view.rate_source})"
+    )
+    lines.append(
+        f"errors    total={int(view.errors_total):>8}  rate={erate:>10}  "
+        f"ratio={err_pct:.2f}%"
+    )
+    lines.append(f"in-flight {int(view.in_flight)}")
+
+    scope = "recent" if view.latency_recent else "lifetime"
+    lines.append("")
+    lines.append(
+        f"latency ({scope}, n={view.latency_count})  "
+        f"p50={_fmt_quantile(view.p50)}  p95={_fmt_quantile(view.p95)}  "
+        f"p99={_fmt_quantile(view.p99)}"
+    )
+
+    if view.caches:
+        lines.append("")
+        lines.append("caches")
+        for label, hits, misses in view.caches:
+            total = hits + misses
+            ratio = 100.0 * hits / total if total else 0.0
+            lines.append(
+                f"  {label:<18} hits={int(hits):>8}  misses={int(misses):>8}  "
+                f"hit-ratio={ratio:5.1f}%"
+            )
+
+    if view.stages:
+        lines.append("")
+        lines.append("hottest query stages (total seconds)")
+        for stage, total_s, count in view.stages:
+            lines.append(
+                f"  {stage:<12} {format_seconds(total_s):>10}  n={count}"
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+    clear: bool = True,
+    timeout: float = 2.0,
+) -> int:
+    """The ``repro top`` loop: scrape, render, sleep, repeat.
+
+    ``iterations=None`` runs until interrupted (Ctrl-C exits cleanly);
+    a failed scrape renders the error in place of a frame and keeps
+    polling, so a restarting server does not kill the dashboard. Returns a
+    process exit code.
+    """
+    out = stream if stream is not None else sys.stdout
+    state = DashboardState()
+    done = 0
+    try:
+        while iterations is None or done < iterations:
+            try:
+                frame = render(state.update(scrape(url, timeout=timeout)), url)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                frame = f"repro top — {url}\nscrape failed: {exc}\n"
+            if clear:
+                out.write(_CLEAR)
+            out.write(frame)
+            out.flush()
+            done += 1
+            if iterations is not None and done >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        out.write("\n")
+        return 0
+    return 0

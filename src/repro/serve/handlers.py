@@ -1,0 +1,339 @@
+"""Endpoint logic of the query service, independent of the HTTP socket.
+
+:class:`ServeApp` is the whole service behind one method —
+:meth:`~ServeApp.dispatch` maps ``(method, path, params, body)`` to
+``(status, content type, body, request id)`` — so the same code path is
+driven by the real :class:`~repro.serve.server.QueryServer`, by the
+in-process ``serve_latency`` benchmark, and by tests, without a socket in
+sight. Endpoints:
+
+* ``POST /query`` — run an analytical query; JSON in/out, results
+  identical to the ``repro query`` CLI (same engine call, same report
+  renderer). ``?trace=1`` embeds the request's own span tree as a Chrome
+  ``trace_event`` document.
+* ``GET /healthz`` — liveness: model digest, uptime, request totals,
+  thread count.
+* ``GET /metrics`` — the shared registry in Prometheus text exposition
+  format.
+
+RED accounting (counters, latency histograms, sliding-window rates,
+correlation ids, access log) is handled per request by
+:class:`~repro.serve.context.RequestContext`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.analysis.report import build_report
+from repro.core.query import STRATEGIES
+from repro.obs.metrics import LATENCY_BUCKETS
+from repro.obs.tracing import to_chrome_trace
+from repro.serve.context import RequestContext
+from repro.spatial.regions import QueryRegion
+
+__all__ = ["ServeApp", "JSON_TYPE", "METRICS_TYPE"]
+
+JSON_TYPE = "application/json; charset=utf-8"
+METRICS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _ClientError(ValueError):
+    """A request the client got wrong (rendered as HTTP 400)."""
+
+
+def _json_bytes(payload: Mapping[str, object]) -> bytes:
+    return (json.dumps(payload, indent=2) + "\n").encode()
+
+
+class ServeApp:
+    """The query service's endpoint logic over one loaded engine.
+
+    ``query_lock`` serializes ``engine.query`` calls (the engine shares a
+    similarity cache across runs, which is not safe under concurrent
+    mutation); :func:`~repro.storage.model_cache.load_engine_cached`
+    supplies one per cached model. Everything else in the handler stack is
+    reentrant, so health checks and scrapes never wait behind a query.
+    """
+
+    def __init__(
+        self,
+        engine,
+        digest: str = "",
+        model_dir: Optional[Path] = None,
+        query_lock: Optional[threading.Lock] = None,
+        default_limit: int = 10,
+    ):
+        self._engine = engine
+        self._digest = digest
+        self._model_dir = Path(model_dir) if model_dir is not None else None
+        self._query_lock = query_lock if query_lock is not None else threading.Lock()
+        self._default_limit = default_limit
+        self._started_wall = time.time()
+        self._started_mono = time.monotonic()
+        self._stats_lock = threading.Lock()
+        self._served = 0
+        self._errors = 0
+        self._in_flight = 0
+        forest_stats = engine.forest.stats()
+        self._micro_clusters = forest_stats.num_micro
+        self._built_days = len(engine.built_days)
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The loaded :class:`~repro.analysis.engine.AnalysisEngine`."""
+        return self._engine
+
+    @property
+    def model_digest(self) -> str:
+        """SHA-256 digest of the served model files ('' when in-memory)."""
+        return self._digest
+
+    def uptime_seconds(self) -> float:
+        """Seconds since the app was constructed (monotonic clock)."""
+        return time.monotonic() - self._started_mono
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Mapping[str, str]] = None,
+        body: bytes = b"",
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, str, bytes, str]:
+        """Route one request; returns ``(status, content_type, body, id)``.
+
+        ``params`` are the decoded query-string parameters; ``request_id``
+        honors a client-supplied ``X-Request-Id`` header. All endpoint and
+        error handling funnels through here so the RED metrics and access
+        log see every request exactly once.
+        """
+        params = dict(params or {})
+        endpoint = {
+            "/query": "query",
+            "/healthz": "healthz",
+            "/metrics": "metrics",
+        }.get(path, "other")
+        ctx = RequestContext(
+            method=method,
+            path=path,
+            endpoint=endpoint,
+            **({"request_id": request_id} if request_id else {}),
+        )
+        with self._stats_lock:
+            self._in_flight += 1
+        try:
+            with ctx:
+                status, content_type, payload = self._route(
+                    ctx, method, path, endpoint, params, body
+                )
+                ctx.status = status
+        finally:
+            with self._stats_lock:
+                self._in_flight -= 1
+                self._served += 1
+                if status >= 400:
+                    self._errors += 1
+        return status, content_type, payload, ctx.request_id
+
+    def _route(
+        self,
+        ctx: RequestContext,
+        method: str,
+        path: str,
+        endpoint: str,
+        params: Mapping[str, str],
+        body: bytes,
+    ) -> Tuple[int, str, bytes]:
+        """Resolve the endpoint and translate failures to status codes."""
+        try:
+            if endpoint == "query":
+                if method != "POST":
+                    return self._error(ctx, 405, "POST required for /query")
+                return 200, JSON_TYPE, self._handle_query(ctx, params, body)
+            if endpoint == "healthz":
+                if method != "GET":
+                    return self._error(ctx, 405, "GET required for /healthz")
+                return 200, JSON_TYPE, _json_bytes(self.health())
+            if endpoint == "metrics":
+                if method != "GET":
+                    return self._error(ctx, 405, "GET required for /metrics")
+                return 200, METRICS_TYPE, self.metrics_text().encode()
+            return self._error(ctx, 404, f"no such endpoint: {path}")
+        except _ClientError as exc:
+            return self._error(ctx, 400, str(exc))
+        except Exception as exc:  # noqa: BLE001 — the daemon must not die
+            obs.get_logger("repro.serve").exception(
+                "request failed",
+                extra={"request_id": ctx.request_id, "path": path},
+            )
+            return self._error(ctx, 500, f"{type(exc).__name__}: {exc}")
+
+    def _error(
+        self, ctx: RequestContext, status: int, message: str
+    ) -> Tuple[int, str, bytes]:
+        payload = {"error": message, "request_id": ctx.request_id}
+        return status, JSON_TYPE, _json_bytes(payload)
+
+    # ------------------------------------------------------------------
+    # POST /query
+    # ------------------------------------------------------------------
+    def _parse_query_body(self, body: bytes) -> Dict[str, object]:
+        try:
+            parsed = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _ClientError(f"request body is not valid JSON: {exc}")
+        if not isinstance(parsed, dict):
+            raise _ClientError("request body must be a JSON object")
+        allowed = {
+            "first_day", "days", "strategy", "delta_s", "final_check",
+            "sensors", "limit", "explain",
+        }
+        unknown = sorted(set(parsed) - allowed)
+        if unknown:
+            raise _ClientError(
+                f"unknown field(s) {unknown}; allowed: {sorted(allowed)}"
+            )
+        return parsed
+
+    def _handle_query(
+        self, ctx: RequestContext, params: Mapping[str, str], body: bytes
+    ) -> bytes:
+        spec = self._parse_query_body(body)
+        try:
+            first_day = int(spec.get("first_day", 0))
+            num_days = int(spec.get("days", 7))
+            limit = int(spec.get("limit", self._default_limit))
+        except (TypeError, ValueError):
+            raise _ClientError("first_day, days and limit must be integers")
+        strategy = str(spec.get("strategy", "gui"))
+        if strategy not in STRATEGIES:
+            raise _ClientError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if num_days < 1:
+            raise _ClientError("days must be at least 1")
+        delta_s = spec.get("delta_s")
+        final_check = bool(spec.get("final_check", False))
+        want_explain = bool(spec.get("explain", False))
+        want_trace = str(params.get("trace", "")) in ("1", "true", "yes")
+
+        sensors = spec.get("sensors")
+        if sensors is None:
+            region = self._engine.whole_city()
+        else:
+            if not isinstance(sensors, list) or not sensors:
+                raise _ClientError("sensors must be a non-empty list of ids")
+            try:
+                region = QueryRegion("request", (int(s) for s in sensors))
+            except (TypeError, ValueError):
+                raise _ClientError("sensors must be integers")
+
+        trace_mark = len(obs.registry().spans) if want_trace else 0
+        started = time.perf_counter()
+        with self._query_lock:
+            try:
+                result = self._engine.query(
+                    region,
+                    first_day,
+                    num_days,
+                    strategy=strategy,
+                    final_check=final_check,
+                    delta_s=float(delta_s) if delta_s is not None else None,
+                    explain=True,
+                )
+            except ValueError as exc:
+                # unbuilt days, bad ranges: the request's fault, not ours
+                raise _ClientError(str(exc))
+        elapsed = time.perf_counter() - started
+        if obs.enabled():
+            obs.histogram("serve.query_seconds", LATENCY_BUCKETS).observe(elapsed)
+
+        report = build_report(
+            result,
+            self._engine.network,
+            self._engine.forest.window_spec,
+            limit=limit,
+        )
+        payload: Dict[str, object] = {
+            "request_id": ctx.request_id,
+            "strategy": strategy,
+            "first_day": first_day,
+            "num_days": num_days,
+            "region": region.name,
+            "region_sensors": len(region),
+            "final_check": final_check,
+            "returned": len(result.returned),
+            "stats": dataclasses.asdict(result.stats),
+            "clusters": [dataclasses.asdict(c) for c in report.clusters],
+            "report": report.to_text(),
+        }
+        if want_explain and result.explain is not None:
+            payload["explain"] = result.explain.to_dict()
+        if want_trace:
+            payload["trace"] = self._request_trace(ctx.request_id, trace_mark)
+        return _json_bytes(payload)
+
+    def _request_trace(self, request_id: str, mark: int) -> Dict[str, object]:
+        """This request's spans (by correlation id) as a Chrome trace.
+
+        ``mark`` bounds the scan to spans recorded since the request
+        started; the correlation-id filter then drops concurrent
+        requests' spans that landed in the same interval.
+        """
+        if not obs.enabled():
+            return {"traceEvents": [], "disabled": True}
+        snapshot_spans = [
+            {
+                "id": s.span_id,
+                "parent": s.parent_id,
+                "name": s.name,
+                "depth": s.depth,
+                "start": s.start,
+                "seconds": s.seconds,
+                "attrs": dict(s.attrs),
+            }
+            for s in obs.registry().spans[mark:]
+            if s.attrs.get("request_id") == request_id
+        ]
+        return to_chrome_trace({"spans": snapshot_spans}, process_name=request_id)
+
+    # ------------------------------------------------------------------
+    # GET /healthz and /metrics
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """The liveness document served on ``/healthz``."""
+        with self._stats_lock:
+            served, errors, in_flight = self._served, self._errors, self._in_flight
+        return {
+            "status": "ok",
+            "model": {
+                "dir": str(self._model_dir) if self._model_dir else None,
+                "digest": self._digest or None,
+                "built_days": self._built_days,
+                "micro_clusters": self._micro_clusters,
+            },
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "started_unix": self._started_wall,
+            "requests": {
+                "served": served,
+                "errors": errors,
+                "in_flight": in_flight,
+            },
+            "threads": threading.active_count(),
+            "pid": os.getpid(),
+            "observability": obs.enabled(),
+        }
+
+    def metrics_text(self) -> str:
+        """The shared registry rendered in Prometheus exposition format."""
+        return obs.to_prometheus_text(obs.registry().snapshot())

@@ -170,3 +170,65 @@ class TestRender:
     def test_empty_snapshot(self):
         out = obs.render_snapshot(obs.MetricsRegistry().snapshot())
         assert out == "(empty snapshot)"
+
+
+class TestPrometheusRoundTrip:
+    """parse_prometheus_text must invert to_prometheus_text exactly."""
+
+    def test_full_registry_round_trip(self, registry):
+        obs.counter("serve.requests").inc(7)
+        obs.gauge("serve.in_flight").set(2)
+        h = obs.histogram("serve.request_seconds", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        obs.window("serve.requests").record(7)
+        with obs.span("handler"):
+            pass
+        text = obs.to_prometheus_text(registry.snapshot())
+        parsed = obs.parse_prometheus_text(text)
+        assert parsed["counters"]["repro_serve_requests_total"] == 7
+        assert parsed["gauges"]["repro_serve_in_flight"] == 2
+        hist = parsed["histograms"]["repro_serve_request_seconds"]
+        assert hist["buckets"] == [0.01, 0.1, 1.0]
+        assert hist["counts"] == [1, 1, 1, 1]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(5.555)
+        assert set(parsed["rates"]["repro_serve_requests_rate"]) == {"60s", "300s"}
+        assert "handler" in parsed["summaries"]["repro_span_duration_seconds"]
+
+    def test_hostile_span_label_values_survive(self, registry):
+        hostile = 'a\\b"c\nd{e}=f,g'
+        with obs.span(hostile):
+            pass
+        text = obs.to_prometheus_text(registry.snapshot())
+        parsed = obs.parse_prometheus_text(text)
+        labels = parsed["summaries"]["repro_span_duration_seconds"]
+        assert hostile in labels
+        assert labels[hostile]["count"] == 1
+
+    def test_hostile_metric_names_sanitized(self, registry):
+        # non-ASCII alnum (isalnum() is true for these) must not leak into
+        # prometheus names; neither may spaces or punctuation
+        obs.counter("café.requêtes").inc()
+        obs.counter("weird name!{}").inc(2)
+        text = obs.to_prometheus_text(registry.snapshot())
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert all(c.isascii() and (c.isalnum() or c in "_:") for c in name), name
+        parsed = obs.parse_prometheus_text(text)
+        assert parsed["counters"]["repro_caf__requ_tes_total"] == 1
+        assert parsed["counters"]["repro_weird_name____total"] == 2
+
+    def test_newline_in_help_cannot_inject_lines(self, registry):
+        obs.counter("evil\nrepro_fake_total 999").inc()
+        text = obs.to_prometheus_text(registry.snapshot())
+        # the newline must be escaped inside HELP, not emitted raw
+        assert "\nrepro_fake_total 999" not in text.replace("\\n", "")
+        parsed = obs.parse_prometheus_text(text)
+        assert "repro_fake_total" not in parsed["counters"]
+
+    def test_unknown_sample_rejected(self):
+        with pytest.raises(ValueError, match="no preceding"):
+            obs.parse_prometheus_text("mystery_metric 5\n")

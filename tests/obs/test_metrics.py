@@ -89,3 +89,152 @@ class TestRegistry:
         registry.clear()
         assert registry.is_empty()
         assert registry.snapshot()["spans"] == []
+
+
+class TestThreadSafety:
+    """Concurrent increments must be exact — no lost updates."""
+
+    def test_counter_exact_under_threads(self, registry):
+        import threading
+
+        c = obs.counter("test.threaded")
+        workers, per_worker = 8, 2500
+
+        def work():
+            for _ in range(per_worker):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == workers * per_worker
+
+    def test_histogram_exact_under_threads(self, registry):
+        import threading
+
+        h = obs.histogram("test.threaded_hist", buckets=(1.0, 2.0))
+        workers, per_worker = 6, 2000
+
+        def work():
+            for i in range(per_worker):
+                h.observe(float(i % 3))
+
+        threads = [threading.Thread(target=work) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = workers * per_worker
+        assert h.count == total
+        counts, observed_sum, count = h.state()
+        assert sum(counts) == count == total
+        assert observed_sum == pytest.approx(sum(i % 3 for i in range(per_worker)) * workers)
+
+    def test_get_or_create_race_returns_one_object(self, registry):
+        import threading
+
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            seen.append(obs.counter("test.raced"))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+
+
+class TestSlidingWindow:
+    def test_rate_over_trailing_window(self, registry):
+        from repro.obs.metrics import SlidingWindow
+
+        w = SlidingWindow("w", horizon=600.0, resolution=1.0)
+        for t in range(0, 30):
+            w.record(2.0, now=1000.0 + t)
+        assert w.total(30, now=1000.0 + 29) == pytest.approx(60.0)
+        assert w.rate(30, now=1000.0 + 29) == pytest.approx(2.0)
+        # events older than the window fall out
+        assert w.total(10, now=1000.0 + 29) == pytest.approx(20.0)
+
+    def test_old_events_pruned_and_lifetime_kept(self):
+        from repro.obs.metrics import SlidingWindow
+
+        w = SlidingWindow("w", horizon=60.0, resolution=1.0)
+        w.record(5.0, now=100.0)
+        w.record(1.0, now=500.0)  # 400s later: first event far beyond horizon
+        assert w.total(60, now=500.0) == pytest.approx(1.0)
+        assert w.lifetime_total == pytest.approx(6.0)
+
+    def test_registry_windows_in_snapshot(self, registry):
+        w = obs.window("test.events")
+        w.record(3.0)
+        snap = registry.snapshot()
+        assert "test.events" in snap["windows"]
+        entry = snap["windows"]["test.events"]
+        assert entry["total"] == pytest.approx(3.0)
+        assert set(entry["rates"]) == {"60", "300"}
+
+    def test_window_name_does_not_conflict_with_counter(self, registry):
+        # windows export as <name>_rate gauges — a counter of the same
+        # dotted name is legal and must not trip the kind check
+        obs.counter("test.shared_name").inc()
+        obs.window("test.shared_name").record()
+        snap = registry.snapshot()
+        assert snap["counters"]["test.shared_name"] == 1
+        assert "test.shared_name" in snap["windows"]
+
+
+class TestSpanLimit:
+    def test_bounded_spans_count_evictions(self):
+        reg = MetricsRegistry(span_limit=5)
+        with obs.activate(reg):
+            for i in range(12):
+                with obs.span(f"s{i}"):
+                    pass
+        assert len(reg.spans) == 5
+        assert reg.spans_dropped == 7
+        assert reg.snapshot()["spans_dropped"] == 7
+        # aggregates still see every span
+        assert sum(a["count"] for a in reg.span_summary().values()) == 12
+
+    def test_unbounded_by_default(self):
+        reg = MetricsRegistry()
+        with obs.activate(reg):
+            for i in range(12):
+                with obs.span("s"):
+                    pass
+        assert len(reg.spans) == 12
+        assert reg.spans_dropped == 0
+
+
+class TestCorrelation:
+    def test_correlation_id_stamped_on_spans(self, registry):
+        with obs.correlation("req-42"):
+            with obs.span("inner"):
+                pass
+        with obs.span("outside"):
+            pass
+        by_name = {s.name: s for s in registry.spans}
+        assert by_name["inner"].attrs["request_id"] == "req-42"
+        assert "request_id" not in by_name["outside"].attrs
+
+    def test_correlation_nests_and_restores(self, registry):
+        assert obs.correlation_id() is None
+        with obs.correlation("outer"):
+            assert obs.correlation_id() == "outer"
+            with obs.correlation("inner"):
+                assert obs.correlation_id() == "inner"
+            assert obs.correlation_id() == "outer"
+        assert obs.correlation_id() is None
+
+    def test_explicit_request_id_attr_wins(self, registry):
+        with obs.correlation("req-1"):
+            with obs.span("s", request_id="custom"):
+                pass
+        assert registry.spans[0].attrs["request_id"] == "custom"

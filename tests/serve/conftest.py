@@ -1,0 +1,83 @@
+"""Fixtures for the query-service tests: a built model on disk and a
+live server over it."""
+
+from __future__ import annotations
+
+import sys
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs
+from repro.analysis.engine import AnalysisEngine, EngineConfig
+from repro.serve import QueryServer, ServeApp
+from repro.storage.model_cache import clear_model_cache, load_engine_cached
+
+BUILD_DAYS = 7
+
+
+@pytest.fixture(scope="session")
+def served_model(tmp_path_factory, small_sim):
+    """A materialized trace plus a saved model over its first week —
+    exactly what ``repro serve --data ... --model ...`` consumes."""
+    root = tmp_path_factory.mktemp("serve-model")
+    data = root / "data"
+    small_sim.materialize_catalog(data, months=[0])
+    engine = AnalysisEngine.from_simulator(small_sim, EngineConfig())
+    engine.build_from_simulator(small_sim, range(BUILD_DAYS))
+    model = root / "model"
+    engine.save(model)
+    return SimpleNamespace(data=data, model=model)
+
+
+@pytest.fixture()
+def live_server(served_model, small_sim):
+    """A running QueryServer on an ephemeral port with a fresh registry.
+
+    Each test gets its own registry (so counter assertions are exact) but
+    shares the process-wide cached engine — the same topology a real
+    daemon has.
+    """
+    registry = obs.MetricsRegistry(span_limit=10_000)
+    with obs.activate(registry):
+        cached = load_engine_cached(
+            served_model.model,
+            small_sim.network,
+            small_sim.districts(),
+            EngineConfig(),
+        )
+        app = ServeApp(
+            cached.engine,
+            digest=cached.digest,
+            model_dir=cached.model_dir,
+            query_lock=cached.query_lock,
+        )
+        server = QueryServer(app, port=0)
+        server.start_background()
+        try:
+            yield SimpleNamespace(
+                server=server, app=app, registry=registry, base=server.url()
+            )
+        finally:
+            assert server.stop(timeout=10)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_model_cache():
+    """Isolate the process-wide model cache between tests."""
+    clear_model_cache()
+    yield
+    clear_model_cache()
+
+
+@pytest.fixture(autouse=True)
+def _stable_logging():
+    """Keep the logging handler bound to the real stderr.
+
+    The handler is installed once per process; without this it can retain
+    a pytest capture stream from an earlier test, which is closed by the
+    time the server's shutdown logs fire in fixture teardown.
+    """
+    obs.configure_logging("warning", stream=sys.__stderr__)
+    yield
+    obs.configure_logging("warning", stream=sys.__stderr__)

@@ -1,0 +1,146 @@
+"""Pure-function tests for the repro top dashboard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.dashboard import (
+    DashboardState,
+    delta_histogram,
+    histogram_quantile,
+    render,
+)
+
+
+def _hist(buckets, counts, total=None, count=None):
+    return {
+        "buckets": list(buckets),
+        "counts": list(counts),
+        "sum": total if total is not None else 0.0,
+        "count": count if count is not None else sum(counts),
+    }
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_none(self):
+        assert histogram_quantile(_hist([0.1, 1.0], [0, 0, 0]), 0.5) is None
+
+    def test_interpolates_inside_bucket(self):
+        # 10 observations all inside (0, 0.1]: p50 sits at rank 5 of 10,
+        # interpolated to the middle of the bucket
+        h = _hist([0.1, 1.0], [10, 0, 0])
+        assert histogram_quantile(h, 0.5) == pytest.approx(0.05)
+        assert histogram_quantile(h, 1.0) == pytest.approx(0.1)
+
+    def test_spans_buckets(self):
+        h = _hist([0.1, 0.2, 0.4], [5, 5, 10, 0])
+        # rank 10 of 20 lands exactly at the end of the second bucket
+        assert histogram_quantile(h, 0.5) == pytest.approx(0.2)
+        # rank 15 is halfway through the third bucket's 10 observations
+        assert histogram_quantile(h, 0.75) == pytest.approx(0.3)
+
+    def test_overflow_clamps_to_last_bound(self):
+        h = _hist([0.1, 0.2], [1, 1, 8])  # 8 of 10 beyond the last bucket
+        assert histogram_quantile(h, 0.99) == pytest.approx(0.2)
+
+
+class TestDeltaHistogram:
+    def test_first_scrape_falls_back_to_lifetime(self):
+        cur = _hist([1.0], [3, 0], total=1.5)
+        assert delta_histogram(cur, None) is cur
+
+    def test_delta_between_scrapes(self):
+        prev = _hist([1.0], [3, 1], total=5.0)
+        cur = _hist([1.0], [7, 1], total=8.0)
+        d = delta_histogram(cur, prev)
+        assert d["counts"] == [4, 0]
+        assert d["count"] == 4
+        assert d["sum"] == pytest.approx(3.0)
+
+    def test_counter_reset_falls_back(self):
+        prev = _hist([1.0], [9, 0], total=9.0)
+        cur = _hist([1.0], [2, 0], total=2.0)  # server restarted
+        assert delta_histogram(cur, prev) is cur
+
+    def test_changed_buckets_fall_back(self):
+        prev = _hist([1.0], [3, 0])
+        cur = _hist([2.0], [5, 0])
+        assert delta_histogram(cur, prev) is cur
+
+
+def _scrape(requests=10.0, errors=1.0, with_windows=True, counts=(8, 2, 0)):
+    parsed = {
+        "counters": {
+            "repro_serve_requests_total": requests,
+            "repro_serve_errors_total": errors,
+            "repro_model_cache_hits_total": 3.0,
+            "repro_model_cache_misses_total": 1.0,
+        },
+        "gauges": {"repro_serve_in_flight": 1.0},
+        "rates": {},
+        "histograms": {
+            "repro_serve_request_seconds": _hist([0.01, 0.1], counts, total=0.5),
+            "repro_query_stage_select_seconds": _hist([0.01], [4, 0], total=0.2),
+            "repro_query_stage_integrate_seconds": _hist([0.01], [4, 0], total=0.9),
+        },
+        "summaries": {},
+    }
+    if with_windows:
+        parsed["rates"] = {
+            "repro_serve_requests_rate": {"60s": 0.5, "300s": 0.1},
+            "repro_serve_errors_rate": {"60s": 0.05, "300s": 0.01},
+        }
+    return parsed
+
+
+class TestDashboardState:
+    def test_prefers_window_rates(self):
+        view = DashboardState().update(_scrape(), now=100.0)
+        assert view.request_rate == pytest.approx(0.5)
+        assert view.error_rate == pytest.approx(0.05)
+        assert view.rate_source == "window=60s"
+
+    def test_falls_back_to_scrape_deltas(self):
+        state = DashboardState()
+        state.update(_scrape(requests=10, with_windows=False), now=100.0)
+        view = state.update(_scrape(requests=20, with_windows=False), now=110.0)
+        assert view.request_rate == pytest.approx(1.0)
+        assert view.rate_source == "delta"
+
+    def test_latency_quantiles_use_scrape_delta(self):
+        state = DashboardState()
+        first = state.update(_scrape(counts=(8, 2, 0)), now=100.0)
+        assert not first.latency_recent  # lifetime on the first scrape
+        second = state.update(_scrape(counts=(8, 6, 0)), now=110.0)
+        assert second.latency_recent
+        assert second.latency_count == 4
+        # all 4 new observations landed in the (0.01, 0.1] bucket
+        assert second.p50 > 0.01
+
+    def test_caches_and_stages(self):
+        view = DashboardState().update(_scrape(), now=100.0)
+        assert ("model cache", 3.0, 1.0) in view.caches
+        # hottest stage first (integrate: 0.9s > select: 0.2s)
+        assert [s[0] for s in view.stages] == ["integrate", "select"]
+
+
+class TestRender:
+    def test_renders_all_panels(self):
+        view = DashboardState().update(_scrape(), now=100.0)
+        text = render(view, source="http://x/metrics")
+        assert "repro top — http://x/metrics" in text
+        assert "requests  total=      10" in text
+        assert "ratio=10.00%" in text
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+        assert "model cache" in text and "hit-ratio= 75.0%" in text
+        assert "hottest query stages" in text
+        assert text.index("integrate") < text.index("select")
+
+    def test_render_without_traffic(self):
+        view = DashboardState().update(
+            {"counters": {}, "gauges": {}, "rates": {}, "histograms": {}},
+            now=1.0,
+        )
+        text = render(view)
+        assert "requests  total=       0" in text
+        assert "p50=-" in text

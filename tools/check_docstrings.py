@@ -27,7 +27,7 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PACKAGES = ("core", "obs", "parallel")
+DEFAULT_PACKAGES = ("core", "obs", "parallel", "serve")
 
 
 def is_public(name: str) -> bool:
