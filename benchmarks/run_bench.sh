@@ -52,6 +52,27 @@ path.write_text(json.dumps(report, indent=2) + "\n")
 print(f"stamped meta: {report['meta']}")
 PY
 
+# pull the worker-scaling curve out as its own small artifact so CI can
+# upload/plot it without parsing the full report
+python - <<'PY'
+import json
+import pathlib
+
+path = pathlib.Path("benchmarks/results/BENCH_integration.json")
+report = json.loads(path.read_text())
+par = report.get("parallel_build", {})
+curve = {
+    "cpu_count": par.get("cpu_count"),
+    "workers": par.get("workers"),
+    "speedup": par.get("speedup"),
+    "worker_init_seconds": par.get("worker_init_seconds"),
+    "scaling": par.get("scaling", []),
+}
+out = pathlib.Path("benchmarks/results/BENCH_scaling.json")
+out.write_text(json.dumps(curve, indent=2) + "\n")
+print(f"scaling curve -> {out}: {curve['scaling']}")
+PY
+
 # the snapshot must round-trip through the stats renderer
 python -m repro stats benchmarks/results/BENCH_metrics.json > /dev/null
 

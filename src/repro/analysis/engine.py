@@ -134,6 +134,10 @@ class AnalysisEngine:
         return self._calendar
 
     @property
+    def window_spec(self) -> WindowSpec:
+        return self._spec
+
+    @property
     def forest(self) -> AtypicalForest:
         return self._forest
 
@@ -251,15 +255,21 @@ class AnalysisEngine:
     # ------------------------------------------------------------------
     # Persistence (split the offline and online halves of Fig. 2)
     # ------------------------------------------------------------------
-    def save(self, directory) -> None:
-        """Persist the constructed model (forest + cube + built days)."""
+    def save(self, directory, forest_format: str = "pickle") -> None:
+        """Persist the constructed model (forest + cube + built days).
+
+        ``forest_format`` selects the forest container — ``"pickle"``
+        (legacy eager blob) or ``"columnar"`` (memory-mappable, loaded
+        lazily); see :mod:`repro.storage.columnar`. :meth:`load` reopens
+        either transparently.
+        """
         from pathlib import Path
 
         from repro.storage.forest_io import save_cube, save_forest
 
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        save_forest(self._forest, directory / "forest.bin")
+        save_forest(self._forest, directory / "forest.bin", format=forest_format)
         save_cube(self._cube, directory / "cube.bin")
         meta = {
             "built_days": sorted(self._built_days),

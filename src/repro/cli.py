@@ -47,6 +47,7 @@ from repro.analysis.evaluation import score_strategy
 from repro.analysis.report import build_report
 from repro.simulate.generator import SimulationConfig, TrafficSimulator
 from repro.storage.catalog import DatasetCatalog
+from repro.storage.codec import CodecError
 from repro.storage.model_cache import load_engine_cached
 
 __all__ = ["main", "build_parser"]
@@ -129,8 +130,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also materialize every week/month level of the forest "
         "(Algorithm 3 per level shard, in workers when --workers > 1)",
     )
+    build.add_argument(
+        "--format",
+        choices=("pickle", "columnar"),
+        default="pickle",
+        dest="forest_format",
+        help="forest container format: pickle (eager legacy blob) or "
+        "columnar (memory-mapped, loaded lazily per day/level; see "
+        "repro.storage.columnar) (default: pickle)",
+    )
     _add_engine_arguments(build)
     _add_parallel_arguments(build)
+
+    convert = commands.add_parser(
+        "convert",
+        parents=[common],
+        help="convert a saved model's forest between the pickle and "
+        "columnar container formats, in place",
+    )
+    convert.add_argument(
+        "model",
+        type=Path,
+        help="model directory (containing forest.bin) or a forest file",
+    )
+    convert.add_argument(
+        "--to",
+        choices=("pickle", "columnar"),
+        required=True,
+        dest="target_format",
+        help="target forest format",
+    )
 
     query = commands.add_parser(
         "query",
@@ -335,10 +364,16 @@ def _simulator_for(data_dir: Path) -> TrafficSimulator:
     return TrafficSimulator.from_catalog_dir(data_dir)
 
 
-def _query_io_totals(catalog: Optional[DatasetCatalog], model_dir: Path) -> dict:
+def _query_io_totals(
+    catalog: Optional[DatasetCatalog],
+    model_dir: Path,
+    forest: Optional[object] = None,
+) -> dict:
     """Storage accounting for the explain report: catalog byte counters
     (zero when the query answered entirely from the in-memory model) plus
-    the size of the model files the engine loaded."""
+    the size of the model files the engine loaded. For a columnar forest
+    the memory-map accounting (bytes mapped vs actually faulted, column
+    groups touched) rides along under ``forest_io``."""
     totals: dict = {"model_bytes": 0}
     for name in ("forest.bin", "cube.bin", "engine.json"):
         path = model_dir / name
@@ -346,6 +381,9 @@ def _query_io_totals(catalog: Optional[DatasetCatalog], model_dir: Path) -> dict
             totals["model_bytes"] += path.stat().st_size
     if catalog is not None:
         totals.update(catalog.io_totals())
+    io_stats = getattr(forest, "io_stats", None)
+    if callable(io_stats):
+        totals["forest_io"] = io_stats()
     return totals
 
 
@@ -396,7 +434,7 @@ def cmd_build(args: argparse.Namespace) -> int:
         shard_by=args.shard_by,
         materialize=args.materialize,
     )
-    engine.save(args.model)
+    engine.save(args.model, forest_format=args.forest_format)
     stats = engine.forest.stats()
     detail = f"{stats.num_micro} micro-clusters"
     if args.materialize:
@@ -408,7 +446,37 @@ def cmd_build(args: argparse.Namespace) -> int:
         f"built {report.days_built} days "
         f"({report.shards} {report.shard_by} shards, "
         f"{report.workers} worker(s)): {detail}, "
-        f"model saved to {args.model}"
+        f"model saved to {args.model} ({args.forest_format} forest)"
+    )
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    from repro.storage.columnar import sniff_format
+    from repro.storage.forest_io import load_forest, save_forest
+
+    forest_path = args.model / "forest.bin" if args.model.is_dir() else args.model
+    if not forest_path.exists():
+        print(f"error: no forest file at {forest_path}", file=sys.stderr)
+        return 2
+    current = sniff_format(forest_path)
+    current_name = "pickle" if current == "legacy" else current
+    if current_name == args.target_format:
+        print(f"{forest_path}: already {args.target_format}; nothing to do")
+        return 0
+    before = forest_path.stat().st_size
+    forest = load_forest(forest_path)
+    # write-then-rename so an interrupted convert never leaves a torn model
+    tmp_path = forest_path.with_name(forest_path.name + f".tmp{os.getpid()}")
+    try:
+        save_forest(forest, tmp_path, format=args.target_format)
+        os.replace(tmp_path, forest_path)
+    finally:
+        tmp_path.unlink(missing_ok=True)
+    after = forest_path.stat().st_size
+    print(
+        f"converted {forest_path}: {current_name} -> {args.target_format} "
+        f"({before:,} -> {after:,} bytes)"
     )
     return 0
 
@@ -443,7 +511,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"{result.stats.elapsed_seconds:.2f}s"
     )
     if explain and result.explain is not None:
-        result.explain.io = _query_io_totals(catalog, args.model)
+        result.explain.io = _query_io_totals(catalog, args.model, engine.forest)
         print()
         print(result.explain.render())
         if args.explain_out is not None:
@@ -605,6 +673,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": cmd_generate,
     "build": cmd_build,
+    "convert": cmd_convert,
     "query": cmd_query,
     "info": cmd_info,
     "bench": cmd_bench,
@@ -634,6 +703,12 @@ def _invoke(command, args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _main(argv)
+    except CodecError as exc:
+        # every storage-format failure (bad magic, checksum mismatch,
+        # version from the future, truncation) surfaces as one actionable
+        # line and exit code 2 — never a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # stdout closed early (e.g. `repro stats m.json | head`): the
         # truncation is the reader's choice, not an error — but Python

@@ -188,8 +188,13 @@ class QueryExplain:
             f"returned={self.returned}"
         )
         if self.io:
-            detail = " ".join(f"{k}={v}" for k, v in self.io.items())
-            lines.append(f"  io: {detail}")
+            parts = []
+            for k, v in self.io.items():
+                if isinstance(v, dict):
+                    parts.extend(f"{k}.{sk}={sv}" for sk, sv in v.items())
+                else:
+                    parts.append(f"{k}={v}")
+            lines.append(f"  io: {' '.join(parts)}")
         return "\n".join(lines)
 
 

@@ -24,6 +24,8 @@ fan-out lane in Perfetto via ``--trace-out``.
 from __future__ import annotations
 
 import dataclasses
+import shutil
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -70,6 +72,7 @@ class ParallelBuildReport:
     map_seconds: float
     reduce_seconds: float
     materialize_seconds: float = 0.0
+    worker_init_seconds: float = 0.0
     shard_timings: Tuple[ShardTiming, ...] = field(default=())
 
     def to_dict(self) -> Dict[str, object]:
@@ -84,6 +87,7 @@ class ParallelBuildReport:
             "map_seconds": self.map_seconds,
             "reduce_seconds": self.reduce_seconds,
             "materialize_seconds": self.materialize_seconds,
+            "worker_init_seconds": self.worker_init_seconds,
         }
 
 
@@ -153,13 +157,19 @@ class ParallelForestBuilder:
         plan = self.plan(days)
         config_dict = dataclasses.asdict(self._engine.config)
         data_dir = str(self._catalog.directory)
+        snapshot = pworker.WorkerSnapshot.from_engine(self._engine)
         with obs.span("parallel.build") as sp:
             map_start = time.perf_counter()
             if self._workers == 1:
-                results, timings = self._map_serial(plan, data_dir, config_dict)
+                results, timings = self._map_serial(
+                    plan, data_dir, config_dict, snapshot
+                )
             else:
-                results, timings = self._map_pooled(plan, data_dir, config_dict)
+                results, timings = self._map_pooled(
+                    plan, data_dir, config_dict, snapshot
+                )
             map_seconds = time.perf_counter() - map_start
+            worker_init_seconds = self._record_worker_init(results)
 
             reduce_start = time.perf_counter()
             clusters, ranges = self._reduce(plan, results)
@@ -172,7 +182,7 @@ class ParallelForestBuilder:
             materialize_seconds = 0.0
             if self._materialize:
                 materialize_start = time.perf_counter()
-                self._materialize_levels(data_dir, config_dict)
+                self._materialize_levels(data_dir, config_dict, snapshot)
                 materialize_seconds = time.perf_counter() - materialize_start
 
             report = ParallelBuildReport(
@@ -185,6 +195,7 @@ class ParallelForestBuilder:
                 map_seconds=map_seconds,
                 reduce_seconds=reduce_seconds,
                 materialize_seconds=materialize_seconds,
+                worker_init_seconds=worker_init_seconds,
                 shard_timings=tuple(timings),
             )
             sp.set(
@@ -204,8 +215,9 @@ class ParallelForestBuilder:
         plan: ShardPlan,
         data_dir: str,
         config_dict: dict,
+        snapshot: pworker.WorkerSnapshot,
     ) -> Tuple[Dict[Tuple[int, int], pworker.ExtractionShardResult], List[ShardTiming]]:
-        pworker.configure(data_dir, config_dict)
+        pworker.configure(data_dir, config_dict, snapshot)
         results: Dict[Tuple[int, int], pworker.ExtractionShardResult] = {}
         timings: List[ShardTiming] = []
         with obs.span("parallel.map", mode="in-process"):
@@ -221,33 +233,59 @@ class ParallelForestBuilder:
         plan: ShardPlan,
         data_dir: str,
         config_dict: dict,
+        snapshot: pworker.WorkerSnapshot,
     ) -> Tuple[Dict[Tuple[int, int], pworker.ExtractionShardResult], List[ShardTiming]]:
         results: Dict[Tuple[int, int], pworker.ExtractionShardResult] = {}
         timings: List[ShardTiming] = []
-        with obs.span("parallel.map", mode="process-pool") as sp:
-            with ProcessPoolExecutor(
-                max_workers=self._workers,
-                initializer=pworker.init_worker,
-                initargs=(data_dir, config_dict),
-            ) as pool:
-                submitted = time.perf_counter()
-                futures = {
-                    pool.submit(pworker.run_extraction_shard, shard): shard
-                    for shard in plan.shards
-                }
-                pending = set(futures)
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        shard = futures[future]
-                        result = future.result()
-                        results[shard.key] = result
-                        timings.append(
-                            self._record_shard(shard, result, submitted)
-                        )
-            sp.set(shards=len(plan.shards))
+        spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+        try:
+            with obs.span("parallel.map", mode="process-pool") as sp:
+                with ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    initializer=pworker.init_worker,
+                    initargs=(data_dir, config_dict, snapshot, spill_dir),
+                ) as pool:
+                    submitted = time.perf_counter()
+                    futures = {
+                        pool.submit(pworker.run_extraction_shard_spill, shard): shard
+                        for shard in plan.shards
+                    }
+                    pending = set(futures)
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            shard = futures[future]
+                            # the worker spilled columns to scratch and sent
+                            # back only a ref; decode with owned copies here
+                            result = pworker.load_shard_result(future.result())
+                            results[shard.key] = result
+                            timings.append(
+                                self._record_shard(shard, result, submitted)
+                            )
+                sp.set(shards=len(plan.shards))
+        finally:
+            shutil.rmtree(spill_dir, ignore_errors=True)
         timings.sort(key=lambda t: (t.day, -1 if t.group is None else t.group))
         return results, timings
+
+    def _record_worker_init(
+        self,
+        results: Dict[Tuple[int, int], pworker.ExtractionShardResult],
+    ) -> float:
+        """Publish per-worker init cost; returns the slowest worker's."""
+        by_pid: Dict[int, float] = {}
+        for result in results.values():
+            by_pid[result.pid] = max(
+                by_pid.get(result.pid, 0.0), result.init_seconds
+            )
+        if self._workers == 1:
+            # in-process path: setup is the engine's, not a worker's
+            return 0.0
+        if obs.enabled():
+            metric = obs.histogram("parallel.worker_init_seconds")
+            for seconds in by_pid.values():
+                metric.observe(seconds)
+        return max(by_pid.values(), default=0.0)
 
     def _record_shard(
         self,
@@ -312,7 +350,12 @@ class ParallelForestBuilder:
     # ------------------------------------------------------------------
     # Optional level materialization (Algorithm 3 in workers)
     # ------------------------------------------------------------------
-    def _materialize_levels(self, data_dir: str, config_dict: dict) -> None:
+    def _materialize_levels(
+        self,
+        data_dir: str,
+        config_dict: dict,
+        snapshot: pworker.WorkerSnapshot,
+    ) -> None:
         forest = self._engine.forest
         calendar = self._engine.calendar
         days = forest.days
@@ -326,7 +369,9 @@ class ParallelForestBuilder:
             for week in weeks
         ]
         with obs.span("parallel.materialize.week", shards=len(week_tasks)):
-            week_results = self._run_integration(week_tasks, data_dir, config_dict)
+            week_results = self._run_integration(
+                week_tasks, data_dir, config_dict, snapshot
+            )
             for week in weeks:  # ascending = the serial materialize() order
                 preduce.install_integration_shard(forest, week_results[week])
         months = sorted({calendar.month_of_day(d) for d in days})
@@ -346,7 +391,9 @@ class ParallelForestBuilder:
                 pworker.IntegrationShardTask(kind="month", key=month, clusters=inputs)
             )
         with obs.span("parallel.materialize.month", shards=len(month_tasks)):
-            month_results = self._run_integration(month_tasks, data_dir, config_dict)
+            month_results = self._run_integration(
+                month_tasks, data_dir, config_dict, snapshot
+            )
             for month in months:
                 preduce.install_integration_shard(forest, month_results[month])
 
@@ -355,6 +402,7 @@ class ParallelForestBuilder:
         tasks: List[pworker.IntegrationShardTask],
         data_dir: str,
         config_dict: dict,
+        snapshot: pworker.WorkerSnapshot,
     ) -> Dict[int, pworker.IntegrationShardResult]:
         config = self._engine.config
         call_args = (
@@ -364,7 +412,7 @@ class ParallelForestBuilder:
         )
         results: Dict[int, pworker.IntegrationShardResult] = {}
         if self._workers == 1:
-            pworker.configure(data_dir, config_dict)
+            pworker.configure(data_dir, config_dict, snapshot)
             for task in tasks:
                 submitted = time.perf_counter()
                 result = pworker.run_integration_shard(task, *call_args)
@@ -374,7 +422,7 @@ class ParallelForestBuilder:
         with ProcessPoolExecutor(
             max_workers=self._workers,
             initializer=pworker.init_worker,
-            initargs=(data_dir, config_dict),
+            initargs=(data_dir, config_dict, snapshot),
         ) as pool:
             submitted = time.perf_counter()
             futures = {

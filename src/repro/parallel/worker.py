@@ -1,12 +1,24 @@
 """Worker-side execution: what runs inside the process pool.
 
-Workers are initialized with the catalog directory and the engine
-configuration only — record data never crosses the process boundary.
-Each worker lazily rebuilds the deployment
-(:meth:`~repro.simulate.generator.TrafficSimulator.from_catalog_dir`)
-and reads its shards' records straight from the on-disk datasets, so the
-parent sends a few-hundred-byte :class:`~repro.parallel.sharding.ShardSpec`
-per task and receives the extracted micro-clusters back.
+Workers are initialized with the catalog directory, the engine
+configuration and a :class:`WorkerSnapshot` of the deployment — record
+data never crosses the process boundary. The snapshot carries the sensor
+network, calendar and window spec the parent already holds, so a worker
+rebuilds only the cheap derived objects (the district grid partition and
+the event extractor) instead of re-reading the simulation catalog per
+process; the first task records the remaining setup cost as
+``init_seconds`` so the builder can publish
+``parallel.worker_init_seconds``. Each worker reads its shards' records
+straight from the on-disk datasets, so the parent sends a
+few-hundred-byte :class:`~repro.parallel.sharding.ShardSpec` per task.
+
+Shard results travel back through the columnar spill path: a pool worker
+writes its clusters and cube cells as one
+:mod:`repro.storage.columnar` column group in a scratch file and returns
+a tiny :class:`ShardResultRef`, so cluster objects are never pickled
+through the pool pipe; the parent maps the scratch file and decodes it
+with owned copies (:func:`load_shard_result`). The in-process
+``workers=1`` path skips the spill entirely.
 
 Two task kinds exist:
 
@@ -35,7 +47,9 @@ from __future__ import annotations
 
 import os
 import time
+import uuid
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -48,16 +62,26 @@ from repro.core.integration import ClusterIntegrator, SimilarityCache
 from repro.core.records import RecordBatch
 from repro.cube.datacube import SeverityCube
 from repro.parallel.sharding import ShardSpec
-from repro.simulate.generator import TrafficSimulator
+from repro.spatial.regions import DistrictGrid
 from repro.storage.catalog import DatasetCatalog
+from repro.storage.columnar import (
+    ColumnContainer,
+    ContainerWriter,
+    cluster_columns,
+    clusters_from_columns,
+)
 
 __all__ = [
+    "WorkerSnapshot",
     "ExtractionShardResult",
+    "ShardResultRef",
     "IntegrationShardTask",
     "IntegrationShardResult",
     "init_worker",
     "configure",
     "run_extraction_shard",
+    "run_extraction_shard_spill",
+    "load_shard_result",
     "run_integration_shard",
 ]
 
@@ -65,6 +89,38 @@ __all__ = [
 #: any id a real forest can reach — so the reducer can tell "temporary,
 #: remap me" ids from final micro/macro ids by a single comparison.
 TEMP_ID_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class WorkerSnapshot:
+    """The deployment objects a worker needs, shipped through init once.
+
+    Carries exactly what is cheaper to pickle than to rebuild: the sensor
+    network (tens of KB), the calendar and the window spec. The district
+    grid is deliberately *not* shipped — its partition arrays unpickle
+    slower than :class:`~repro.spatial.regions.DistrictGrid` rebuilds
+    them deterministically from the network and shape, so only
+    ``(cols, rows)`` crosses the process boundary. Byte identity is safe:
+    the rebuild is the same constructor the parent ran.
+    """
+
+    network: object
+    calendar: object
+    window_spec: object
+    district_cols: int
+    district_rows: int
+
+    @classmethod
+    def from_engine(cls, engine) -> "WorkerSnapshot":
+        """Snapshot the deployment of an :class:`AnalysisEngine`."""
+        cols, rows = engine.districts.shape
+        return cls(
+            network=engine.network,
+            calendar=engine.calendar,
+            window_spec=engine.window_spec,
+            district_cols=cols,
+            district_rows=rows,
+        )
 
 
 @dataclass(frozen=True)
@@ -91,6 +147,21 @@ class ExtractionShardResult:
     started: float
     finished: float
     pid: int
+    init_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ShardResultRef:
+    """A pointer to one shard result spilled to a columnar scratch file.
+
+    This is all that crosses the pool pipe on the spill path — a path and
+    the shard identity for error messages. The parent materializes the
+    real :class:`ExtractionShardResult` with :func:`load_shard_result`.
+    """
+
+    path: str
+    day: int
+    group: Optional[int]
 
 
 @dataclass(frozen=True)
@@ -130,44 +201,83 @@ class IntegrationShardResult:
 
 
 class _WorkerState:
-    """Per-process deployment, rebuilt lazily from the catalog directory."""
+    """Per-process deployment, built lazily on the first task.
 
-    def __init__(self, data_dir: str, config: EngineConfig):
+    With a :class:`WorkerSnapshot` the catalog directory is opened but
+    the simulation config is never re-read — the network/calendar/spec
+    come from the parent and only the derived district grid and extractor
+    are rebuilt. Without one (legacy callers) the full
+    ``TrafficSimulator.from_catalog_dir`` path runs. ``init_seconds`` is
+    the wall time this constructor took, surfaced per worker as the
+    ``parallel.worker_init_seconds`` metric.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        config: EngineConfig,
+        snapshot: Optional[WorkerSnapshot] = None,
+    ):
+        started = time.perf_counter()
         self.config = config
-        self.simulator = TrafficSimulator.from_catalog_dir(data_dir)
         self.catalog = DatasetCatalog(data_dir)
-        self.network = self.simulator.network
-        self.districts = self.simulator.districts()
-        self.calendar = self.simulator.calendar
-        self.spec = self.simulator.window_spec
+        if snapshot is not None:
+            self.network = snapshot.network
+            self.calendar = snapshot.calendar
+            self.spec = snapshot.window_spec
+            self.districts = DistrictGrid(
+                self.network, snapshot.district_cols, snapshot.district_rows
+            )
+        else:
+            from repro.simulate import TrafficSimulator
+
+            simulator = TrafficSimulator.from_catalog_dir(data_dir)
+            self.network = simulator.network
+            self.calendar = simulator.calendar
+            self.spec = simulator.window_spec
+            self.districts = simulator.districts()
         self.extractor = EventExtractor(
             self.network,
             config.extraction_params(),
             self.spec,
             method=config.extraction_method,
         )
+        self.init_seconds = time.perf_counter() - started
 
 
-_INIT: Optional[Tuple[str, dict]] = None
+_INIT: Optional[Tuple[str, dict, Optional[WorkerSnapshot], Optional[str]]] = None
 _STATE: Optional[_WorkerState] = None
 
 
-def init_worker(data_dir: str, config_dict: dict) -> None:
+def init_worker(
+    data_dir: str,
+    config_dict: dict,
+    snapshot: Optional[WorkerSnapshot] = None,
+    spill_dir: Optional[str] = None,
+) -> None:
     """``ProcessPoolExecutor`` initializer: remember what to build.
 
-    The heavy work (re-reading the simulation config, building the grid
-    index) happens lazily on the first task, so initialization failures
-    surface as task exceptions with usable tracebacks instead of an
-    opaque ``BrokenProcessPool``.
+    ``snapshot`` ships the parent's deployment objects so the worker
+    skips re-reading the catalog's simulation config; ``spill_dir`` is
+    where :func:`run_extraction_shard_spill` writes its scratch files.
+    The heavy work (opening the catalog, building the grid index)
+    happens lazily on the first task, so initialization failures surface
+    as task exceptions with usable tracebacks instead of an opaque
+    ``BrokenProcessPool``.
     """
     global _INIT, _STATE
-    _INIT = (str(data_dir), dict(config_dict))
+    _INIT = (str(data_dir), dict(config_dict), snapshot, spill_dir)
     _STATE = None
 
 
-def configure(data_dir: str, config_dict: dict) -> None:
+def configure(
+    data_dir: str,
+    config_dict: dict,
+    snapshot: Optional[WorkerSnapshot] = None,
+    spill_dir: Optional[str] = None,
+) -> None:
     """In-process variant of :func:`init_worker` (the ``--workers 1`` path)."""
-    init_worker(data_dir, config_dict)
+    init_worker(data_dir, config_dict, snapshot, spill_dir)
 
 
 def _state() -> _WorkerState:
@@ -177,8 +287,8 @@ def _state() -> _WorkerState:
             raise RuntimeError(
                 "parallel worker used before init_worker/configure"
             )
-        data_dir, config_dict = _INIT
-        _STATE = _WorkerState(data_dir, EngineConfig(**config_dict))
+        data_dir, config_dict, snapshot, _ = _INIT
+        _STATE = _WorkerState(data_dir, EngineConfig(**config_dict), snapshot)
     return _STATE
 
 
@@ -241,6 +351,82 @@ def run_extraction_shard(shard: ShardSpec) -> ExtractionShardResult:
         started=started,
         finished=time.perf_counter(),
         pid=os.getpid(),
+        init_seconds=state.init_seconds,
+    )
+
+
+def run_extraction_shard_spill(shard: ShardSpec) -> ShardResultRef:
+    """Run one extraction shard and spill the result to columnar scratch.
+
+    Pool workers use this entry point: the clusters and cube cells are
+    written as a single column group in the configured spill directory
+    and only a :class:`ShardResultRef` returns through the pipe — no
+    cluster objects are ever pickled. Timings, worker identity and
+    ``init_seconds`` ride along in the group metadata.
+    """
+    if _INIT is None or _INIT[3] is None:
+        raise RuntimeError("spill path used without a configured spill_dir")
+    spill_dir = _INIT[3]
+    result = run_extraction_shard(shard)
+    columns = cluster_columns(result.clusters)
+    columns.append(("crow", np.asarray(result.cube_rows, dtype=np.int64)))
+    columns.append(("ccol", np.asarray(result.cube_cols, dtype=np.int64)))
+    columns.append(("cval", np.asarray(result.cube_vals, dtype=np.float64)))
+    if result.order_keys is not None:
+        columns.append(
+            ("okey", np.asarray(result.order_keys, dtype=np.int64))
+        )
+    writer = ContainerWriter()
+    writer.add_group(
+        "shard",
+        result.day,
+        columns,
+        rows=len(result.clusters),
+        meta={
+            "day": result.day,
+            "group": result.group,
+            "records": result.records,
+            "started": result.started,
+            "finished": result.finished,
+            "pid": result.pid,
+            "init_seconds": result.init_seconds,
+            "ordered": result.order_keys is not None,
+        },
+    )
+    path = Path(spill_dir) / (
+        f"shard-{result.day}-{result.group if result.group is not None else 'all'}"
+        f"-{os.getpid()}-{uuid.uuid4().hex[:8]}.col"
+    )
+    writer.write(path)
+    return ShardResultRef(path=str(path), day=result.day, group=result.group)
+
+
+def load_shard_result(ref: ShardResultRef) -> ExtractionShardResult:
+    """Materialize a spilled shard result in the parent process.
+
+    Decodes with owned copies: the scratch directory is deleted when the
+    build finishes, so nothing downstream may keep views into the
+    mapping.
+    """
+    container = ColumnContainer(ref.path)
+    meta = container.groups[0].meta
+    clusters = clusters_from_columns(container, 0, copy=True)
+    order_keys: Optional[List[int]] = None
+    if meta.get("ordered"):
+        order_keys = [int(k) for k in container.column(0, "okey")]
+    return ExtractionShardResult(
+        day=int(meta["day"]),
+        group=meta["group"],
+        clusters=clusters,
+        order_keys=order_keys,
+        cube_rows=container.column(0, "crow", copy=True),
+        cube_cols=container.column(0, "ccol", copy=True),
+        cube_vals=container.column(0, "cval", copy=True),
+        records=int(meta["records"]),
+        started=float(meta["started"]),
+        finished=float(meta["finished"]),
+        pid=int(meta["pid"]),
+        init_seconds=float(meta["init_seconds"]),
     )
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import contextlib
 import json
 import math
+import os
 import time
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
@@ -313,6 +314,7 @@ def run_parallel_build_benchmark(
     seed: int = 7,
     profile: str = "benchmark",
     phase_seconds: Optional[Dict[str, float]] = None,
+    scaling: Tuple[int, ...] = (1, 2, 4, 8),
 ) -> dict:
     """Benchmark the sharded parallel forest builder against serial.
 
@@ -326,6 +328,12 @@ def run_parallel_build_benchmark(
     it does for the kernel sections. The legacy serial builder
     (:meth:`~repro.analysis.engine.AnalysisEngine.build_from_catalog`)
     is compared too — the parallel path must reproduce it exactly.
+
+    ``scaling`` runs the same workload at each worker count and reports
+    the speedup curve; the host's ``cpu_count`` rides along so the
+    ``parallel_beats_serial`` gate in ``benchmarks/compare.py`` can tell
+    real regressions from single-CPU hosts, where any multi-process run
+    is serial compute plus fork/IPC overhead by construction.
     """
     import hashlib
     import tempfile
@@ -360,6 +368,21 @@ def run_parallel_build_benchmark(
             serial_engine, serial_report, serial_seconds = build(1)
             parallel_engine, parallel_report, parallel_seconds = build(workers)
 
+            timed = {1: serial_seconds, workers: parallel_seconds}
+            curve = []
+            for n in scaling:
+                if n not in timed:
+                    _, _, timed[n] = build(n)
+                curve.append(
+                    {
+                        "workers": n,
+                        "seconds": timed[n],
+                        "speedup": serial_seconds / timed[n]
+                        if timed[n]
+                        else float("inf"),
+                    }
+                )
+
             legacy_engine = AnalysisEngine.from_simulator(simulator)
             legacy_engine.build_from_catalog(catalog, days)
             # the legacy path records no shard provenance; align it so the
@@ -384,6 +407,7 @@ def run_parallel_build_benchmark(
         "workers": workers,
         "shard_by": shard_by,
         "build_days": build_days,
+        "cpu_count": os.cpu_count() or 1,
         "shards": parallel_report.shards,
         "records": parallel_report.records,
         "clusters": parallel_report.clusters,
@@ -394,8 +418,89 @@ def run_parallel_build_benchmark(
         else float("inf"),
         "map_seconds": parallel_report.map_seconds,
         "reduce_seconds": parallel_report.reduce_seconds,
+        "worker_init_seconds": parallel_report.worker_init_seconds,
+        "scaling": curve,
         "identical_macro_clusters": (
             digests["serial"] == digests["parallel"] == digests["legacy"]
+        ),
+    }
+
+
+def run_query_io_benchmark(
+    build_days: int = 10,
+    query_days: int = 3,
+    seed: int = 7,
+    phase_seconds: Optional[Dict[str, float]] = None,
+) -> dict:
+    """The fig17b-style query-cost phase: bytes touched per range query.
+
+    Builds a small model, saves the forest in both container formats,
+    then times ``load_forest`` plus a ``query_days``-day micro scan
+    against each. The pickle path deserializes the whole file; the
+    columnar path maps it and faults in one column group per queried day
+    — ``bytes_loaded`` (group payloads CRC-checked on first touch, a
+    faithful faulted-bytes estimate) must come in strictly under the
+    file size, and the returned clusters must be byte-identical across
+    backends. Both facts gate in ``benchmarks/compare.py``.
+    """
+    import tempfile
+
+    from repro.analysis.engine import AnalysisEngine
+    from repro.simulate.generator import SimulationConfig, TrafficSimulator
+    from repro.storage.catalog import DatasetCatalog
+    from repro.storage.forest_io import load_forest, save_forest
+
+    seconds = phase_seconds if phase_seconds is not None else {}
+    with _phase("query_io", seconds):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-io-") as tmp:
+            tmp_path = Path(tmp)
+            simulator = TrafficSimulator(SimulationConfig.small(seed=seed))
+            simulator.materialize_catalog(tmp_path / "data", months=[0])
+            catalog = DatasetCatalog(tmp_path / "data")
+            engine = AnalysisEngine.from_simulator(simulator)
+            engine.build_from_catalog_parallel(
+                catalog, range(build_days), workers=1, materialize=True
+            )
+            integrator = engine.forest.integrator
+            paths = {
+                "pickle": tmp_path / "forest-pickle.bin",
+                "columnar": tmp_path / "forest-columnar.bin",
+            }
+            save_forest(engine.forest, paths["pickle"])
+            save_forest(engine.forest, paths["columnar"], format="columnar")
+            days = list(range(query_days))
+
+            def load_and_query(fmt: str):
+                forest = load_forest(paths[fmt], integrator)
+                return forest, forest.micro_clusters(days)
+
+            pickle_best, _, (_, pickle_clusters) = _time(
+                lambda: load_and_query("pickle"), repeats=3
+            )
+            columnar_best, _, (columnar_forest, columnar_clusters) = _time(
+                lambda: load_and_query("columnar"), repeats=3
+            )
+            io = columnar_forest.io_stats()
+            file_bytes = {
+                fmt: path.stat().st_size for fmt, path in paths.items()
+            }
+    return {
+        "build_days": build_days,
+        "query_days": query_days,
+        "pickle_file_bytes": file_bytes["pickle"],
+        "columnar_file_bytes": file_bytes["columnar"],
+        "pickle_seconds": pickle_best,
+        "columnar_seconds": columnar_best,
+        "speedup": pickle_best / columnar_best
+        if columnar_best
+        else float("inf"),
+        "bytes_mapped": io["bytes_mapped"],
+        "bytes_loaded": io["bytes_loaded"],
+        "groups_loaded": io["groups_loaded"],
+        "groups_total": io["groups_total"],
+        "partial_io": io["bytes_loaded"] < io["bytes_mapped"],
+        "identical_macro_clusters": (
+            _signature(columnar_clusters) == _signature(pickle_clusters)
         ),
     }
 
@@ -563,6 +668,9 @@ def run_integration_benchmark(
         seed=seed, phase_seconds=phase_seconds
     )
 
+    # -- storage engine: bytes faulted per range query (fig17b) ----------
+    query_io = run_query_io_benchmark(seed=seed, phase_seconds=phase_seconds)
+
     report = {
         "workload": {
             "num_clusters": num_clusters,
@@ -597,6 +705,7 @@ def run_integration_benchmark(
         },
         "parallel_build": parallel_build,
         "serve_latency": serve_latency,
+        "query_io": query_io,
         "naive_fixpoint": {
             "subset_clusters": len(subset),
             "rescan_seconds": rescan_best,
@@ -665,6 +774,25 @@ def format_report(report: dict) -> str:
             f"({par['speedup']:.2f}x), {par['shards']} shards, "
             f"{par['clusters']} clusters, "
             f"identical={par['identical_macro_clusters']}"
+        )
+        if par.get("scaling"):
+            curve = " ".join(
+                f"{p['workers']}w={p['speedup']:.2f}x" for p in par["scaling"]
+            )
+            lines.append(
+                f"scaling (cpu_count={par.get('cpu_count', '?')}): {curve}"
+            )
+    qio = report.get("query_io")
+    if qio:
+        lines.append(
+            f"query io ({qio['query_days']} of {qio['build_days']} days): "
+            f"columnar loaded {qio['bytes_loaded']}/{qio['bytes_mapped']} bytes "
+            f"({qio['groups_loaded']}/{qio['groups_total']} groups, "
+            f"partial={qio['partial_io']}), "
+            f"pickle {qio['pickle_seconds'] * 1e3:.1f}ms vs "
+            f"columnar {qio['columnar_seconds'] * 1e3:.1f}ms "
+            f"({qio['speedup']:.2f}x), "
+            f"identical={qio['identical_macro_clusters']}"
         )
     serve = report.get("serve_latency")
     if serve:

@@ -53,6 +53,16 @@ CACHE_PAIRS: Tuple[Tuple[str, str, str], ...] = (
         "repro_similarity_cache_misses_total",
     ),
 )
+#: Storage-engine counters (``label, counter name``) for the storage
+#: panel: model opens / bytes mapped come from ``model_open``, the
+#: faulted-bytes estimate and column groups from ``query_io`` (only
+#: columnar models emit the latter — see repro.storage.columnar).
+STORAGE_COUNTERS: Tuple[Tuple[str, str], ...] = (
+    ("model opens", "repro_model_open_opens_total"),
+    ("bytes mapped", "repro_model_open_bytes_mapped_total"),
+    ("bytes faulted", "repro_query_io_bytes_loaded_total"),
+    ("column groups", "repro_query_io_groups_loaded_total"),
+)
 
 _CLEAR = "\x1b[2J\x1b[H"
 
@@ -133,6 +143,7 @@ class DashboardView:
     latency_count: int = 0  #: observations behind the quantiles
     latency_recent: bool = False  #: True when quantiles are scrape-delta
     caches: List[Tuple[str, float, float]] = field(default_factory=list)
+    storage: List[Tuple[str, float]] = field(default_factory=list)
     stages: List[Tuple[str, float, int]] = field(default_factory=list)
 
 
@@ -202,6 +213,11 @@ class DashboardState:
                 continue
             view.caches.append((label, hits or 0.0, misses or 0.0))
 
+        for label, counter_name in STORAGE_COUNTERS:
+            value = counters.get(counter_name)
+            if value is not None:
+                view.storage.append((label, value))
+
         for name, stage_hist in sorted(hists.items()):
             if not name.startswith(STAGE_PREFIX):
                 continue
@@ -228,6 +244,15 @@ def _window_seconds(label: str) -> float:
 
 def _fmt_quantile(value: Optional[float]) -> str:
     return format_seconds(value) if value is not None else "-"
+
+
+def _fmt_bytes(value: float) -> str:
+    """Human-readable byte counts for the storage panel."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024.0 or unit == "GB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GB"
 
 
 def render(view: DashboardView, source: str = "") -> str:
@@ -274,6 +299,16 @@ def render(view: DashboardView, source: str = "") -> str:
                 f"  {label:<18} hits={int(hits):>8}  misses={int(misses):>8}  "
                 f"hit-ratio={ratio:5.1f}%"
             )
+
+    if view.storage:
+        lines.append("")
+        lines.append("storage engine")
+        for label, value in view.storage:
+            if "bytes" in label:
+                shown = _fmt_bytes(value)
+            else:
+                shown = f"{int(value)}"
+            lines.append(f"  {label:<18} {shown:>12}")
 
     if view.stages:
         lines.append("")

@@ -46,6 +46,7 @@ class DatasetCatalog:
     # ------------------------------------------------------------------
     @property
     def directory(self) -> Path:
+        """The catalog's root directory."""
         return self._dir
 
     def __len__(self) -> int:
@@ -84,12 +85,15 @@ class DatasetCatalog:
         return RecordBatch.concat(batches)
 
     def total_readings(self) -> int:
+        """Total sensor readings across every dataset (RD cardinality)."""
         return sum(ds.total_readings() for ds in self)
 
     def total_size_bytes(self) -> int:
+        """Combined on-disk size of every dataset file."""
         return sum(ds.file_size_bytes() for ds in self)
 
     def reset_io(self) -> None:
+        """Zero the per-dataset I/O counters of every open dataset."""
         for dataset in self._open.values():
             dataset.io.reset()
 

@@ -61,6 +61,7 @@ class ReadingChunk:
 
     @property
     def nbytes(self) -> int:
+        """On-disk payload size of this chunk (fixed bytes per record)."""
         return len(self) * _BYTES_PER_RECORD
 
     def atypical_mask(self) -> np.ndarray:

@@ -45,6 +45,7 @@ class DatasetMeta:
     window_minutes: int
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the dataset file header)."""
         return {
             "name": self.name,
             "num_sensors": self.num_sensors,
@@ -55,6 +56,7 @@ class DatasetMeta:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "DatasetMeta":
+        """Rebuild from the header written by :meth:`to_dict`."""
         return cls(
             name=str(data["name"]),
             num_sensors=int(data["num_sensors"]),  # type: ignore[arg-type]
@@ -73,6 +75,7 @@ class IOStats:
     chunks_read: int = 0
 
     def reset(self) -> None:
+        """Zero all counters (the start of a measured scan)."""
         self.bytes_read = 0
         self.records_scanned = 0
         self.chunks_read = 0
@@ -104,6 +107,7 @@ class CPSDatasetWriter:
         self._days_written += 1
 
     def close(self) -> None:
+        """Flush and close; raises if fewer days were appended than declared."""
         if self._closed:
             return
         self._file.close()
@@ -160,17 +164,21 @@ class CPSDataset:
     # ------------------------------------------------------------------
     @property
     def path(self) -> Path:
+        """The dataset file's location."""
         return self._path
 
     @property
     def meta(self) -> DatasetMeta:
+        """The dataset header (name, day range, window width)."""
         return self._meta
 
     @property
     def days(self) -> range:
+        """Absolute day indices this dataset stores."""
         return range(self._meta.first_day, self._meta.first_day + self._meta.num_days)
 
     def file_size_bytes(self) -> int:
+        """On-disk size of the dataset file."""
         return self._path.stat().st_size
 
     # ------------------------------------------------------------------

@@ -10,13 +10,20 @@ the constructed model must be durable. This module serializes
   materialization caches — into a single binary file, and
 * the severity cube — its base cuboid — into a sidecar ``.npy`` blob.
 
-File layout (forest)::
+Two forest formats share one entry point, dispatched on the file magic:
 
-    magic  b"CPSF\\x01\\n"
-    uint64 header length | JSON header
-    uint64 blob length   | encode_clusters(all registered clusters)
+* ``pickle`` (legacy, ``CPSF\\x01``) — one eager cluster blob::
 
-The JSON header stores the structural maps as cluster-id lists.
+      magic  b"CPSF\\x01\\n"
+      uint64 header length | JSON header
+      uint64 blob length   | encode_clusters(all registered clusters)
+
+  The JSON header stores the structural maps as cluster-id lists.
+* ``columnar`` (``CPSF\\x02``) — per-level/per-day column groups over a
+  ``numpy.memmap``, loaded lazily; see :mod:`repro.storage.columnar` for
+  the full layout. ``save_forest(..., format="columnar")`` writes it and
+  :func:`load_forest` transparently returns a
+  :class:`~repro.storage.columnar.ColumnarForest` for such files.
 """
 
 from __future__ import annotations
@@ -29,24 +36,41 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.cluster import ClusterIdGenerator
 from repro.core.forest import AtypicalForest
 from repro.core.integration import ClusterIntegrator
 from repro.cube.datacube import SeverityCube
 from repro.spatial.regions import DistrictGrid
+from repro.storage import columnar
 from repro.storage.codec import CodecError
 from repro.storage.serialize import decode_clusters, encode_clusters
 from repro.temporal.hierarchy import Calendar
 from repro.temporal.windows import WindowSpec
 
-__all__ = ["save_forest", "load_forest", "save_cube", "load_cube"]
+__all__ = [
+    "FOREST_FORMATS",
+    "save_forest",
+    "load_forest",
+    "save_cube",
+    "load_cube",
+]
 
 _MAGIC = b"CPSF\x01\n"
 _LEN = struct.Struct("<Q")
 
+#: User-facing names of the forest formats ``save_forest`` accepts.
+FOREST_FORMATS = ("pickle", "columnar")
 
-def save_forest(forest: AtypicalForest, path: Path | str) -> None:
+
+def save_forest(
+    forest: AtypicalForest, path: Path | str, format: str = "pickle"
+) -> None:
     """Serialize ``forest`` (clusters, day partition, caches) to ``path``.
+
+    ``format`` selects the container: ``"pickle"`` (the legacy eager
+    blob; ``"legacy"`` is accepted as an alias) or ``"columnar"`` (the
+    memory-mappable format of :mod:`repro.storage.columnar`).
 
     When the forest carries shard provenance (set by the parallel builder,
     see :mod:`repro.parallel`), it is stored as an extra header field. The
@@ -55,6 +79,13 @@ def save_forest(forest: AtypicalForest, path: Path | str) -> None:
     byte-identical files; forests built without a plan omit the field and
     keep the legacy layout byte-for-byte.
     """
+    if format == "columnar":
+        columnar.write_forest_columnar(forest, path)
+        return
+    if format not in ("pickle", "legacy"):
+        raise ValueError(
+            f"unknown forest format {format!r}; expected one of {FOREST_FORMATS}"
+        )
     state = forest.export_state()
     header = {
         "month_lengths": list(forest.calendar.month_lengths),
@@ -81,11 +112,34 @@ def load_forest(
     path: Path | str,
     integrator: Optional[ClusterIntegrator] = None,
 ) -> AtypicalForest:
-    """Rebuild a forest saved by :func:`save_forest`.
+    """Rebuild a forest saved by :func:`save_forest` (either format).
+
+    Dispatches on the file magic: legacy files deserialize eagerly,
+    columnar files open as a lazily-materialized
+    :class:`~repro.storage.columnar.ColumnarForest` over a read-only
+    ``numpy.memmap``. Emits a ``model_open`` span and mirrors the mapped
+    byte count into ``model_open.bytes_mapped`` when collection is on.
 
     The id generator resumes above the highest persisted id, so query-time
     integration never collides with stored clusters.
     """
+    fmt = columnar.sniff_format(path)
+    with obs.span("model_open") as sp:
+        forest = _load_forest_any(path, fmt, integrator)
+        bytes_mapped = Path(path).stat().st_size
+        sp.set(format=fmt, path=str(path), bytes_mapped=bytes_mapped)
+    if obs.enabled():
+        obs.counter("model_open.opens").inc()
+        obs.counter("model_open.bytes_mapped").inc(bytes_mapped)
+    return forest
+
+
+def _load_forest_any(
+    path: Path | str, fmt: str, integrator: Optional[ClusterIntegrator]
+) -> AtypicalForest:
+    """Format-dispatched loader behind :func:`load_forest`."""
+    if fmt == "columnar":
+        return columnar.open_forest_columnar(path, integrator)
     with open(path, "rb") as handle:
         magic = handle.read(len(_MAGIC))
         if magic != _MAGIC:

@@ -16,6 +16,13 @@ Entries carry a per-model ``query_lock``. The engine's query path shares
 mutable state (the similarity cache) across runs, so concurrent server
 threads serialize their ``engine.query`` calls through it; with the GIL
 this costs no real parallelism for the CPU-bound query work.
+
+For columnar models the cached engine holds a
+:class:`~repro.storage.columnar.ColumnarForest` over one read-only
+``numpy.memmap`` — every server thread shares that single mapped model
+(the OS page cache backs it once, process-wide) instead of each request
+paying for its own deserialized copy. ``cache_info`` reports each
+entry's ``forest_format``.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ class CachedModel:
     model_dir: Path  #: resolved model directory
     loaded_at: float  #: ``time.time()`` at load
     load_seconds: float  #: wall time the deserialization took
+    forest_format: str = "pickle"  #: on-disk forest container format
     query_lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -101,16 +109,20 @@ def load_engine_cached(
         return entry
     if obs.enabled():
         obs.counter("model_cache.misses").inc()
+    from repro.storage.columnar import sniff_format
+
+    fmt = sniff_format(model_dir / "forest.bin")
     started = time.perf_counter()
     with obs.span("model_cache.load") as sp:
         engine = AnalysisEngine.load(model_dir, network, districts, config)
-        sp.set(model=str(model_dir), digest=digest[:12])
+        sp.set(model=str(model_dir), digest=digest[:12], format=fmt)
     entry = CachedModel(
         engine=engine,
         digest=digest,
         model_dir=model_dir,
         loaded_at=time.time(),
         load_seconds=time.perf_counter() - started,
+        forest_format="pickle" if fmt == "legacy" else fmt,
     )
     with _LOCK:
         # a racing loader may have won; keep the first entry so every
@@ -131,6 +143,7 @@ def cache_info() -> Dict[str, object]:
                 "digest": e.digest,
                 "loaded_at": e.loaded_at,
                 "load_seconds": e.load_seconds,
+                "forest_format": e.forest_format,
             }
             for e in entries
         ],

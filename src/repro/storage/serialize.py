@@ -121,6 +121,7 @@ def encode_clusters(clusters: Iterable[AtypicalCluster]) -> bytes:
 
 
 def decode_clusters(data: bytes) -> List[AtypicalCluster]:
+    """Inverse of :func:`encode_clusters`."""
     (count,) = struct.unpack_from("<I", data, 0)
     offset = 4
     clusters: List[AtypicalCluster] = []

@@ -1,0 +1,139 @@
+"""Tests for the worker snapshot, the columnar spill path and the
+``parallel.worker_init_seconds`` metric."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.analysis.engine import AnalysisEngine, EngineConfig
+from repro.parallel import worker as pworker
+from repro.parallel.sharding import ShardSpec
+
+
+@pytest.fixture()
+def worker_env(catalog_dir):
+    """Configure the in-process worker; restore module state afterwards."""
+    saved = (pworker._INIT, pworker._STATE)
+    yield catalog_dir
+    pworker._INIT, pworker._STATE = saved
+
+
+def _snapshot(small_sim):
+    engine = AnalysisEngine.from_simulator(small_sim)
+    return pworker.WorkerSnapshot.from_engine(engine)
+
+
+class TestWorkerSnapshot:
+    def test_from_engine_carries_deployment(self, small_sim):
+        engine = AnalysisEngine.from_simulator(small_sim)
+        snap = pworker.WorkerSnapshot.from_engine(engine)
+        assert snap.network is engine.network
+        assert snap.calendar is engine.calendar
+        assert snap.window_spec is engine.window_spec
+        assert (snap.district_cols, snap.district_rows) == engine.districts.shape
+
+    def test_snapshot_state_matches_catalog_reread(
+        self, small_sim, worker_env
+    ):
+        """A snapshot-built worker and a legacy catalog-reading worker
+        extract identical clusters."""
+        config = dataclasses.asdict(EngineConfig())
+        shard = ShardSpec(day=0, group=None, sensor_ids=None)
+        pworker.configure(str(worker_env), config, _snapshot(small_sim))
+        with_snapshot = pworker.run_extraction_shard(shard)
+        pworker.configure(str(worker_env), config)  # legacy: re-read catalog
+        legacy = pworker.run_extraction_shard(shard)
+        assert [c.spatial for c in with_snapshot.clusters] == [
+            c.spatial for c in legacy.clusters
+        ]
+        assert with_snapshot.records == legacy.records
+
+    def test_init_seconds_recorded(self, small_sim, worker_env):
+        pworker.configure(
+            str(worker_env), dataclasses.asdict(EngineConfig()), _snapshot(small_sim)
+        )
+        result = pworker.run_extraction_shard(
+            ShardSpec(day=0, group=None, sensor_ids=None)
+        )
+        assert result.init_seconds > 0.0
+
+
+class TestSpillPath:
+    def test_spill_round_trip(self, small_sim, worker_env, tmp_path):
+        config = dataclasses.asdict(EngineConfig())
+        shard = ShardSpec(day=1, group=None, sensor_ids=None)
+        pworker.configure(
+            str(worker_env), config, _snapshot(small_sim), str(tmp_path)
+        )
+        direct = pworker.run_extraction_shard(shard)
+        ref = pworker.run_extraction_shard_spill(shard)
+        loaded = pworker.load_shard_result(ref)
+        assert loaded.day == direct.day and loaded.group is None
+        assert loaded.records == direct.records
+        assert loaded.pid == direct.pid
+        assert [c.cluster_id for c in loaded.clusters] == [
+            c.cluster_id for c in direct.clusters
+        ]
+        assert [c.spatial for c in loaded.clusters] == [
+            c.spatial for c in direct.clusters
+        ]
+        assert [c.temporal for c in loaded.clusters] == [
+            c.temporal for c in direct.clusters
+        ]
+        assert loaded.cube_rows.tolist() == direct.cube_rows.tolist()
+        assert loaded.cube_vals.tolist() == direct.cube_vals.tolist()
+
+    def test_spill_result_is_mutable(self, small_sim, worker_env, tmp_path):
+        """Loaded copies own their arrays — the scratch file dies after
+        the build, so nothing may alias the mapping."""
+        pworker.configure(
+            str(worker_env),
+            dataclasses.asdict(EngineConfig()),
+            _snapshot(small_sim),
+            str(tmp_path),
+        )
+        ref = pworker.run_extraction_shard_spill(
+            ShardSpec(day=0, group=None, sensor_ids=None)
+        )
+        loaded = pworker.load_shard_result(ref)
+        assert loaded.cube_vals.flags.writeable
+
+    def test_spill_without_dir_raises(self, small_sim, worker_env):
+        pworker.configure(
+            str(worker_env), dataclasses.asdict(EngineConfig()), _snapshot(small_sim)
+        )
+        with pytest.raises(RuntimeError, match="spill_dir"):
+            pworker.run_extraction_shard_spill(
+                ShardSpec(day=0, group=None, sensor_ids=None)
+            )
+
+
+class TestWorkerInitMetric:
+    def test_pooled_build_reports_init_seconds(self, small_sim, catalog):
+        engine = AnalysisEngine.from_simulator(small_sim)
+        reg = obs.MetricsRegistry()
+        with obs.activate(reg):
+            report = engine.build_from_catalog_parallel(
+                catalog, range(4), workers=2
+            )
+        assert report.worker_init_seconds > 0.0
+        hist = reg.histogram("parallel.worker_init_seconds")
+        assert hist.count >= 1
+        assert hist.sum > 0.0
+
+    def test_serial_build_reports_zero(self, small_sim, catalog):
+        engine = AnalysisEngine.from_simulator(small_sim)
+        report = engine.build_from_catalog_parallel(
+            catalog, range(4), workers=1
+        )
+        assert report.worker_init_seconds == 0.0
+
+    def test_report_dict_includes_field(self, small_sim, catalog):
+        engine = AnalysisEngine.from_simulator(small_sim)
+        report = engine.build_from_catalog_parallel(
+            catalog, range(2), workers=2
+        )
+        assert "worker_init_seconds" in report.to_dict()

@@ -123,6 +123,20 @@ class TestDashboardState:
         # hottest stage first (integrate: 0.9s > select: 0.2s)
         assert [s[0] for s in view.stages] == ["integrate", "select"]
 
+    def test_storage_counters(self):
+        parsed = _scrape()
+        parsed["counters"]["repro_model_open_opens_total"] = 2.0
+        parsed["counters"]["repro_model_open_bytes_mapped_total"] = 4096.0
+        parsed["counters"]["repro_query_io_bytes_loaded_total"] = 1024.0
+        parsed["counters"]["repro_query_io_groups_loaded_total"] = 3.0
+        view = DashboardState().update(parsed, now=100.0)
+        assert ("model opens", 2.0) in view.storage
+        assert ("bytes faulted", 1024.0) in view.storage
+
+    def test_storage_absent_without_counters(self):
+        view = DashboardState().update(_scrape(), now=100.0)
+        assert view.storage == []
+
 
 class TestRender:
     def test_renders_all_panels(self):
@@ -135,6 +149,17 @@ class TestRender:
         assert "model cache" in text and "hit-ratio= 75.0%" in text
         assert "hottest query stages" in text
         assert text.index("integrate") < text.index("select")
+
+    def test_renders_storage_panel(self):
+        parsed = _scrape()
+        parsed["counters"]["repro_model_open_opens_total"] = 2.0
+        parsed["counters"]["repro_model_open_bytes_mapped_total"] = 4096.0
+        parsed["counters"]["repro_query_io_bytes_loaded_total"] = 1536.0
+        view = DashboardState().update(parsed, now=100.0)
+        text = render(view)
+        assert "storage engine" in text
+        assert "bytes mapped" in text and "4.0KB" in text
+        assert "bytes faulted" in text and "1.5KB" in text
 
     def test_render_without_traffic(self):
         view = DashboardState().update(

@@ -1,0 +1,313 @@
+"""Tests for the columnar memory-mapped forest container.
+
+Three invariants anchor this file:
+
+* **byte identity** — a forest round-tripped through the columnar
+  container re-serializes to the legacy format byte-for-byte, and a
+  columnar→columnar round trip is idempotent;
+* **partial I/O** — opening a columnar model and answering a 3-day
+  query faults in strictly fewer bytes than the file holds;
+* **fail loudly** — corrupt, truncated and future-version files raise
+  one-line :class:`~repro.storage.codec.CodecError`\\ s, never garbage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.analysis.engine import AnalysisEngine
+from repro.core.forest import AtypicalForest
+from repro.core.integration import ClusterIntegrator
+from repro.storage import columnar
+from repro.storage.codec import CodecError
+from repro.storage.columnar import ColumnarForest, sniff_format
+from repro.storage.forest_io import load_forest, save_forest
+from repro.temporal.hierarchy import Calendar
+
+from tests.conftest import make_cluster
+
+
+def synthetic_forest():
+    """A 7-day forest with materialized week + month caches."""
+    calendar = Calendar(month_lengths=(14,), month_names=("m",))
+    forest = AtypicalForest(calendar, integrator=ClusterIntegrator(0.5))
+    for day in range(7):
+        forest.add_day(
+            day,
+            [
+                make_cluster(
+                    {1: 6.0 + day, 2: 4.0},
+                    {100 + day: 6.0 + day, 200: 4.0},
+                    cluster_id=forest.ids.next_id(),
+                )
+            ],
+        )
+    forest.materialize()
+    return forest
+
+
+@pytest.fixture(scope="module")
+def built_engine(small_sim):
+    """An engine over ten simulated days, fully materialized."""
+    engine = AnalysisEngine.from_simulator(small_sim)
+    engine.build_from_simulator(small_sim, days=range(10))
+    engine.forest.materialize()
+    return engine
+
+
+def state_signature(forest):
+    state = forest.export_state()
+
+    def feat(c):
+        return (
+            c.cluster_id,
+            c.level,
+            c.members,
+            c.spatial.key_array.tobytes(),
+            c.spatial.value_array.tobytes(),
+            c.temporal.key_array.tobytes(),
+            c.temporal.value_array.tobytes(),
+        )
+
+    return (
+        [feat(c) for c in state["clusters"]],
+        state["micro_by_day"],
+        state["week_cache"],
+        state["month_cache"],
+    )
+
+
+class TestRoundTrip:
+    def test_legacy_columnar_legacy_byte_identical(self, tmp_path):
+        forest = synthetic_forest()
+        legacy = tmp_path / "legacy.bin"
+        cols = tmp_path / "cols.bin"
+        save_forest(forest, legacy)
+        save_forest(forest, cols, format="columnar")
+        reloaded = load_forest(cols, forest.integrator)
+        assert isinstance(reloaded, ColumnarForest)
+        again = tmp_path / "again.bin"
+        save_forest(reloaded, again)
+        assert again.read_bytes() == legacy.read_bytes()
+
+    def test_columnar_round_trip_is_idempotent(self, tmp_path):
+        forest = synthetic_forest()
+        first = tmp_path / "first.bin"
+        save_forest(forest, first, format="columnar")
+        second = tmp_path / "second.bin"
+        save_forest(load_forest(first), second, format="columnar")
+        assert second.read_bytes() == first.read_bytes()
+
+    def test_state_signature_parity(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        assert state_signature(load_forest(path)) == state_signature(forest)
+
+    def test_built_engine_round_trip(self, built_engine, tmp_path):
+        legacy = tmp_path / "legacy.bin"
+        cols = tmp_path / "cols.bin"
+        save_forest(built_engine.forest, legacy)
+        save_forest(built_engine.forest, cols, format="columnar")
+        back = tmp_path / "back.bin"
+        save_forest(load_forest(cols, built_engine.forest.integrator), back)
+        assert back.read_bytes() == legacy.read_bytes()
+
+    def test_engine_save_and_load_columnar(self, built_engine, small_sim, tmp_path):
+        built_engine.save(tmp_path / "model", forest_format="columnar")
+        assert (
+            sniff_format(tmp_path / "model" / "forest.bin") == "columnar"
+        )
+        reloaded = AnalysisEngine.load(
+            tmp_path / "model", small_sim.network, small_sim.districts()
+        )
+        original = built_engine.query(
+            built_engine.whole_city(), 0, 7, strategy="gui"
+        )
+        result = reloaded.query(reloaded.whole_city(), 0, 7, strategy="gui")
+        assert sorted(c.cluster_id for c in result.returned) == sorted(
+            c.cluster_id for c in original.returned
+        )
+
+    def test_provenance_survives(self, tmp_path):
+        forest = synthetic_forest()
+        forest.set_provenance({"shard_by": "day", "days": list(range(7))})
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        assert load_forest(path).provenance == forest.provenance
+
+
+class TestLazyIO:
+    def test_three_day_query_is_partial(self, built_engine, tmp_path):
+        path = tmp_path / "f.bin"
+        save_forest(built_engine.forest, path, format="columnar")
+        forest = load_forest(path, built_engine.forest.integrator)
+        eager = {
+            day: [c.cluster_id for c in built_engine.forest.day_clusters(day)]
+            for day in range(3)
+        }
+        lazy = {
+            day: [c.cluster_id for c in forest.day_clusters(day)]
+            for day in range(3)
+        }
+        assert lazy == eager
+        io = forest.io_stats()
+        assert io["bytes_loaded"] < io["bytes_mapped"]
+        assert io["bytes_mapped"] == path.stat().st_size
+        assert 0 < io["groups_loaded"] < io["groups_total"]
+
+    def test_stats_without_loading_groups(self, built_engine, tmp_path):
+        path = tmp_path / "f.bin"
+        save_forest(built_engine.forest, path, format="columnar")
+        forest = load_forest(path, built_engine.forest.integrator)
+        assert forest.stats() == built_engine.forest.stats()
+        assert forest.io_stats()["groups_loaded"] == 0
+
+    def test_days_listed_without_loading(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        loaded = load_forest(path)
+        assert loaded.days == forest.days
+        assert loaded.io_stats()["groups_loaded"] == 0
+
+    def test_week_and_month_levels(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        loaded = load_forest(path)
+        assert [c.severity() for c in loaded.week_clusters(0)] == [
+            c.severity() for c in forest.week_clusters(0)
+        ]
+        assert [c.severity() for c in loaded.month_clusters(0)] == [
+            c.severity() for c in forest.month_clusters(0)
+        ]
+
+    def test_lookup_falls_back_to_full_load(self, tmp_path):
+        forest = synthetic_forest()
+        some_id = forest.day_clusters(6)[0].cluster_id
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        loaded = load_forest(path)
+        assert loaded.lookup(some_id).cluster_id == some_id
+        with pytest.raises(KeyError):
+            loaded.lookup(10_000_000)
+
+    def test_mutation_after_load(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        loaded = load_forest(path)
+        loaded.add_day(
+            7,
+            [make_cluster({3: 5.0}, {107: 5.0}, cluster_id=loaded.ids.next_id())],
+        )
+        assert 7 in loaded.days
+        # new clusters integrate with the stored ones on re-serialization
+        out = tmp_path / "grown.bin"
+        save_forest(loaded, out, format="columnar")
+        assert 7 in load_forest(out).days
+
+    def test_iteration_matches_eager(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        loaded = load_forest(path)
+        assert sorted(c.cluster_id for c in loaded) == sorted(
+            c.cluster_id for c in forest
+        )
+
+
+class TestObservability:
+    def test_model_open_and_query_io_counters(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        reg = obs.MetricsRegistry()
+        with obs.activate(reg):
+            loaded = load_forest(path)
+            loaded.day_clusters(0)
+            assert reg.counter("model_open.opens").value == 1
+            assert (
+                reg.counter("model_open.bytes_mapped").value
+                == path.stat().st_size
+            )
+            assert reg.counter("query_io.groups_loaded").value >= 1
+            assert reg.counter("query_io.bytes_loaded").value > 0
+
+
+class TestFailureModes:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"garbage that is not a forest at all")
+        with pytest.raises(CodecError, match="not a forest file"):
+            load_forest(path)
+
+    def test_version_from_the_future(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        data = bytearray(path.read_bytes())
+        data[4] = 9  # version byte in the magic
+        path.write_bytes(bytes(data))
+        with pytest.raises(CodecError, match="newer than this build"):
+            load_forest(path)
+
+    def test_truncated_file(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(CodecError):
+            load_forest(path)
+
+    def test_tiny_file(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(columnar.COLUMNAR_MAGIC)
+        with pytest.raises(CodecError, match="truncated"):
+            columnar.ColumnContainer(path)
+
+    def test_flipped_payload_byte_fails_on_access(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        data = bytearray(path.read_bytes())
+        data[16] ^= 0xFF  # inside the first group's payload
+        path.write_bytes(bytes(data))
+        loaded = load_forest(path)  # open succeeds: footer is intact
+        with pytest.raises(CodecError, match="checksum mismatch"):
+            loaded.materialize()
+
+    def test_corrupt_footer(self, tmp_path):
+        forest = synthetic_forest()
+        path = tmp_path / "f.bin"
+        save_forest(forest, path, format="columnar")
+        data = bytearray(path.read_bytes())
+        data[-20] ^= 0xFF  # inside the JSON footer
+        path.write_bytes(bytes(data))
+        with pytest.raises(CodecError, match="checksum"):
+            load_forest(path)
+
+
+class TestFormatDispatch:
+    def test_sniff_legacy_and_columnar(self, tmp_path):
+        forest = synthetic_forest()
+        legacy = tmp_path / "legacy.bin"
+        cols = tmp_path / "cols.bin"
+        save_forest(forest, legacy)
+        save_forest(forest, cols, format="columnar")
+        assert sniff_format(legacy) == "legacy"
+        assert sniff_format(cols) == "columnar"
+
+    def test_save_accepts_legacy_alias(self, tmp_path):
+        forest = synthetic_forest()
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        save_forest(forest, a, format="pickle")
+        save_forest(forest, b, format="legacy")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_save_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            save_forest(synthetic_forest(), tmp_path / "f.bin", format="parquet")

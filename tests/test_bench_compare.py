@@ -45,6 +45,24 @@ def make_report(phases, meta=None, identical=True):
     return report
 
 
+def parallel_section(
+    speedup, cpu_count, workers=2, scaling_speedup_at_2=None
+):
+    if scaling_speedup_at_2 is None:
+        scaling_speedup_at_2 = speedup
+    return {
+        "identical_macro_clusters": True,
+        "speedup": speedup,
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "worker_init_seconds": 0.05,
+        "scaling": [
+            {"workers": 1, "seconds": 1.0, "speedup": 1.0},
+            {"workers": 2, "seconds": 1.0, "speedup": scaling_speedup_at_2},
+        ],
+    }
+
+
 @pytest.fixture()
 def paths(tmp_path):
     baseline = tmp_path / "baseline.json"
@@ -149,6 +167,90 @@ class TestGate:
         assert compare.main(argv) == 0
 
 
+class TestFunctionalGates:
+    def test_partial_io_false_fails(self, paths, capsys):
+        report = make_report(BASE_PHASES)
+        report["query_io"] = {
+            "identical_macro_clusters": True,
+            "partial_io": False,
+        }
+        assert run_gate(report, paths) == 1
+        assert "query_io.partial_io" in capsys.readouterr().out
+
+    def test_partial_io_true_passes(self, paths):
+        report = make_report(BASE_PHASES)
+        report["query_io"] = {
+            "identical_macro_clusters": True,
+            "partial_io": True,
+            "speedup": 2.0,
+        }
+        assert run_gate(report, paths) == 0
+
+    def test_multi_cpu_slow_parallel_fails(self, paths, capsys):
+        report = make_report(BASE_PHASES)
+        report["parallel_build"] = parallel_section(0.8, cpu_count=4)
+        assert run_gate(report, paths) == 1
+        assert "parallel_beats_serial" in capsys.readouterr().out
+
+    def test_multi_cpu_scaling_point_fails(self, paths, capsys):
+        report = make_report(BASE_PHASES)
+        report["parallel_build"] = parallel_section(
+            1.4, cpu_count=4, scaling_speedup_at_2=0.9
+        )
+        assert run_gate(report, paths) == 1
+        assert "scaling curve" in capsys.readouterr().out
+
+    def test_multi_cpu_fast_parallel_passes(self, paths):
+        report = make_report(BASE_PHASES)
+        report["parallel_build"] = parallel_section(1.6, cpu_count=4)
+        assert run_gate(report, paths) == 0
+
+    def test_single_cpu_bounded_overhead_passes_with_note(
+        self, paths, capsys
+    ):
+        report = make_report(BASE_PHASES)
+        report["parallel_build"] = parallel_section(0.9, cpu_count=1)
+        assert run_gate(report, paths) == 0
+        out = capsys.readouterr().out
+        assert "skipped (single-CPU host" in out
+
+    def test_single_cpu_excessive_overhead_fails(self, paths, capsys):
+        report = make_report(BASE_PHASES)
+        report["parallel_build"] = parallel_section(0.5, cpu_count=1)
+        assert run_gate(report, paths) == 1
+        assert "parallel" in capsys.readouterr().out
+
+    def test_serial_report_has_no_parallel_gate(self, paths):
+        report = make_report(BASE_PHASES)
+        report["parallel_build"] = parallel_section(
+            0.1, cpu_count=4, workers=1
+        )
+        assert run_gate(report, paths) == 0
+
+    def test_parallel_correctness_flag_fails(self, paths, capsys):
+        report = make_report(BASE_PHASES)
+        section = parallel_section(1.5, cpu_count=4)
+        section["identical_macro_clusters"] = False
+        report["parallel_build"] = section
+        assert run_gate(report, paths) == 1
+        assert "parallel_build.identical_macro_clusters" in (
+            capsys.readouterr().out
+        )
+
+    def test_history_row_records_scaling(self, paths):
+        meta = {
+            "git_sha": "0123456789abcdef0123456789abcdef01234567",
+            "timestamp": "2026-08-05T00:00:00+00:00",
+        }
+        report = make_report(BASE_PHASES, meta=meta)
+        report["parallel_build"] = parallel_section(1.5, cpu_count=4)
+        assert run_gate(report, paths) == 0
+        _, _, history = paths
+        row = json.loads(history.read_text().splitlines()[0])
+        assert row["cpu_count"] == 4
+        assert row["scaling"][1]["workers"] == 2
+
+
 class TestBadInput:
     def test_missing_baseline_exits_2(self, tmp_path, capsys):
         report = tmp_path / "r.json"
@@ -186,5 +288,10 @@ class TestCommittedBaseline:
             "similarity_kernel",
             "integration",
             "naive_fixpoint",
+            "parallel_build",
+            "query_io",
         }
         assert not compare.check_correctness(report)
+        assert not compare.check_gates(report)
+        assert report["query_io"]["partial_io"] is True
+        assert report["parallel_build"]["scaling"]

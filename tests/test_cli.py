@@ -56,6 +56,7 @@ class TestParser:
             "info": ["info", "--data", "d"],
             "bench": ["bench"],
             "stats": ["stats", "m.json"],
+            "convert": ["convert", "m", "--to", "columnar"],
         }
         for command, argv in cases.items():
             args = parser.parse_args(
@@ -127,6 +128,91 @@ class TestBuildAndQuery:
         out = capsys.readouterr().out
         assert "sensors:" in out
         assert "D1" in out
+
+    def test_build_columnar_and_query(self, trace_dir, tmp_path, capsys):
+        from repro.storage.columnar import sniff_format
+
+        model = tmp_path / "model"
+        code = main(
+            [
+                "build",
+                "--data", str(trace_dir),
+                "--model", str(model),
+                "--days", "7",
+                "--format", "columnar",
+            ]
+        )
+        assert code == 0
+        assert "(columnar forest)" in capsys.readouterr().out
+        assert sniff_format(model / "forest.bin") == "columnar"
+        code = main(
+            [
+                "query",
+                "--data", str(trace_dir),
+                "--model", str(model),
+                "--days", "3",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "forest_io.bytes_mapped=" in out
+        assert "forest_io.bytes_loaded=" in out
+
+
+class TestConvert:
+    @pytest.fixture()
+    def copied_model(self, model_dir, tmp_path):
+        import shutil
+
+        target = tmp_path / "model"
+        shutil.copytree(model_dir, target)
+        return target
+
+    def test_round_trip_preserves_bytes(self, copied_model, capsys):
+        original = (copied_model / "forest.bin").read_bytes()
+        assert main(["convert", str(copied_model), "--to", "columnar"]) == 0
+        assert "pickle -> columnar" in capsys.readouterr().out
+        assert (copied_model / "forest.bin").read_bytes() != original
+        assert main(["convert", str(copied_model), "--to", "pickle"]) == 0
+        assert "columnar -> pickle" in capsys.readouterr().out
+        assert (copied_model / "forest.bin").read_bytes() == original
+
+    def test_noop_convert(self, copied_model, capsys):
+        assert main(["convert", str(copied_model), "--to", "pickle"]) == 0
+        assert "already pickle; nothing to do" in capsys.readouterr().out
+
+    def test_accepts_forest_file_path(self, copied_model, capsys):
+        path = copied_model / "forest.bin"
+        assert main(["convert", str(path), "--to", "columnar"]) == 0
+        assert "converted" in capsys.readouterr().out
+
+    def test_missing_model_exits_2(self, tmp_path, capsys):
+        code = main(["convert", str(tmp_path / "nope"), "--to", "columnar"])
+        assert code == 2
+        assert "no forest file" in capsys.readouterr().err
+
+    def test_corrupt_file_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "forest.bin"
+        path.write_bytes(b"this is not a forest container")
+        code = main(["convert", str(path), "--to", "columnar"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "not a forest file" in captured.err
+        assert captured.err.count("\n") == 1  # one line, no traceback
+
+    def test_future_version_one_line_error(self, copied_model, capsys):
+        assert main(["convert", str(copied_model), "--to", "columnar"]) == 0
+        capsys.readouterr()
+        path = copied_model / "forest.bin"
+        data = bytearray(path.read_bytes())
+        data[4] = 9
+        path.write_bytes(bytes(data))
+        code = main(["convert", str(copied_model), "--to", "pickle"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "newer than this build" in captured.err
+        assert captured.err.count("\n") == 1
 
 
 class TestMetricsOut:

@@ -27,7 +27,7 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PACKAGES = ("core", "obs", "parallel", "serve")
+DEFAULT_PACKAGES = ("core", "obs", "parallel", "serve", "storage")
 
 
 def is_public(name: str) -> bool:
