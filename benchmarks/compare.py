@@ -31,8 +31,11 @@ Tolerance policy (also documented in DESIGN.md "Observability"):
   history.
 
 History rows record the per-section speedups plus, when present, the
-query service's ``serve_latency`` p50/p95 so the serving-path trajectory
-is tracked alongside the kernel speedups.
+query service's ``serve_latency`` p50/p95 and the ``serve_load`` HTTP
+load-phase numbers (achieved rate, p50/p95/p99, error rate) so the
+serving-path trajectory is tracked alongside the kernel speedups. The
+``serve_load`` section additionally gates on its own latency bands and
+an absolute error-rate ceiling (see :func:`check_serve_load`).
 """
 
 from __future__ import annotations
@@ -60,6 +63,12 @@ CORRECTNESS_SECTIONS = (
     "parallel_build",
     "query_io",
 )
+
+# serve_load gate: latency quantiles compared band-style against the
+# baseline, plus an absolute error-rate ceiling — a load test that errors
+# is wrong no matter how fast it is
+SERVE_LOAD_QUANTILES = ("p50_seconds", "p95_seconds", "p99_seconds")
+MAX_SERVE_LOAD_ERROR_RATE = 0.01
 
 # single-CPU hosts cannot honestly beat serial with processes (pooled =
 # serial compute + fork + IPC on one core), so the parallel_beats_serial
@@ -227,6 +236,47 @@ def check_gates(report: dict) -> List[str]:
     return failures
 
 
+def check_serve_load(
+    report: dict,
+    baseline: dict,
+    tolerance: float,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> List[str]:
+    """Latency/error-rate bands for the HTTP load phase.
+
+    Each latency quantile fails when it exceeds the baseline's by more
+    than ``tolerance`` (quantiles below ``min_seconds`` in the baseline
+    are noise and never fail); the error rate fails above the absolute
+    ``MAX_SERVE_LOAD_ERROR_RATE`` ceiling. A report or baseline without
+    a ``serve_load`` section gates nothing (the section is labelled
+    new/gone by the phase table already).
+    """
+    failures: List[str] = []
+    current = report.get("serve_load")
+    if not isinstance(current, dict):
+        return failures
+    error_rate = float(current.get("error_rate", 0.0))
+    if error_rate > MAX_SERVE_LOAD_ERROR_RATE:
+        failures.append(
+            f"serve_load.error_rate {error_rate:.2%} exceeds the "
+            f"{MAX_SERVE_LOAD_ERROR_RATE:.0%} ceiling"
+        )
+    base = baseline.get("serve_load")
+    if not isinstance(base, dict):
+        return failures
+    for quantile in SERVE_LOAD_QUANTILES:
+        cur = float(current.get(quantile, 0.0) or 0.0)
+        ref = float(base.get(quantile, 0.0) or 0.0)
+        if ref < min_seconds:
+            continue
+        if cur > ref * (1.0 + tolerance):
+            failures.append(
+                f"serve_load.{quantile} {cur * 1e3:.1f}ms exceeds baseline "
+                f"{ref * 1e3:.1f}ms by more than {tolerance:.0%}"
+            )
+    return failures
+
+
 def render_rows(rows: List[dict]) -> str:
     def fmt(value: Optional[float]) -> str:
         return "-" if value is None else f"{value * 1e3:10.2f}ms"
@@ -275,7 +325,24 @@ def history_row(report: dict, rows: List[dict]) -> dict:
         if isinstance(serve, dict)
         else None
     )
-    row_extra = {"serve_latency": serve_latency} if serve_latency else {}
+    load = report.get("serve_load")
+    serve_load = (
+        {
+            "achieved_rate": load.get("achieved_rate"),
+            "p50_seconds": load.get("p50_seconds"),
+            "p95_seconds": load.get("p95_seconds"),
+            "p99_seconds": load.get("p99_seconds"),
+            "error_rate": load.get("error_rate"),
+            "requests": load.get("requests"),
+        }
+        if isinstance(load, dict)
+        else None
+    )
+    row_extra: dict = {}
+    if serve_latency:
+        row_extra["serve_latency"] = serve_latency
+    if serve_load:
+        row_extra["serve_load"] = serve_load
     return {
         **row_extra,
         **scaling,
@@ -357,7 +424,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     print(f"bench gate: {args.report} vs baseline {args.baseline}")
     print(render_rows(rows))
-    correctness = check_correctness(report) + check_gates(report)
+    correctness = (
+        check_correctness(report)
+        + check_gates(report)
+        + check_serve_load(
+            report, baseline, args.tolerance, args.min_seconds
+        )
+    )
     for failure in correctness:
         print(f"  correctness: {failure}")
 

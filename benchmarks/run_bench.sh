@@ -73,6 +73,23 @@ out.write_text(json.dumps(curve, indent=2) + "\n")
 print(f"scaling curve -> {out}: {curve['scaling']}")
 PY
 
+# pull the HTTP load phase out as BENCH_load.json (same shape the
+# standalone `repro loadgen --out` writes) for CI upload and the gate
+python - <<'PY'
+import json
+import pathlib
+
+path = pathlib.Path("benchmarks/results/BENCH_integration.json")
+report = json.loads(path.read_text())
+load = report.get("serve_load", {})
+out = pathlib.Path("benchmarks/results/BENCH_load.json")
+out.write_text(json.dumps(load, indent=2) + "\n")
+print(
+    f"serve load -> {out}: {load.get('requests')} requests at "
+    f"{load.get('achieved_rate')}/s, p99 {load.get('p99_seconds')}s"
+)
+PY
+
 # the snapshot must round-trip through the stats renderer
 python -m repro stats benchmarks/results/BENCH_metrics.json > /dev/null
 

@@ -266,6 +266,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep at most N raw spans in memory (aggregates are unaffected; "
         "evictions are counted as spans_dropped)",
     )
+    serve.add_argument(
+        "--slo",
+        type=Path,
+        default=None,
+        help="YAML/JSON SLO config; enables GET /slo burn-rate alerts",
+    )
+    serve.add_argument(
+        "--tsdb-dir",
+        type=Path,
+        default=None,
+        help="persist telemetry samples here as rotating NDJSON segments "
+        "(default: in-memory only)",
+    )
+    serve.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        help="seconds between telemetry samples (the tsdb base grain)",
+    )
     # access logs are the point of a server; default them on
     serve.set_defaults(log_level="info")
     _add_engine_arguments(serve)
@@ -293,6 +312,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-clear",
         action="store_true",
         help="append frames instead of clearing the screen (for logs/tests)",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        parents=[common],
+        help="drive POST /query load (closed or open loop) against a "
+        "running repro serve and report latency percentiles",
+    )
+    loadgen.add_argument(
+        "url",
+        nargs="?",
+        default="http://127.0.0.1:8321",
+        help="server base URL (default: the repro serve default)",
+    )
+    loadgen.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: N workers back-to-back (capacity probe); open: fixed "
+        "arrival rate, latency from scheduled arrival (the rps gate)",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open mode: target arrivals per second",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=10.0, help="run length in seconds"
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4, help="worker threads"
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout"
+    )
+    loadgen.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="clusters per /query response (smaller = cheaper responses)",
+    )
+    loadgen.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_load.json"),
+        help="where to write the JSON report",
+    )
+
+    slo = commands.add_parser(
+        "slo",
+        parents=[common],
+        help="evaluate declared SLOs; `repro slo check` exits 1 on PAGE",
+    )
+    slo_commands = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_commands.add_parser(
+        "check",
+        help="check a server URL, a --metrics-out snapshot, or a tsdb "
+        "segment directory against SLOs",
+    )
+    slo_check.add_argument(
+        "target",
+        help="server base URL (reads its /slo), metrics snapshot JSON, or "
+        "tsdb segment directory",
+    )
+    slo_check.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="SLO config (required for snapshot / tsdb-directory targets)",
+    )
+    slo_check.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report document instead of the summary lines",
     )
 
     stats = commands.add_parser(
@@ -593,11 +687,23 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.slo import SLOEngine, SLOError, load_slo_config
+    from repro.obs.tsdb import Sampler, TimeSeriesStore
     from repro.serve import QueryServer, ServeApp, install_signal_handlers
 
     if not 0 <= args.port <= 65535:
         print("error: --port must be in 0..65535", file=sys.stderr)
         return 2
+    if args.sample_interval <= 0:
+        print("error: --sample-interval must be positive", file=sys.stderr)
+        return 2
+    slo_config = None
+    if args.slo is not None:
+        try:
+            slo_config = load_slo_config(args.slo)
+        except SLOError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     simulator = _simulator_for(args.data)
     config = _engine_config(args)
     try:
@@ -607,12 +713,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         print(f"error: not a model directory: {exc}", file=sys.stderr)
         return 2
+    store = TimeSeriesStore(segment_dir=args.tsdb_dir)
+    sampler = Sampler(store, interval=args.sample_interval)
+    slo_engine = (
+        SLOEngine(slo_config, store) if slo_config is not None else None
+    )
     app = ServeApp(
         cached.engine,
         digest=cached.digest,
         model_dir=cached.model_dir,
         query_lock=cached.query_lock,
         default_limit=args.limit,
+        slo_engine=slo_engine,
     )
     server = QueryServer(app, host=args.host, port=args.port)
     install_signal_handlers(server)
@@ -621,12 +733,136 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"(digest {cached.digest[:12]}, {len(cached.engine.built_days)} days "
         f"built; SIGTERM/Ctrl-C drains and exits)"
     )
+    if slo_config is not None:
+        print(
+            f"slo: {len(slo_config.slos)} objective(s) from {args.slo} "
+            f"on GET /slo"
+        )
+    if args.tsdb_dir is not None:
+        print(f"tsdb: sampling every {args.sample_interval}s into {args.tsdb_dir}")
     sys.stdout.flush()
+    sampler.start()
     # blocks until a signal triggers server.stop(); in-flight requests
     # finish before serve_forever returns (block_on_close)
-    server.serve_forever()
+    try:
+        server.serve_forever()
+    finally:
+        # final flush sample puts the shutdown edge on disk
+        sampler.stop()
     print("drained, bye")
     return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import LoadGenError, format_report, run_load, write_report
+
+    try:
+        report = run_load(
+            args.url,
+            mode=args.mode,
+            duration=args.duration,
+            concurrency=args.concurrency,
+            rate=args.rate,
+            timeout=args.timeout,
+            limit=args.limit,
+        )
+    except LoadGenError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        write_report(report, args.out)
+    except OSError as exc:
+        print(f"error: cannot write report to {args.out}: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    print(f"report written to {args.out}")
+    return 0
+
+
+def _slo_report_doc(args: argparse.Namespace) -> dict:
+    """Resolve `repro slo check`'s target into an SLO report document.
+
+    Three target shapes: a server base URL (its live ``/slo`` document),
+    a ``--metrics-out`` snapshot file (lifetime-mode evaluation), or a
+    tsdb segment directory (windowed replay of persisted telemetry). The
+    latter two need ``--config``. Every failure raises ``SLOError``.
+    """
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.slo import SLOEngine, SLOError, evaluate_snapshot, load_slo_config
+    from repro.obs.tsdb import load_segments
+
+    target = str(args.target)
+    if target.startswith(("http://", "https://")):
+        if args.config is not None:
+            raise SLOError(
+                "--config only applies to snapshot/tsdb targets; a server "
+                "URL serves its own /slo document"
+            )
+        url = target.rstrip("/") + "/slo"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                return _json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                raise SLOError(
+                    f"{target} has no SLO config loaded "
+                    "(start serve with --slo)"
+                )
+            raise SLOError(f"{url} returned HTTP {exc.code}")
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            reason = getattr(exc, "reason", exc)
+            raise SLOError(f"cannot reach server at {target}: {reason}")
+    if args.config is None:
+        raise SLOError("snapshot/tsdb targets need --config <slo.yaml>")
+    config = load_slo_config(args.config)
+    path = Path(target)
+    if path.is_dir():
+        try:
+            store = load_segments(path)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SLOError(str(exc))
+        # evaluate at the last persisted sample, not wall-clock now: the
+        # windows should cover the recorded history, not the gap since
+        latest = max(
+            (
+                point[0]
+                for name in store.series_names()
+                for point in [store.series(name).latest()]
+                if point is not None
+            ),
+            default=None,
+        )
+        if latest is None:
+            raise SLOError(f"{path} holds no samples")
+        return SLOEngine(config, store).evaluate(now=latest).to_dict()
+    try:
+        snapshot = obs.load_snapshot(path)
+    except FileNotFoundError:
+        raise SLOError(f"no such snapshot: {path}")
+    except OSError as exc:
+        raise SLOError(f"cannot read snapshot {path}: {exc}")
+    except ValueError as exc:
+        raise SLOError(f"{path}: {exc}")
+    return evaluate_snapshot(config, snapshot).to_dict()
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs.slo import SLOError, check_doc
+
+    try:
+        doc = _slo_report_doc(args)
+        code, lines = check_doc(doc)
+    except SLOError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print("\n".join(lines))
+    return code
 
 
 def cmd_top(args: argparse.Namespace) -> int:
@@ -680,6 +916,8 @@ _COMMANDS = {
     "serve": cmd_serve,
     "top": cmd_top,
     "stats": cmd_stats,
+    "loadgen": cmd_loadgen,
+    "slo": cmd_slo,
 }
 
 

@@ -1,0 +1,405 @@
+"""Closed- and open-loop HTTP load generator for the query service.
+
+Drives ``POST /query`` against a running ``repro serve`` with a weighted
+mix of request shapes (day / week / month windows, explain on or off)
+and reports achieved throughput, latency percentiles and error rate —
+the numbers the ``serve_load`` bench gate and the CI ``load-smoke`` job
+judge.
+
+Two modes, because they answer different questions:
+
+* **closed** loop — ``concurrency`` workers each keep exactly one
+  request in flight. Throughput floats to whatever the server sustains;
+  latency tells you the per-request cost at that concurrency. This is
+  the capacity probe.
+* **open** loop — requests *arrive* on a fixed schedule (``rate`` per
+  second) regardless of whether earlier ones finished, like real user
+  traffic. Latency is measured from the request's **scheduled arrival
+  time**, not from when a worker got around to sending it, so a stalled
+  server shows up as growing latency instead of being silently absorbed
+  (the coordinated-omission trap). This is the "can it hold 200 rps?"
+  gate.
+
+Stdlib only (``urllib`` + threads): the generator must run in CI and in
+the bench harness without adding dependencies. Every operational failure
+(unreachable server, bad flag combination) raises :class:`LoadGenError`
+with a one-line message; the CLI maps it to exit code 2.
+
+Typical use::
+
+    repro serve model/ --port 8321 &
+    repro loadgen http://127.0.0.1:8321 --mode open --rate 200 \
+        --duration 10 --out BENCH_load.json
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "LoadGenError",
+    "MixItem",
+    "LoadReport",
+    "build_mix",
+    "probe_server",
+    "run_load",
+    "format_report",
+    "write_report",
+    "DEFAULT_MIX_WEIGHTS",
+]
+
+#: Window-shape weights for the default request mix (day:week:month).
+DEFAULT_MIX_WEIGHTS: Mapping[str, int] = {"day": 6, "week": 3, "month": 1}
+
+#: Fraction of requests (per shape) that also ask for an explain report.
+DEFAULT_EXPLAIN_EVERY = 4  # every 4th request of a shape sets explain=true
+
+_QUANTILES = (0.50, 0.95, 0.99)
+
+
+class LoadGenError(ValueError):
+    """An operational load-generator failure (CLI exit 2, one line)."""
+
+
+@dataclass(frozen=True)
+class MixItem:
+    """One request shape in the traffic mix."""
+
+    name: str  #: e.g. ``week`` or ``week+explain``
+    weight: int  #: relative frequency in the deterministic schedule
+    body: Mapping[str, object]  #: the ``POST /query`` JSON payload
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured, JSON-serializable via to_dict."""
+
+    mode: str
+    url: str
+    duration_seconds: float
+    concurrency: int
+    target_rate: Optional[float]
+    requests: int = 0
+    errors: int = 0
+    latencies: List[float] = field(default_factory=list)
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    mix_counts: Dict[str, int] = field(default_factory=dict)
+    scheduled: int = 0  #: open loop: arrivals the schedule called for
+
+    @property
+    def error_rate(self) -> float:
+        """Failed requests as a fraction of all completed requests."""
+        return self.errors / self.requests if self.requests else 0.0
+
+    @property
+    def achieved_rate(self) -> float:
+        """Completed requests per second of wall-clock run time."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.requests / self.duration_seconds
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank latency quantile in seconds (None when empty)."""
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The ``BENCH_load.json`` document (and bench report section)."""
+        latency = {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": max(self.latencies) if self.latencies else None,
+            "mean": (
+                sum(self.latencies) / len(self.latencies)
+                if self.latencies
+                else None
+            ),
+        }
+        doc: Dict[str, object] = {
+            "mode": self.mode,
+            "url": self.url,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate, 6),
+            "achieved_rate": round(self.achieved_rate, 3),
+            "latency_seconds": {
+                k: (round(v, 6) if v is not None else None)
+                for k, v in latency.items()
+            },
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "mix_counts": dict(sorted(self.mix_counts.items())),
+        }
+        if self.mode == "open":
+            doc["target_rate"] = self.target_rate
+            doc["scheduled"] = self.scheduled
+            doc["drop_rate"] = round(
+                1.0 - (self.requests / self.scheduled) if self.scheduled else 0.0,
+                6,
+            )
+        return doc
+
+
+def build_mix(
+    built_days: int,
+    weights: Optional[Mapping[str, int]] = None,
+    explain_every: int = DEFAULT_EXPLAIN_EVERY,
+) -> List[MixItem]:
+    """The weighted request-shape mix, clamped to the model's built days.
+
+    Window sizes mirror the paper's day/week/month query hierarchy: 1,
+    7 and 28 days, each clamped to ``built_days`` so a small smoke model
+    still gets a valid mix (shapes that collapse to a duplicate window
+    are dropped). ``explain_every`` > 0 adds an ``explain=true`` variant
+    at 1/``explain_every`` of each shape's weight.
+    """
+    if built_days < 1:
+        raise LoadGenError(f"server has no built days (built_days={built_days})")
+    weights = dict(weights or DEFAULT_MIX_WEIGHTS)
+    spans = {"day": 1, "week": 7, "month": 28}
+    mix: List[MixItem] = []
+    seen_windows: Dict[int, str] = {}
+    for name, span in spans.items():
+        weight = int(weights.get(name, 0))
+        if weight <= 0:
+            continue
+        days = min(span, built_days)
+        if days in seen_windows:
+            continue  # tiny model: week/month collapsed into an earlier shape
+        seen_windows[days] = name
+        body = {"first_day": 0, "days": days, "strategy": "gui"}
+        if explain_every > 1:
+            plain = max(1, weight * (explain_every - 1) // explain_every)
+            rich = max(1, weight - plain) if weight > 1 else 0
+            mix.append(MixItem(name, plain, body))
+            if rich:
+                mix.append(
+                    MixItem(f"{name}+explain", rich, {**body, "explain": True})
+                )
+        else:
+            mix.append(MixItem(name, weight, body))
+    if not mix:
+        raise LoadGenError("request mix is empty (all weights <= 0)")
+    return mix
+
+
+def _expand_schedule(mix: Sequence[MixItem]) -> List[MixItem]:
+    """Deterministic weighted round-robin: interleave shapes by weight."""
+    total = sum(item.weight for item in mix)
+    schedule: List[MixItem] = []
+    errors = {item.name: 0.0 for item in mix}
+    for _ in range(total):
+        # largest-remainder pick keeps shapes interleaved, not clumped
+        best = max(mix, key=lambda item: errors[item.name] + item.weight / total)
+        for item in mix:
+            errors[item.name] += item.weight / total
+        errors[best.name] -= 1.0
+        schedule.append(best)
+    return schedule
+
+
+def probe_server(base_url: str, timeout: float = 5.0) -> Dict[str, object]:
+    """GET ``/healthz``; raises :class:`LoadGenError` when unreachable."""
+    url = base_url.rstrip("/") + "/healthz"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        raise LoadGenError(f"server at {base_url} returned {exc.code} on /healthz")
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        reason = getattr(exc, "reason", exc)
+        raise LoadGenError(f"cannot reach server at {base_url}: {reason}")
+
+
+def _post_query(
+    base_url: str, body: Mapping[str, object], timeout: float
+) -> Tuple[int, Optional[str]]:
+    """One ``POST /query``; returns ``(status, error_kind_or_None)``."""
+    data = json.dumps(dict(body)).encode()
+    request = urllib.request.Request(
+        base_url.rstrip("/") + "/query",
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            resp.read()
+            return resp.status, None
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code, f"http_{exc.code}"
+    except (urllib.error.URLError, OSError) as exc:
+        reason = getattr(exc, "reason", exc)
+        return 0, f"network:{type(exc).__name__}:{reason}"
+
+
+def run_load(
+    base_url: str,
+    mode: str = "closed",
+    duration: float = 10.0,
+    concurrency: int = 4,
+    rate: Optional[float] = None,
+    mix: Optional[Sequence[MixItem]] = None,
+    timeout: float = 30.0,
+    limit: Optional[int] = None,
+) -> LoadReport:
+    """Run one load test and return its :class:`LoadReport`.
+
+    ``mode`` is ``closed`` (workers back-to-back) or ``open`` (fixed
+    arrival schedule at ``rate``/s, latency measured from scheduled
+    arrival). The server is probed via ``/healthz`` first so an
+    unreachable target fails fast with :class:`LoadGenError` instead of
+    producing a report full of connection errors.
+    """
+    if mode not in ("closed", "open"):
+        raise LoadGenError(f"unknown mode {mode!r} (expected closed|open)")
+    if duration <= 0:
+        raise LoadGenError("duration must be positive")
+    if concurrency < 1:
+        raise LoadGenError("concurrency must be at least 1")
+    if mode == "open":
+        if rate is None or rate <= 0:
+            raise LoadGenError("open mode needs a positive --rate")
+    health = probe_server(base_url, timeout=min(timeout, 5.0))
+    built_days = int(health.get("model", {}).get("built_days", 0))  # type: ignore[union-attr]
+    if mix is None:
+        mix = build_mix(built_days)
+    schedule = _expand_schedule(mix)
+    if limit is not None:
+        schedule = [
+            MixItem(i.name, i.weight, {**i.body, "limit": limit}) for i in schedule
+        ]
+
+    report = LoadReport(
+        mode=mode,
+        url=base_url,
+        duration_seconds=duration,
+        concurrency=concurrency,
+        target_rate=rate if mode == "open" else None,
+    )
+    lock = threading.Lock()
+    counter = {"next": 0}
+
+    def record(
+        name: str, status: int, error: Optional[str], latency: Optional[float]
+    ) -> None:
+        with lock:
+            report.requests += 1
+            report.mix_counts[name] = report.mix_counts.get(name, 0) + 1
+            key = str(status) if status else (error or "error").split(":", 1)[0]
+            report.status_counts[key] = report.status_counts.get(key, 0) + 1
+            if error is not None:
+                report.errors += 1
+            elif latency is not None:
+                report.latencies.append(latency)
+
+    start = time.perf_counter()
+    deadline = start + duration
+
+    if mode == "closed":
+        def worker() -> None:
+            while True:
+                now = time.perf_counter()
+                if now >= deadline:
+                    return
+                with lock:
+                    index = counter["next"]
+                    counter["next"] += 1
+                item = schedule[index % len(schedule)]
+                sent = time.perf_counter()
+                status, error = _post_query(base_url, item.body, timeout)
+                record(item.name, status, error, time.perf_counter() - sent)
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(concurrency)
+        ]
+    else:
+        interval = 1.0 / float(rate)  # type: ignore[arg-type]
+        total_arrivals = int(duration * float(rate))  # type: ignore[arg-type]
+        report.scheduled = total_arrivals
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    index = counter["next"]
+                    counter["next"] += 1
+                if index >= total_arrivals:
+                    return
+                arrival = start + index * interval
+                wait = arrival - time.perf_counter()
+                if wait > 0:
+                    time.sleep(wait)
+                item = schedule[index % len(schedule)]
+                status, error = _post_query(base_url, item.body, timeout)
+                # coordinated-omission-free: clock from the *scheduled*
+                # arrival, so backlog waiting counts against the server
+                record(
+                    item.name, status, error, time.perf_counter() - arrival
+                )
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(concurrency)
+        ]
+
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        # generous join bound: the run plus one slow in-flight request
+        thread.join(timeout=duration + timeout + 5.0)
+    report.duration_seconds = time.perf_counter() - start
+    return report
+
+
+def format_report(report: LoadReport) -> str:
+    """Human-readable summary printed after ``repro loadgen``."""
+    doc = report.to_dict()
+    latency = doc["latency_seconds"]
+    lines = [
+        f"mode={doc['mode']} url={doc['url']} "
+        f"concurrency={doc['concurrency']}"
+        + (
+            f" target_rate={doc['target_rate']}/s"
+            if report.mode == "open"
+            else ""
+        ),
+        f"requests={doc['requests']} errors={doc['errors']} "
+        f"error_rate={doc['error_rate']:.2%} "
+        f"achieved={doc['achieved_rate']:.1f}/s "
+        f"over {doc['duration_seconds']:.1f}s",
+    ]
+
+    def _ms(value: object) -> str:
+        return f"{value * 1000:.1f}ms" if isinstance(value, float) else "n/a"
+
+    lines.append(
+        "latency p50={} p95={} p99={} max={}".format(
+            _ms(latency["p50"]),  # type: ignore[index]
+            _ms(latency["p95"]),  # type: ignore[index]
+            _ms(latency["p99"]),  # type: ignore[index]
+            _ms(latency["max"]),  # type: ignore[index]
+        )
+    )
+    mix = ", ".join(f"{k}={v}" for k, v in doc["mix_counts"].items())  # type: ignore[union-attr]
+    if mix:
+        lines.append(f"mix: {mix}")
+    return "\n".join(lines)
+
+
+def write_report(report: LoadReport, path: Path | str) -> None:
+    """Write the report's JSON document to ``path`` (UTF-8, trailing \\n)."""
+    Path(path).write_text(json.dumps(report.to_dict(), indent=2) + "\n")

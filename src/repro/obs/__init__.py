@@ -15,7 +15,12 @@ exportable set of runtime signals:
   tree (``--trace-out``, loadable in Perfetto / ``chrome://tracing``);
 * :mod:`repro.obs.profiling` — opt-in cProfile / tracemalloc phase
   profiling (``--profile``);
-* :mod:`repro.obs.logs` — stdlib logging with a key=value formatter.
+* :mod:`repro.obs.logs` — stdlib logging with a key=value formatter;
+* :mod:`repro.obs.tsdb` — a local time-series store: an in-process
+  sampler folds registry snapshots into multi-resolution ring buffers
+  and appends them to rotating NDJSON segments;
+* :mod:`repro.obs.slo` — YAML-declared SLOs evaluated as multi-window
+  burn-rate alerts (OK/WARN/PAGE) over the tsdb history.
 
 Collection is **disabled by default** and costs one flag check per
 instrumentation site while off; see :mod:`repro.obs.runtime`. The span
@@ -64,7 +69,17 @@ from repro.obs.runtime import (
     set_registry,
     window,
 )
+from repro.obs.slo import (
+    SLO,
+    SLOConfig,
+    SLOEngine,
+    SLOError,
+    SLOReport,
+    evaluate_snapshot,
+    load_slo_config,
+)
 from repro.obs.spans import NULL_SPAN, NullSpan, Span, external_span, span
+from repro.obs.tsdb import Sampler, TimeSeriesStore, load_segments, sample_point
 
 __all__ = [
     # metrics
@@ -116,4 +131,17 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "LOG_LEVELS",
+    # time-series store
+    "TimeSeriesStore",
+    "Sampler",
+    "sample_point",
+    "load_segments",
+    # SLOs
+    "SLO",
+    "SLOConfig",
+    "SLOEngine",
+    "SLOError",
+    "SLOReport",
+    "load_slo_config",
+    "evaluate_snapshot",
 ]

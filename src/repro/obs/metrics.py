@@ -429,7 +429,7 @@ class MetricsRegistry:
             self._epoch = time.perf_counter()
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self, include_spans: bool = True) -> Dict[str, object]:
         """JSON-serializable view of everything recorded so far.
 
         Metric maps and the span list are copied under the registry lock,
@@ -437,13 +437,18 @@ class MetricsRegistry:
         snapshot taken while handler threads are recording is internally
         consistent per metric. Sliding windows are flattened to their
         per-:data:`RATE_WINDOWS` rates at snapshot time.
+
+        ``include_spans=False`` skips copying the raw span records (the
+        per-name ``span_summary`` aggregate still rides along) — the
+        shape the :mod:`repro.obs.tsdb` sampler wants every second from
+        a daemon holding thousands of retained spans.
         """
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
             windows = dict(self._windows)
-            spans = list(self._spans)
+            spans = list(self._spans) if include_spans else []
         histogram_states = {
             n: h.state() for n, h in sorted(histograms.items())
         }

@@ -574,6 +574,76 @@ def run_serve_latency_benchmark(
     }
 
 
+def run_serve_load_benchmark(
+    duration: float = 3.0,
+    concurrency: int = 2,
+    build_days: int = 7,
+    seed: int = 7,
+    phase_seconds: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Benchmark the query service under closed-loop load, over real HTTP.
+
+    Where :func:`run_serve_latency_benchmark` isolates the handler stack,
+    this phase boots an actual :class:`~repro.serve.server.QueryServer`
+    on an ephemeral port and drives it with the
+    :mod:`repro.loadgen` closed loop — the full production path including
+    the TCP transport, the threading server, and concurrent requests
+    contending for the query lock. The report is the loadgen document
+    (achieved rate, p50/p95/p99, error rate) plus the workload shape, and
+    is what ``benchmarks/compare.py`` gates as ``serve_load``.
+    """
+    from repro.analysis.engine import AnalysisEngine
+    from repro.loadgen import run_load
+    from repro.serve import QueryServer, ServeApp
+    from repro.simulate.generator import SimulationConfig, TrafficSimulator
+
+    seconds = phase_seconds if phase_seconds is not None else {}
+    with _phase("serve_load", seconds):
+        simulator = TrafficSimulator(SimulationConfig.small(seed=seed))
+        engine = AnalysisEngine.from_simulator(simulator)
+        engine.build_from_simulator(simulator, range(build_days))
+        app = ServeApp(engine)
+        server = QueryServer(app, port=0)
+
+        def drive() -> dict:
+            server.start_background()
+            try:
+                report = run_load(
+                    server.url(),
+                    mode="closed",
+                    duration=duration,
+                    concurrency=concurrency,
+                    timeout=30.0,
+                    limit=5,
+                )
+            finally:
+                server.stop(timeout=10.0)
+            return report.to_dict()
+
+        if obs.enabled():
+            load = drive()
+        else:
+            # the real server always records telemetry; pay the same cost
+            with obs.activate(obs.MetricsRegistry(span_limit=10_000)):
+                load = drive()
+    latency = load["latency_seconds"]
+    return {
+        "build_days": build_days,
+        "mode": load["mode"],
+        "duration_seconds": load["duration_seconds"],
+        "concurrency": load["concurrency"],
+        "requests": load["requests"],
+        "errors": load["errors"],
+        "error_rate": load["error_rate"],
+        "achieved_rate": load["achieved_rate"],
+        "p50_seconds": latency["p50"] or 0.0,
+        "p95_seconds": latency["p95"] or 0.0,
+        "p99_seconds": latency["p99"] or 0.0,
+        "max_seconds": latency["max"] or 0.0,
+        "mix_counts": load["mix_counts"],
+    }
+
+
 def run_integration_benchmark(
     num_clusters: int = 400,
     seed: int = 7,
@@ -668,6 +738,9 @@ def run_integration_benchmark(
         seed=seed, phase_seconds=phase_seconds
     )
 
+    # -- query service under closed-loop load, over real HTTP ------------
+    serve_load = run_serve_load_benchmark(seed=seed, phase_seconds=phase_seconds)
+
     # -- storage engine: bytes faulted per range query (fig17b) ----------
     query_io = run_query_io_benchmark(seed=seed, phase_seconds=phase_seconds)
 
@@ -705,6 +778,7 @@ def run_integration_benchmark(
         },
         "parallel_build": parallel_build,
         "serve_latency": serve_latency,
+        "serve_load": serve_load,
         "query_io": query_io,
         "naive_fixpoint": {
             "subset_clusters": len(subset),
@@ -803,6 +877,17 @@ def format_report(report: dict) -> str:
             f"p95 {serve['p95_seconds'] * 1e3:.1f}ms, "
             f"errors={serve['errors']}, "
             f"metrics render {serve['metrics_render_seconds'] * 1e3:.1f}ms"
+        )
+    load = report.get("serve_load")
+    if load:
+        lines.append(
+            f"serve load (closed loop, {load['concurrency']} workers over "
+            f"HTTP, {load['duration_seconds']:.1f}s): "
+            f"{load['requests']} requests at {load['achieved_rate']:.1f}/s, "
+            f"p50 {load['p50_seconds'] * 1e3:.1f}ms "
+            f"p95 {load['p95_seconds'] * 1e3:.1f}ms "
+            f"p99 {load['p99_seconds'] * 1e3:.1f}ms, "
+            f"error rate {load['error_rate']:.2%}"
         )
     spans = report.get("spans")
     if spans:

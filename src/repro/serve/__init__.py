@@ -18,11 +18,14 @@ from repro.serve.context import ACCESS_LOGGER, RequestContext, new_request_id
 from repro.serve.dashboard import (
     DashboardState,
     DashboardView,
+    counter_delta,
     delta_histogram,
+    fetch_slo,
     histogram_quantile,
     render,
     run_top,
     scrape,
+    slo_url_for,
 )
 from repro.serve.handlers import JSON_TYPE, METRICS_TYPE, ServeApp
 from repro.serve.server import QueryServer, build_handler, install_signal_handlers
@@ -41,7 +44,10 @@ __all__ = [
     "DashboardView",
     "histogram_quantile",
     "delta_histogram",
+    "counter_delta",
     "render",
     "run_top",
     "scrape",
+    "fetch_slo",
+    "slo_url_for",
 ]

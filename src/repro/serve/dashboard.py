@@ -19,6 +19,7 @@ scrape.
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 import urllib.error
@@ -30,8 +31,11 @@ from repro.obs.exporters import format_seconds, parse_prometheus_text
 
 __all__ = [
     "scrape",
+    "fetch_slo",
+    "slo_url_for",
     "histogram_quantile",
     "delta_histogram",
+    "counter_delta",
     "DashboardState",
     "render",
     "run_top",
@@ -72,6 +76,47 @@ def scrape(url: str, timeout: float = 2.0) -> Dict[str, object]:
     with urllib.request.urlopen(url, timeout=timeout) as resp:
         text = resp.read().decode("utf-8", errors="replace")
     return parse_prometheus_text(text)
+
+
+def slo_url_for(metrics_url: str) -> str:
+    """The ``/slo`` endpoint next to a ``/metrics`` URL."""
+    if metrics_url.endswith("/metrics"):
+        return metrics_url[: -len("/metrics")] + "/slo"
+    return metrics_url.rstrip("/") + "/slo"
+
+
+def fetch_slo(url: str, timeout: float = 2.0) -> Optional[Dict[str, object]]:
+    """Fetch the server's SLO report document, or ``None``.
+
+    ``None`` covers every non-panel case the same way: the server has no
+    SLO config loaded (404), is unreachable, or returned junk — the
+    dashboard simply omits the alerts panel rather than failing the
+    whole frame over an optional endpoint.
+    """
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            doc = json.loads(resp.read().decode("utf-8", errors="replace"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or "slos" not in doc:
+        return None
+    return doc
+
+
+def counter_delta(current: float, previous: Optional[float]) -> Tuple[float, bool]:
+    """Scrape-to-scrape counter growth, monotonic-reset corrected.
+
+    A monotonic counter can only shrink when its process restarted and
+    the counter came back near zero, so a negative delta means the
+    post-reset value itself is the growth since the last scrape (the
+    Prometheus ``increase()`` convention). Returns ``(delta, reset)``.
+    """
+    if previous is None:
+        return current, False
+    delta = current - previous
+    if delta < 0:
+        return current, True
+    return delta, False
 
 
 def histogram_quantile(hist: Mapping[str, object], q: float) -> Optional[float]:
@@ -145,6 +190,34 @@ class DashboardView:
     caches: List[Tuple[str, float, float]] = field(default_factory=list)
     storage: List[Tuple[str, float]] = field(default_factory=list)
     stages: List[Tuple[str, float, int]] = field(default_factory=list)
+    slo_state: Optional[str] = None  #: overall OK/WARN/PAGE, None = no panel
+    #: per-SLO rows: (state, name, worst burn per window pair, description)
+    slo_rows: List[Tuple[str, str, str, str]] = field(default_factory=list)
+
+    def apply_slo(self, doc: Optional[Mapping[str, object]]) -> None:
+        """Fold a fetched ``/slo`` document into the view (None = omit)."""
+        if doc is None:
+            return
+        self.slo_state = str(doc.get("state", "OK"))
+        for entry in doc.get("slos", []):  # type: ignore[union-attr]
+            burns = " ".join(
+                "{}={:.1f}x".format(
+                    w.get("name", "?"),
+                    max(
+                        float(w.get("short_burn", 0.0)),
+                        float(w.get("long_burn", 0.0)),
+                    ),
+                )
+                for w in entry.get("windows", [])
+            )
+            self.slo_rows.append(
+                (
+                    str(entry.get("state", "OK")),
+                    str(entry.get("name", "?")),
+                    burns or "n/a",
+                    str(entry.get("description", "")),
+                )
+            )
 
 
 class DashboardState:
@@ -182,16 +255,20 @@ class DashboardState:
             dt = now - self._prev_at
             prev_counters: Mapping[str, float] = self._prev.get("counters", {})  # type: ignore[assignment]
             if dt > 0:
-                view.request_rate = max(
-                    0.0,
-                    (view.requests_total - prev_counters.get(REQUESTS_TOTAL, 0.0))
-                    / dt,
+                req_delta, req_reset = counter_delta(
+                    view.requests_total, prev_counters.get(REQUESTS_TOTAL, 0.0)
                 )
-                view.error_rate = max(
-                    0.0,
-                    (view.errors_total - prev_counters.get(ERRORS_TOTAL, 0.0)) / dt,
+                err_delta, err_reset = counter_delta(
+                    view.errors_total, prev_counters.get(ERRORS_TOTAL, 0.0)
                 )
-                view.rate_source = "delta"
+                view.request_rate = req_delta / dt
+                view.error_rate = err_delta / dt
+                # a restarted server resets its monotonic counters; rates
+                # re-baseline from the post-reset values instead of
+                # clamping the bogus negative delta to a flat zero
+                view.rate_source = (
+                    "delta (reset)" if req_reset or err_reset else "delta"
+                )
 
         # Latency quantiles, over the scrape delta when possible.
         hist = hists.get(REQUEST_SECONDS)
@@ -310,6 +387,14 @@ def render(view: DashboardView, source: str = "") -> str:
                 shown = f"{int(value)}"
             lines.append(f"  {label:<18} {shown:>12}")
 
+    if view.slo_state is not None:
+        lines.append("")
+        lines.append(f"alerts (SLO)  overall: {view.slo_state}")
+        for state, name, burns, description in view.slo_rows:
+            lines.append(
+                f"  {state:<4} {name:<18} burn {burns:<24} {description}"
+            )
+
     if view.stages:
         lines.append("")
         lines.append("hottest query stages (total seconds)")
@@ -338,11 +423,14 @@ def run_top(
     """
     out = stream if stream is not None else sys.stdout
     state = DashboardState()
+    slo_endpoint = slo_url_for(url)
     done = 0
     try:
         while iterations is None or done < iterations:
             try:
-                frame = render(state.update(scrape(url, timeout=timeout)), url)
+                view = state.update(scrape(url, timeout=timeout))
+                view.apply_slo(fetch_slo(slo_endpoint, timeout=timeout))
+                frame = render(view, url)
             except (urllib.error.URLError, OSError, ValueError) as exc:
                 frame = f"repro top — {url}\nscrape failed: {exc}\n"
             if clear:

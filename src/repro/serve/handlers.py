@@ -15,6 +15,9 @@ sight. Endpoints:
   thread count.
 * ``GET /metrics`` — the shared registry in Prometheus text exposition
   format.
+* ``GET /slo`` — the burn-rate alert report (state OK/WARN/PAGE per
+  declared SLO), when the server was started with ``--slo``; 404
+  otherwise. See :mod:`repro.obs.slo`.
 
 RED accounting (counters, latency histograms, sliding-window rates,
 correlation ids, access log) is handled per request by
@@ -70,8 +73,10 @@ class ServeApp:
         model_dir: Optional[Path] = None,
         query_lock: Optional[threading.Lock] = None,
         default_limit: int = 10,
+        slo_engine=None,
     ):
         self._engine = engine
+        self._slo_engine = slo_engine
         self._digest = digest
         self._model_dir = Path(model_dir) if model_dir is not None else None
         self._query_lock = query_lock if query_lock is not None else threading.Lock()
@@ -122,6 +127,7 @@ class ServeApp:
             "/query": "query",
             "/healthz": "healthz",
             "/metrics": "metrics",
+            "/slo": "slo",
         }.get(path, "other")
         ctx = RequestContext(
             method=method,
@@ -168,6 +174,14 @@ class ServeApp:
                 if method != "GET":
                     return self._error(ctx, 405, "GET required for /metrics")
                 return 200, METRICS_TYPE, self.metrics_text().encode()
+            if endpoint == "slo":
+                if method != "GET":
+                    return self._error(ctx, 405, "GET required for /slo")
+                if self._slo_engine is None:
+                    return self._error(
+                        ctx, 404, "no SLO config loaded (start serve with --slo)"
+                    )
+                return 200, JSON_TYPE, _json_bytes(self.slo_report())
             return self._error(ctx, 404, f"no such endpoint: {path}")
         except _ClientError as exc:
             return self._error(ctx, 400, str(exc))
@@ -337,3 +351,9 @@ class ServeApp:
     def metrics_text(self) -> str:
         """The shared registry rendered in Prometheus exposition format."""
         return obs.to_prometheus_text(obs.registry().snapshot())
+
+    def slo_report(self) -> Dict[str, object]:
+        """The burn-rate report served on ``/slo`` (requires an engine)."""
+        if self._slo_engine is None:
+            raise RuntimeError("no SLO engine configured")
+        return self._slo_engine.evaluate().to_dict()

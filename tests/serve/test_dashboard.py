@@ -6,9 +6,12 @@ import pytest
 
 from repro.serve.dashboard import (
     DashboardState,
+    DashboardView,
+    counter_delta,
     delta_histogram,
     histogram_quantile,
     render,
+    slo_url_for,
 )
 
 
@@ -169,3 +172,113 @@ class TestRender:
         text = render(view)
         assert "requests  total=       0" in text
         assert "p50=-" in text
+
+
+class TestHistogramQuantileEdges:
+    def test_single_bucket_histogram(self):
+        # one finite bound, everything inside it: quantiles interpolate
+        # within the only bucket
+        h = _hist([0.5], [8, 0])
+        assert histogram_quantile(h, 0.5) == pytest.approx(0.25)
+        assert histogram_quantile(h, 1.0) == pytest.approx(0.5)
+
+    def test_single_observation(self):
+        h = _hist([0.1, 1.0], [0, 1, 0])
+        assert histogram_quantile(h, 0.5) == pytest.approx(0.55)
+
+    def test_everything_in_overflow(self):
+        # all mass past the last finite bound clamps to that bound
+        h = _hist([0.1, 1.0], [0, 0, 5])
+        assert histogram_quantile(h, 0.5) == pytest.approx(1.0)
+        assert histogram_quantile(h, 0.99) == pytest.approx(1.0)
+
+
+class TestCounterDelta:
+    def test_first_scrape_has_no_baseline(self):
+        assert counter_delta(7.0, None) == (7.0, False)
+
+    def test_normal_growth(self):
+        assert counter_delta(12.0, 10.0) == (2.0, False)
+
+    def test_reset_rebaselines_to_current(self):
+        # server restarted: 10 -> 3 means 3 new requests, not -7
+        assert counter_delta(3.0, 10.0) == (3.0, True)
+
+
+class TestCounterResetInTop:
+    def test_restart_rebaselines_rates(self):
+        state = DashboardState()
+        state.update(_scrape(requests=500.0, errors=50.0, with_windows=False), now=100.0)
+        # the server restarted between scrapes: totals fell to near zero
+        view = state.update(
+            _scrape(requests=8.0, errors=1.0, with_windows=False), now=110.0
+        )
+        assert view.rate_source == "delta (reset)"
+        # post-reset values over 10s, never a clamped 0.0 or negative
+        assert view.request_rate == pytest.approx(0.8)
+        assert view.error_rate == pytest.approx(0.1)
+
+    def test_no_reset_keeps_plain_delta(self):
+        state = DashboardState()
+        state.update(_scrape(requests=10.0, errors=1.0, with_windows=False), now=100.0)
+        view = state.update(
+            _scrape(requests=30.0, errors=1.0, with_windows=False), now=110.0
+        )
+        assert view.rate_source == "delta"
+        assert view.request_rate == pytest.approx(2.0)
+
+
+def _slo_doc(state="PAGE"):
+    return {
+        "version": 1,
+        "state": state,
+        "source": "tsdb",
+        "slos": [
+            {
+                "name": "availability",
+                "state": state,
+                "description": "99.00% of requests succeed",
+                "windows": [
+                    {"name": "fast", "short_burn": 19.9, "long_burn": 15.0},
+                    {"name": "slow", "short_burn": 8.0, "long_burn": 6.5},
+                ],
+            },
+            {
+                "name": "fast-queries",
+                "state": "OK",
+                "description": "95.0% of requests under 0.5s",
+                "windows": [
+                    {"name": "fast", "short_burn": 0.1, "long_burn": 0.0},
+                ],
+            },
+        ],
+    }
+
+
+class TestSloPanel:
+    def test_slo_url_for(self):
+        assert slo_url_for("http://h:1/metrics") == "http://h:1/slo"
+        assert slo_url_for("http://h:1/") == "http://h:1/slo"
+
+    def test_apply_slo_none_omits_panel(self):
+        view = DashboardView()
+        view.apply_slo(None)
+        assert view.slo_state is None
+        assert render(view).count("alerts (SLO)") == 0
+
+    def test_apply_slo_builds_rows(self):
+        view = DashboardView()
+        view.apply_slo(_slo_doc())
+        assert view.slo_state == "PAGE"
+        state, name, burns, desc = view.slo_rows[0]
+        assert (state, name) == ("PAGE", "availability")
+        # worst of short/long burn per window pair
+        assert "fast=19.9x" in burns and "slow=8.0x" in burns
+        assert "99.00%" in desc
+
+    def test_render_alerts_panel(self):
+        view = DashboardState().update(_scrape(), now=100.0)
+        view.apply_slo(_slo_doc(state="WARN"))
+        text = render(view)
+        assert "alerts (SLO)  overall: WARN" in text
+        assert "availability" in text and "fast-queries" in text

@@ -1,0 +1,197 @@
+"""Tests for the HTTP load generator (repro.loadgen)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen import (
+    LoadGenError,
+    LoadReport,
+    MixItem,
+    _expand_schedule,
+    build_mix,
+    format_report,
+    probe_server,
+    run_load,
+    write_report,
+)
+
+
+class TestBuildMix:
+    def test_default_mix_splits_explain_variants(self):
+        mix = build_mix(28)
+        by_name = {item.name: item for item in mix}
+        assert set(by_name) == {
+            "day",
+            "day+explain",
+            "week",
+            "week+explain",
+            "month",
+        }
+        # 3/4 of each shape stays plain, the rest asks for explain
+        assert by_name["day"].weight == 4
+        assert by_name["day+explain"].weight == 2
+        assert by_name["day+explain"].body["explain"] is True
+        assert by_name["month"].body == {
+            "first_day": 0,
+            "days": 28,
+            "strategy": "gui",
+        }
+
+    def test_windows_clamp_to_built_days(self):
+        mix = build_mix(1)
+        # week and month collapse onto the 1-day window and are dropped
+        assert {item.name for item in mix} == {"day", "day+explain"}
+        assert all(item.body["days"] == 1 for item in mix)
+
+    def test_no_built_days_raises(self):
+        with pytest.raises(LoadGenError, match="no built days"):
+            build_mix(0)
+
+    def test_all_zero_weights_raises(self):
+        with pytest.raises(LoadGenError, match="mix is empty"):
+            build_mix(28, weights={"day": 0, "week": 0, "month": 0})
+
+    def test_explain_disabled(self):
+        mix = build_mix(28, explain_every=0)
+        assert {item.name for item in mix} == {"day", "week", "month"}
+        assert [item.weight for item in mix] == [6, 3, 1]
+
+
+class TestSchedule:
+    def test_length_is_total_weight(self):
+        mix = build_mix(28)
+        schedule = _expand_schedule(mix)
+        assert len(schedule) == sum(item.weight for item in mix)
+
+    def test_interleaves_instead_of_clumping(self):
+        mix = [
+            MixItem("a", 3, {}),
+            MixItem("b", 1, {}),
+        ]
+        names = [item.name for item in _expand_schedule(mix)]
+        assert sorted(names) == ["a", "a", "a", "b"]
+        # the light shape lands mid-schedule, not appended at the end
+        assert names != ["a", "a", "a", "b"]
+
+
+class TestLoadReport:
+    def _report(self, latencies):
+        report = LoadReport(
+            mode="closed", url="x", duration_seconds=1.0, concurrency=1,
+            target_rate=None,
+        )
+        report.latencies = list(latencies)
+        report.requests = len(report.latencies)
+        return report
+
+    def test_quantile_empty(self):
+        report = self._report([])
+        assert report.quantile(0.5) is None
+        doc = report.to_dict()
+        assert doc["latency_seconds"]["p50"] is None
+        assert doc["latency_seconds"]["max"] is None
+
+    def test_quantile_single_sample(self):
+        report = self._report([0.25])
+        assert report.quantile(0.5) == 0.25
+        assert report.quantile(0.99) == 0.25
+
+    def test_quantile_nearest_rank(self):
+        report = self._report([i / 100 for i in range(1, 101)])
+        assert report.quantile(0.5) == pytest.approx(0.50, abs=0.011)
+        assert report.quantile(0.99) == pytest.approx(0.99, abs=0.011)
+
+    def test_error_rate_and_rates(self):
+        report = self._report([0.1, 0.2])
+        report.errors = 1
+        report.requests = 4
+        report.duration_seconds = 2.0
+        assert report.error_rate == 0.25
+        assert report.achieved_rate == 2.0
+
+    def test_open_mode_document_has_drop_rate(self):
+        report = LoadReport(
+            mode="open", url="x", duration_seconds=1.0, concurrency=1,
+            target_rate=50.0,
+        )
+        report.scheduled = 50
+        report.requests = 40
+        doc = report.to_dict()
+        assert doc["target_rate"] == 50.0
+        assert doc["drop_rate"] == pytest.approx(0.2)
+        assert "target_rate" not in self._report([]).to_dict()
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(LoadGenError, match="unknown mode"):
+            run_load("http://127.0.0.1:1", mode="bursty")
+
+    def test_bad_duration(self):
+        with pytest.raises(LoadGenError, match="duration"):
+            run_load("http://127.0.0.1:1", duration=0.0)
+
+    def test_bad_concurrency(self):
+        with pytest.raises(LoadGenError, match="concurrency"):
+            run_load("http://127.0.0.1:1", concurrency=0)
+
+    def test_open_needs_rate(self):
+        with pytest.raises(LoadGenError, match="positive --rate"):
+            run_load("http://127.0.0.1:1", mode="open", rate=None)
+
+    def test_unreachable_server(self):
+        # nothing listens on the discard port; fail fast, no report
+        with pytest.raises(LoadGenError, match="cannot reach server"):
+            probe_server("http://127.0.0.1:9", timeout=0.5)
+
+
+class TestAgainstLiveServer:
+    def test_closed_loop_run(self, live_server):
+        report = run_load(
+            live_server.base,
+            mode="closed",
+            duration=1.0,
+            concurrency=2,
+            limit=5,
+            timeout=10.0,
+        )
+        assert report.mode == "closed"
+        assert report.requests > 0
+        assert report.errors == 0
+        assert report.error_rate == 0.0
+        assert len(report.latencies) == report.requests
+        assert sum(report.mix_counts.values()) == report.requests
+        assert report.status_counts.get("200") == report.requests
+        assert report.quantile(0.5) > 0.0
+
+    def test_open_loop_run(self, live_server):
+        report = run_load(
+            live_server.base,
+            mode="open",
+            duration=1.0,
+            rate=10.0,
+            concurrency=2,
+            limit=5,
+            timeout=10.0,
+        )
+        assert report.mode == "open"
+        assert report.scheduled == 10
+        assert report.requests == report.scheduled
+        assert report.errors == 0
+        doc = report.to_dict()
+        assert doc["drop_rate"] == 0.0
+
+    def test_report_round_trip(self, live_server, tmp_path):
+        report = run_load(
+            live_server.base, duration=0.5, concurrency=1, limit=5,
+            timeout=10.0,
+        )
+        out = tmp_path / "BENCH_load.json"
+        write_report(report, out)
+        doc = json.loads(out.read_text())
+        assert doc == report.to_dict()
+        text = format_report(report)
+        assert "requests=" in text and "latency p50=" in text

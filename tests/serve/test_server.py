@@ -144,6 +144,52 @@ class TestErrors:
         self._expect_error(lambda: _get(live_server.base, "/nope"), 404)
 
 
+class TestSloEndpoint:
+    def _app_with_engine(self, live_server):
+        from repro.obs.slo import SLO, SLOConfig, SLOEngine
+        from repro.obs.tsdb import TimeSeriesStore
+        from repro.serve.handlers import ServeApp
+
+        store = TimeSeriesStore()
+        store.sample_registry(live_server.registry)
+        engine = SLOEngine(
+            SLOConfig(
+                slos=(SLO(name="avail", kind="availability", objective=0.99),)
+            ),
+            store,
+        )
+        return ServeApp(live_server.app.engine, slo_engine=engine)
+
+    def test_404_without_config_over_http(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(live_server.base, "/slo")
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert "no SLO config loaded" in body["error"]
+
+    def test_report_served_when_configured(self, live_server):
+        app = self._app_with_engine(live_server)
+        status, content_type, payload, _ = app.dispatch("GET", "/slo")
+        assert status == 200
+        assert content_type == JSON_TYPE
+        doc = json.loads(payload)
+        assert doc["state"] in ("OK", "WARN", "PAGE")
+        assert doc["slos"][0]["name"] == "avail"
+        assert {w["name"] for w in doc["slos"][0]["windows"]} == {
+            "fast",
+            "slow",
+        }
+
+    def test_post_is_405(self, live_server):
+        app = self._app_with_engine(live_server)
+        status, _, _, _ = app.dispatch("POST", "/slo", body=b"{}")
+        assert status == 405
+
+    def test_slo_report_without_engine_raises(self, live_server):
+        with pytest.raises(RuntimeError):
+            live_server.app.slo_report()
+
+
 class TestCliParity:
     def test_query_response_matches_cli_byte_for_byte(
         self, live_server, served_model, capsys

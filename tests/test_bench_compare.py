@@ -295,3 +295,70 @@ class TestCommittedBaseline:
         assert not compare.check_gates(report)
         assert report["query_io"]["partial_io"] is True
         assert report["parallel_build"]["scaling"]
+
+
+def serve_load_section(p50=0.05, p95=0.1, p99=0.15, error_rate=0.0):
+    return {
+        "mode": "closed",
+        "requests": 100,
+        "errors": int(error_rate * 100),
+        "error_rate": error_rate,
+        "achieved_rate": 40.0,
+        "p50_seconds": p50,
+        "p95_seconds": p95,
+        "p99_seconds": p99,
+        "max_seconds": p99 * 2,
+    }
+
+
+class TestServeLoadGate:
+    def test_no_section_gates_nothing(self):
+        assert compare.check_serve_load({}, {}, 0.25) == []
+
+    def test_matching_latency_passes(self):
+        report = {"serve_load": serve_load_section()}
+        baseline = {"serve_load": serve_load_section()}
+        assert compare.check_serve_load(report, baseline, 0.25) == []
+
+    def test_quantile_regression_fails(self):
+        report = {"serve_load": serve_load_section(p99=0.30)}
+        baseline = {"serve_load": serve_load_section(p99=0.15)}
+        failures = compare.check_serve_load(report, baseline, 0.25)
+        assert len(failures) == 1
+        assert "p99_seconds" in failures[0]
+
+    def test_within_band_passes(self):
+        report = {"serve_load": serve_load_section(p99=0.17)}
+        baseline = {"serve_load": serve_load_section(p99=0.15)}
+        assert compare.check_serve_load(report, baseline, 0.25) == []
+
+    def test_error_rate_ceiling_is_absolute(self):
+        # the ceiling applies even with no baseline section to compare to
+        report = {"serve_load": serve_load_section(error_rate=0.05)}
+        failures = compare.check_serve_load(report, {}, 0.25)
+        assert len(failures) == 1
+        assert "error_rate" in failures[0]
+
+    def test_noise_floor_skips_tiny_baselines(self):
+        report = {"serve_load": serve_load_section(p50=0.004)}
+        baseline = {"serve_load": serve_load_section(p50=0.001)}
+        assert compare.check_serve_load(report, baseline, 0.25) == []
+
+    def test_gate_failure_through_main(self, paths, capsys):
+        _, baseline, _ = paths
+        base_doc = make_report(BASE_PHASES)
+        base_doc["serve_load"] = serve_load_section()
+        baseline.write_text(json.dumps(base_doc))
+        bad = make_report(BASE_PHASES)
+        bad["serve_load"] = serve_load_section(error_rate=0.5)
+        assert run_gate(bad, paths) == 1
+        assert "error_rate" in capsys.readouterr().out
+
+    def test_history_row_records_load(self, paths):
+        doc = make_report(BASE_PHASES)
+        doc["serve_load"] = serve_load_section()
+        assert run_gate(doc, paths) == 0
+        _, _, history = paths
+        row = json.loads(history.read_text().splitlines()[-1])
+        assert row["serve_load"]["p99_seconds"] == 0.15
+        assert row["serve_load"]["error_rate"] == 0.0

@@ -426,3 +426,184 @@ class TestProfileFlag:
     def test_profile_choices_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--profile", "perf"])
+
+
+SLO_YAML = "slos:\n  - name: avail\n    kind: availability\n    objective: 0.99\n"
+
+
+class TestSloCheckCli:
+    def _snapshot(self, tmp_path, requests=1000.0, errors=0.0):
+        path = tmp_path / "metrics.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "counters": {
+                        "serve.requests": requests,
+                        "serve.errors": errors,
+                    },
+                    "gauges": {},
+                    "histograms": {},
+                }
+            )
+        )
+        return path
+
+    def _config(self, tmp_path, text=SLO_YAML):
+        path = tmp_path / "slo.yaml"
+        path.write_text(text)
+        return path
+
+    def test_healthy_snapshot_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "slo", "check", str(self._snapshot(tmp_path)),
+                "--config", str(self._config(tmp_path)),
+            ]
+        )
+        assert code == 0
+        assert "overall: OK" in capsys.readouterr().out
+
+    def test_burning_snapshot_exits_one(self, tmp_path, capsys):
+        snapshot = self._snapshot(tmp_path, requests=1000.0, errors=300.0)
+        code = main(
+            ["slo", "check", str(snapshot), "--config", str(self._config(tmp_path))]
+        )
+        assert code == 1
+        assert "overall: PAGE" in capsys.readouterr().out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        code = main(
+            [
+                "slo", "check", str(self._snapshot(tmp_path)),
+                "--config", str(self._config(tmp_path)),
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["state"] == "OK"
+        assert doc["source"] == "lifetime"
+
+    def test_tsdb_directory_target(self, tmp_path, capsys):
+        from repro.obs.tsdb import TimeSeriesStore
+
+        segments = tmp_path / "tsdb"
+        store = TimeSeriesStore(segment_dir=segments)
+        for i in range(10):
+            store.ingest(
+                {
+                    "t": 1_000_000.0 + i * 60,
+                    "series": {
+                        "serve.requests": float((i + 1) * 60),
+                        "serve.errors": 0.0,
+                    },
+                    "kinds": {
+                        "serve.requests": "counter",
+                        "serve.errors": "counter",
+                    },
+                }
+            )
+        code = main(
+            ["slo", "check", str(segments), "--config", str(self._config(tmp_path))]
+        )
+        assert code == 0
+        assert "overall: OK" in capsys.readouterr().out
+
+    def test_snapshot_without_config_exits_two(self, tmp_path, capsys):
+        code = main(["slo", "check", str(self._snapshot(tmp_path))])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "--config" in err
+
+    def test_missing_config_exits_two(self, tmp_path, capsys):
+        code = main(
+            [
+                "slo", "check", str(self._snapshot(tmp_path)),
+                "--config", str(tmp_path / "nope.yaml"),
+            ]
+        )
+        assert code == 2
+        assert "no such SLO config" in capsys.readouterr().err
+
+    def test_corrupt_config_exits_two(self, tmp_path, capsys):
+        config = self._config(tmp_path, text="slos:\n\t- bad\n")
+        code = main(
+            ["slo", "check", str(self._snapshot(tmp_path)), "--config", str(config)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_two(self, capsys):
+        code = main(["slo", "check", "http://127.0.0.1:9"])
+        assert code == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_url_with_config_exits_two(self, tmp_path, capsys):
+        code = main(
+            [
+                "slo", "check", "http://127.0.0.1:9",
+                "--config", str(self._config(tmp_path)),
+            ]
+        )
+        assert code == 2
+        assert "--config only applies" in capsys.readouterr().err
+
+    def test_empty_tsdb_dir_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "tsdb"
+        empty.mkdir()
+        code = main(
+            ["slo", "check", str(empty), "--config", str(self._config(tmp_path))]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLoadgenCli:
+    def test_unreachable_server_exits_two(self, capsys):
+        code = main(
+            ["loadgen", "http://127.0.0.1:9", "--duration", "1"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "cannot reach server" in err
+
+    def test_open_mode_needs_rate(self, capsys):
+        code = main(
+            ["loadgen", "http://127.0.0.1:9", "--mode", "open", "--duration", "1"]
+        )
+        assert code == 2
+        assert "positive --rate" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.url == "http://127.0.0.1:8321"
+        assert args.mode == "closed"
+        assert args.duration == 10.0
+        assert args.concurrency == 4
+        assert str(args.out) == "BENCH_load.json"
+
+    def test_serve_slo_flags_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--data", str(tmp_path),
+                "--model", str(tmp_path),
+                "--slo", "slo.yaml",
+                "--tsdb-dir", str(tmp_path / "tsdb"),
+                "--sample-interval", "0.5",
+            ]
+        )
+        assert str(args.slo) == "slo.yaml"
+        assert args.sample_interval == 0.5
+
+    def test_bad_sample_interval_exits_two(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--data", str(tmp_path),
+                "--model", str(tmp_path),
+                "--sample-interval", "0",
+            ]
+        )
+        assert code == 2
+        assert "sample-interval" in capsys.readouterr().err

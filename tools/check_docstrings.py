@@ -27,7 +27,8 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PACKAGES = ("core", "obs", "parallel", "serve", "storage")
+#: Package directories or single modules (``name`` → ``name/`` or ``name.py``).
+DEFAULT_PACKAGES = ("core", "obs", "parallel", "serve", "storage", "loadgen")
 
 
 def is_public(name: str) -> bool:
@@ -81,10 +82,17 @@ def main(argv: list[str] | None = None) -> int:
     checked = 0
     for package in args.packages:
         base = args.root / package
-        if not base.is_dir():
-            print(f"error: no such package directory: {base}", file=sys.stderr)
+        if base.is_dir():
+            paths = sorted(base.rglob("*.py"))
+        elif base.with_suffix(".py").is_file():
+            paths = [base.with_suffix(".py")]  # single-module API (loadgen)
+        else:
+            print(
+                f"error: no such package directory or module: {base}",
+                file=sys.stderr,
+            )
             return 2
-        for path in sorted(base.rglob("*.py")):
+        for path in paths:
             checked += 1
             problems.extend(check_module(path, path.relative_to(args.root.parent)))
 

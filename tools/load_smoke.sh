@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the load generator and the SLO engine: build a
+# tiny forest, start `repro serve` with SLOs and telemetry persistence
+# enabled, run a short closed-loop `repro loadgen` against it, and gate
+# on `repro slo check` — live (`/slo`), then offline against the tsdb
+# segments the sampler persisted. CI runs this as the load-smoke job and
+# uploads the BENCH_load.json it produces; it works locally too:
+#
+#   tools/load_smoke.sh [out-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="${1:-$ROOT}"
+mkdir -p "$OUT_DIR"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+export PYTHONPATH="$ROOT/src"
+
+DATA="$WORK/data"
+MODEL="$WORK/model"
+TSDB="$WORK/tsdb"
+LOG="$WORK/serve.log"
+REPORT="$OUT_DIR/BENCH_load.json"
+
+echo "== build a tiny model (1 month of trace, 7 days of forest)"
+python -m repro generate --out "$DATA" --months 1
+python -m repro build --data "$DATA" --model "$MODEL" --days 7
+
+echo "== start repro serve with SLOs + tsdb persistence"
+python -m repro serve --data "$DATA" --model "$MODEL" --port 0 \
+    --slo "$ROOT/examples/slo.yaml" --tsdb-dir "$TSDB" \
+    --sample-interval 0.5 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+BASE=""
+for _ in $(seq 1 100); do
+    BASE="$(sed -n 's|.* on \(http://[^ ]*\) .*|\1|p' "$LOG" | head -n 1)"
+    [ -n "$BASE" ] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "server exited during startup"; cat "$LOG"; exit 1
+    fi
+    sleep 0.2
+done
+[ -n "$BASE" ] || { echo "server never printed its URL"; cat "$LOG"; exit 1; }
+echo "   serving at $BASE"
+
+echo "== closed-loop loadgen for 5s"
+python -m repro loadgen "$BASE" --mode closed --duration 5 \
+    --concurrency 2 --limit 5 --out "$REPORT"
+
+echo "== BENCH_load.json carries rates and quantiles"
+python - "$REPORT" <<'PY'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read())
+assert doc["requests"] > 0, doc
+assert doc["error_rate"] == 0.0, doc
+assert doc["achieved_rate"] > 0, doc
+for q in ("p50", "p95", "p99", "max"):
+    assert doc["latency_seconds"][q] > 0, (q, doc)
+print(f"   {doc['requests']} requests at {doc['achieved_rate']}/s, "
+      f"p99 {doc['latency_seconds']['p99']*1e3:.1f}ms")
+PY
+
+echo "== GET /slo reports a state"
+curl -fsS "$BASE/slo" | python -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["state"] in ("OK", "WARN", "PAGE"), doc
+assert len(doc["slos"]) == 3, doc
+print("   overall: " + doc["state"])
+'
+
+echo "== repro slo check (live) gates green"
+python -m repro slo check "$BASE"
+
+echo "== repro top renders the alerts panel"
+python -m repro top --url "$BASE/metrics" --iterations 1 --no-clear \
+    | grep -q "alerts (SLO)" || { echo "missing alerts panel"; exit 1; }
+
+echo "== misuse exits 2 with one error line"
+set +e
+python -m repro slo check "$WORK/nope.json" --config "$WORK/nope.yaml" \
+    2>"$WORK/err.txt"
+CODE=$?
+set -e
+[ "$CODE" -eq 2 ] || { echo "expected exit 2, got $CODE"; exit 1; }
+[ "$(wc -l < "$WORK/err.txt")" -eq 1 ] || { cat "$WORK/err.txt"; exit 1; }
+grep -q "^error:" "$WORK/err.txt"
+
+echo "== SIGTERM drains and exits 0"
+kill -TERM "$SERVE_PID"
+CODE=0
+wait "$SERVE_PID" || CODE=$?
+SERVE_PID=""
+[ "$CODE" -eq 0 ] || { echo "serve exited $CODE"; cat "$LOG"; exit 1; }
+
+echo "== repro slo check replays the persisted tsdb segments"
+ls "$TSDB"/tsdb-*.ndjson >/dev/null
+python -m repro slo check "$TSDB" --config "$ROOT/examples/slo.yaml"
+
+echo "load smoke OK"
