@@ -70,6 +70,14 @@ CORRECTNESS_SECTIONS = (
 SERVE_LOAD_QUANTILES = ("p50_seconds", "p95_seconds", "p99_seconds")
 MAX_SERVE_LOAD_ERROR_RATE = 0.01
 
+# trace_overhead gate: always-on tail-sampled tracing (worst-case sampler,
+# every request persisted) may not multiply mean /query latency beyond the
+# ratio ceiling — but only when the absolute slowdown also clears the
+# delta floor, so microsecond-scale noise on fast hosts cannot fail it.
+# Self-contained against the report (no baseline section needed).
+MAX_TRACE_OVERHEAD_RATIO = 1.5
+MIN_TRACE_OVERHEAD_DELTA_SECONDS = 0.002
+
 # single-CPU hosts cannot honestly beat serial with processes (pooled =
 # serial compute + fork + IPC on one core), so the parallel_beats_serial
 # gate only demands speedup > 1.0 when the report was produced on a
@@ -277,6 +285,33 @@ def check_serve_load(
     return failures
 
 
+def check_trace_overhead(report: dict) -> List[str]:
+    """Cost ceiling for always-on tracing, self-contained in the report.
+
+    Fails when ``trace_overhead.overhead_ratio`` exceeds
+    ``MAX_TRACE_OVERHEAD_RATIO`` *and* the absolute mean slowdown exceeds
+    ``MIN_TRACE_OVERHEAD_DELTA_SECONDS`` — both must hold, so a 2x ratio
+    on a 0.1ms baseline (pure scheduler noise) passes while a genuine
+    multi-millisecond tracing regression fails. A report without the
+    section gates nothing.
+    """
+    failures: List[str] = []
+    section = report.get("trace_overhead")
+    if not isinstance(section, dict):
+        return failures
+    ratio = float(section.get("overhead_ratio", 0.0))
+    off_mean = float(section.get("off_mean_seconds", 0.0))
+    on_mean = float(section.get("on_mean_seconds", 0.0))
+    delta = on_mean - off_mean
+    if ratio > MAX_TRACE_OVERHEAD_RATIO and delta > MIN_TRACE_OVERHEAD_DELTA_SECONDS:
+        failures.append(
+            f"trace_overhead.overhead_ratio {ratio:.2f} exceeds "
+            f"{MAX_TRACE_OVERHEAD_RATIO} (tracing adds {delta * 1e3:.1f}ms "
+            f"to a {off_mean * 1e3:.1f}ms request)"
+        )
+    return failures
+
+
 def render_rows(rows: List[dict]) -> str:
     def fmt(value: Optional[float]) -> str:
         return "-" if value is None else f"{value * 1e3:10.2f}ms"
@@ -338,11 +373,24 @@ def history_row(report: dict, rows: List[dict]) -> dict:
         if isinstance(load, dict)
         else None
     )
+    trace = report.get("trace_overhead")
+    trace_overhead = (
+        {
+            "overhead_ratio": trace.get("overhead_ratio"),
+            "off_mean_seconds": trace.get("off_mean_seconds"),
+            "on_mean_seconds": trace.get("on_mean_seconds"),
+            "traces_kept": trace.get("traces_kept"),
+        }
+        if isinstance(trace, dict)
+        else None
+    )
     row_extra: dict = {}
     if serve_latency:
         row_extra["serve_latency"] = serve_latency
     if serve_load:
         row_extra["serve_load"] = serve_load
+    if trace_overhead:
+        row_extra["trace_overhead"] = trace_overhead
     return {
         **row_extra,
         **scaling,
@@ -430,6 +478,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         + check_serve_load(
             report, baseline, args.tolerance, args.min_seconds
         )
+        + check_trace_overhead(report)
     )
     for failure in correctness:
         print(f"  correctness: {failure}")

@@ -9,9 +9,11 @@ The CLI mirrors the system framework of Fig. 2 as a three-step workflow::
 plus ``info`` for the dataset inventory, ``bench`` for the vectorized
 integration-kernel benchmark, ``stats`` to render a metrics snapshot
 written by ``--metrics-out``, ``serve`` to keep a loaded model resident
-behind an HTTP query endpoint (``/query``, ``/healthz``, ``/metrics`` —
-see :mod:`repro.serve`), and ``top`` for a live terminal dashboard over a
-running server's ``/metrics``. The trace directory carries the
+behind an HTTP query endpoint (``/query``, ``/healthz``, ``/metrics``,
+``/traces`` — see :mod:`repro.serve`), ``top`` for a live terminal
+dashboard over a running server's ``/metrics``, and ``trace`` to inspect
+request traces persisted by ``serve --trace-dir``
+(:mod:`repro.obs.tracestore`). The trace directory carries the
 simulation config, so every later step rebuilds the same sensor network
 and district partition from it.
 
@@ -285,6 +287,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="seconds between telemetry samples (the tsdb base grain)",
     )
+    serve.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="persist tail-sampled request traces here as rotating NDJSON "
+        "segments (default: in-memory ring only; GET /traces works either "
+        "way)",
+    )
+    serve.add_argument(
+        "--trace-threshold",
+        type=float,
+        default=0.5,
+        help="keep every request slower than N seconds (0 keeps all, "
+        "negative disables the latency rule; errors are always kept)",
+    )
+    serve.add_argument(
+        "--trace-head-sample",
+        type=int,
+        default=10,
+        help="also keep a deterministic 1-in-N sample of all requests "
+        "(0 disables head sampling)",
+    )
     # access logs are the point of a server; default them on
     serve.set_defaults(log_level="info")
     _add_engine_arguments(serve)
@@ -387,6 +411,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the full report document instead of the summary lines",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        parents=[common],
+        help="inspect traces persisted by repro serve --trace-dir",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_dir_help = "trace segment directory (repro serve --trace-dir)"
+    trace_ls = trace_commands.add_parser(
+        "ls", help="list captured traces, slowest or newest first"
+    )
+    trace_ls.add_argument("--trace-dir", type=Path, required=True, help=trace_dir_help)
+    trace_ls.add_argument(
+        "--limit", type=int, default=20, help="traces to list (default: 20)"
+    )
+    trace_ls.add_argument(
+        "--sort",
+        choices=("duration", "recent"),
+        default="duration",
+        help="ordering (default: duration)",
+    )
+    trace_show = trace_commands.add_parser(
+        "show",
+        help="render one trace's span tree with self-time and critical path",
+    )
+    trace_show.add_argument("request_id", help="request id of the trace")
+    trace_show.add_argument(
+        "--trace-dir", type=Path, required=True, help=trace_dir_help
+    )
+    trace_profile = trace_commands.add_parser(
+        "profile",
+        help="aggregate self-time across all captured traces, flamegraph-style",
+    )
+    trace_profile.add_argument(
+        "--trace-dir", type=Path, required=True, help=trace_dir_help
+    )
+    trace_profile.add_argument(
+        "--limit", type=int, default=None, help="rows to print (default: all)"
+    )
+    trace_export = trace_commands.add_parser(
+        "export",
+        help="export one trace as Chrome trace_event JSON (Perfetto-loadable)",
+    )
+    trace_export.add_argument("request_id", help="request id of the trace")
+    trace_export.add_argument(
+        "--trace-dir", type=Path, required=True, help=trace_dir_help
+    )
+    trace_export.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: trace_<request_id>.json)",
     )
 
     stats = commands.add_parser(
@@ -688,6 +765,7 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.slo import SLOEngine, SLOError, load_slo_config
+    from repro.obs.tracestore import TailSampler, TraceStore
     from repro.obs.tsdb import Sampler, TimeSeriesStore
     from repro.serve import QueryServer, ServeApp, install_signal_handlers
 
@@ -696,6 +774,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.sample_interval <= 0:
         print("error: --sample-interval must be positive", file=sys.stderr)
+        return 2
+    if args.trace_head_sample < 0:
+        print("error: --trace-head-sample must be >= 0", file=sys.stderr)
         return 2
     slo_config = None
     if args.slo is not None:
@@ -715,8 +796,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     store = TimeSeriesStore(segment_dir=args.tsdb_dir)
     sampler = Sampler(store, interval=args.sample_interval)
+    # tracing is always on: every request's spans are inspected, the tail
+    # sampler decides what the store keeps (errors, slow, 1-in-N head)
+    trace_store = TraceStore(segment_dir=args.trace_dir)
+    tail_sampler = TailSampler(
+        latency_threshold=args.trace_threshold,
+        head_rate=args.trace_head_sample,
+    )
     slo_engine = (
-        SLOEngine(slo_config, store) if slo_config is not None else None
+        SLOEngine(slo_config, store, trace_store=trace_store)
+        if slo_config is not None
+        else None
     )
     app = ServeApp(
         cached.engine,
@@ -725,6 +815,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         query_lock=cached.query_lock,
         default_limit=args.limit,
         slo_engine=slo_engine,
+        trace_store=trace_store,
+        tail_sampler=tail_sampler,
     )
     server = QueryServer(app, host=args.host, port=args.port)
     install_signal_handlers(server)
@@ -740,6 +832,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.tsdb_dir is not None:
         print(f"tsdb: sampling every {args.sample_interval}s into {args.tsdb_dir}")
+    sink = args.trace_dir if args.trace_dir is not None else "memory ring"
+    print(
+        f"tracing: tail-sampled (errors, >{args.trace_threshold}s, "
+        f"1-in-{args.trace_head_sample} head) into {sink}; GET /traces"
+    )
     sys.stdout.flush()
     sampler.start()
     # blocks until a signal triggers server.stop(); in-flight requests
@@ -749,6 +846,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         # final flush sample puts the shutdown edge on disk
         sampler.stop()
+        trace_store.sync()
     print("drained, bye")
     return 0
 
@@ -865,6 +963,66 @@ def cmd_slo(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tracestore import (
+        format_profile,
+        format_trace,
+        load_trace_segments,
+        merge_profile,
+        trace_to_chrome,
+    )
+
+    try:
+        store = load_trace_segments(args.trace_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_command == "ls":
+        if args.limit < 1:
+            print("error: --limit must be at least 1", file=sys.stderr)
+            return 2
+        records = (
+            store.slowest(args.limit)
+            if args.sort == "duration"
+            else store.recent(args.limit)
+        )
+        if not records:
+            print(f"no traces in {args.trace_dir}")
+            return 0
+        print(f"{'seconds':>10}  {'status':>6}  {'endpoint':<10}  request_id")
+        for record in records:
+            reasons = ",".join(record.reasons) or "-"
+            print(
+                f"{record.seconds:>10.4f}  {record.status:>6}  "
+                f"{record.endpoint:<10}  {record.request_id}  [{reasons}]"
+            )
+        return 0
+    if args.trace_command == "profile":
+        profile = merge_profile(store.recent(len(store)))
+        if not profile:
+            print(f"no traces in {args.trace_dir}")
+            return 0
+        print(format_profile(profile, limit=args.limit))
+        return 0
+    # show / export both resolve one id
+    record = store.get(args.request_id)
+    if record is None:
+        print(
+            f"error: no trace {args.request_id!r} in {args.trace_dir} "
+            "(try `repro trace ls`)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace_command == "show":
+        print(format_trace(record))
+        return 0
+    out = args.out if args.out is not None else Path(f"trace_{record.request_id}.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trace_to_chrome(record), indent=2) + "\n")
+    print(f"chrome trace written to {out} (load in Perfetto / chrome://tracing)")
+    return 0
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     from repro.serve import run_top
 
@@ -918,6 +1076,7 @@ _COMMANDS = {
     "stats": cmd_stats,
     "loadgen": cmd_loadgen,
     "slo": cmd_slo,
+    "trace": cmd_trace,
 }
 
 

@@ -20,7 +20,10 @@ exportable set of runtime signals:
   sampler folds registry snapshots into multi-resolution ring buffers
   and appends them to rotating NDJSON segments;
 * :mod:`repro.obs.slo` — YAML-declared SLOs evaluated as multi-window
-  burn-rate alerts (OK/WARN/PAGE) over the tsdb history.
+  burn-rate alerts (OK/WARN/PAGE) over the tsdb history;
+* :mod:`repro.obs.tracestore` — tail-sampled request traces (errored /
+  slow / deterministic head sample) persisted in rotating NDJSON
+  segments, with critical-path and merged-profile analysis.
 
 Collection is **disabled by default** and costs one flag check per
 instrumentation site while off; see :mod:`repro.obs.runtime`. The span
@@ -28,11 +31,13 @@ taxonomy and metric names are documented in DESIGN.md ("Observability").
 """
 
 from repro.obs.exporters import (
+    OPENMETRICS_TYPE,
     format_seconds,
     load_snapshot,
     parse_prometheus_text,
     render_snapshot,
     to_json,
+    to_openmetrics_text,
     to_prometheus_text,
     write_snapshot,
 )
@@ -79,6 +84,12 @@ from repro.obs.slo import (
     load_slo_config,
 )
 from repro.obs.spans import NULL_SPAN, NullSpan, Span, external_span, span
+from repro.obs.tracestore import (
+    TailSampler,
+    TraceRecord,
+    TraceStore,
+    load_trace_segments,
+)
 from repro.obs.tsdb import Sampler, TimeSeriesStore, load_segments, sample_point
 
 __all__ = [
@@ -116,6 +127,8 @@ __all__ = [
     "write_snapshot",
     "load_snapshot",
     "to_prometheus_text",
+    "to_openmetrics_text",
+    "OPENMETRICS_TYPE",
     "parse_prometheus_text",
     "render_snapshot",
     "format_seconds",
@@ -136,6 +149,11 @@ __all__ = [
     "Sampler",
     "sample_point",
     "load_segments",
+    # trace store
+    "TailSampler",
+    "TraceRecord",
+    "TraceStore",
+    "load_trace_segments",
     # SLOs
     "SLO",
     "SLOConfig",

@@ -23,9 +23,11 @@ __all__ = [
     "write_snapshot",
     "load_snapshot",
     "to_prometheus_text",
+    "to_openmetrics_text",
     "parse_prometheus_text",
     "render_snapshot",
     "format_seconds",
+    "OPENMETRICS_TYPE",
 ]
 
 _PROM_PREFIX = "repro_"
@@ -155,6 +157,98 @@ def to_prometheus_text(snapshot: Mapping[str, object]) -> str:
             lines.append(f"{prom}_sum{{{label}}} {_prom_value(agg['total_seconds'])}")
             lines.append(f"{prom}_count{{{label}}} {int(agg['count'])}")
 
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics (exemplar-capable) exposition
+# ----------------------------------------------------------------------
+#: Content type the OpenMetrics renderer is served under (the query
+#: service negotiates on the ``Accept`` header).
+OPENMETRICS_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def _om_exemplar(exemplar: Mapping[str, object]) -> str:
+    """Render an OpenMetrics exemplar suffix for a bucket sample line."""
+    trace_id = _prom_label(exemplar.get("trace_id", ""))
+    value = _prom_value(float(exemplar.get("value", 0.0)))  # type: ignore[arg-type]
+    stamp = float(exemplar.get("timestamp", 0.0))  # type: ignore[arg-type]
+    return f" # {{trace_id={trace_id}}} {value} {stamp:.3f}"
+
+
+def to_openmetrics_text(snapshot: Mapping[str, object]) -> str:
+    """Render a snapshot as OpenMetrics text, with histogram exemplars.
+
+    The default ``/metrics`` body stays plain Prometheus exposition text
+    (:func:`to_prometheus_text`); clients that send
+    ``Accept: application/openmetrics-text`` get this renderer instead.
+    The payload differs in the OpenMetrics ways — counter ``# TYPE``
+    lines drop the ``_total`` suffix, the body ends with ``# EOF`` — and
+    each histogram bucket that remembers an exemplar carries it as
+    ``# {trace_id="..."} value timestamp``, which is how a scrape links
+    a latency bucket to a stored request trace.
+    """
+    lines: List[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"# HELP {prom} Counter {_prom_help(name)}")
+        lines.append(f"{prom}_total {_prom_value(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"# HELP {prom} Gauge {_prom_help(name)}")
+        lines.append(f"{prom} {_prom_value(value)}")
+
+    for name, win in snapshot.get("windows", {}).items():  # type: ignore[union-attr]
+        prom = _prom_name(name) + "_rate"
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(
+            f"# HELP {prom} Events/second over trailing windows ({_prom_help(name)})"
+        )
+        for seconds, rate in win["rates"].items():
+            label = f"window={_prom_label(seconds + 's')}"
+            lines.append(f"{prom}{{{label}}} {_prom_value(float(rate))}")
+
+    for name, hist in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        lines.append(f"# HELP {prom} Histogram {_prom_help(name)}")
+        exemplars: Mapping[str, Mapping[str, object]] = hist.get("exemplars", {})
+        running = 0
+        for index, (bound, count) in enumerate(zip(hist["buckets"], hist["counts"])):
+            running += count
+            suffix = ""
+            exemplar = exemplars.get(str(index))
+            if exemplar:
+                suffix = _om_exemplar(exemplar)
+            lines.append(
+                f'{prom}_bucket{{le={_prom_label(_prom_value(float(bound)))}}} '
+                f"{running}{suffix}"
+            )
+        overflow_index = len(hist["buckets"])
+        running += hist["counts"][overflow_index]
+        suffix = ""
+        exemplar = exemplars.get(str(overflow_index))
+        if exemplar:
+            suffix = _om_exemplar(exemplar)
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {running}{suffix}')
+        lines.append(f"{prom}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{prom}_count {hist['count']}")
+
+    summary = snapshot.get("span_summary", {})
+    if summary:
+        prom = _PROM_PREFIX + "span_duration_seconds"
+        lines.append(f"# TYPE {prom} summary")
+        lines.append(f"# HELP {prom} Wall time per span name")
+        for name, agg in summary.items():  # type: ignore[union-attr]
+            label = f"span={_prom_label(name)}"
+            lines.append(f"{prom}_sum{{{label}}} {_prom_value(agg['total_seconds'])}")
+            lines.append(f"{prom}_count{{{label}}} {int(agg['count'])}")
+
+    lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
 

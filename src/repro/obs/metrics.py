@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import bisect
 import collections
+import itertools
 import threading
 import time
 from dataclasses import dataclass, field
@@ -118,9 +119,14 @@ class Histogram:
     *not* cumulative, in memory); the final slot counts the overflow into
     the implicit +Inf bucket. :meth:`cumulative_counts` produces the
     cumulative form the exposition format wants.
+
+    An observation may carry an **exemplar** — an opaque trace/request
+    id. The histogram remembers the last exemplar per bucket (id, value,
+    wall-clock time), which is how a latency bucket links back to a
+    concrete stored trace (OpenMetrics exemplar semantics).
     """
 
-    __slots__ = ("name", "buckets", "counts", "sum", "count", "_lock")
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "exemplars", "_lock")
 
     def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
         bounds = tuple(float(b) for b in (buckets if buckets else DEFAULT_BUCKETS))
@@ -131,20 +137,33 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.sum: float = 0.0
         self.count: int = 0
+        self.exemplars: Dict[int, Tuple[str, float, float]] = {}
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one observation into the sum/count and its bucket."""
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Record one observation into the sum/count and its bucket.
+
+        ``exemplar`` (a trace/request id) replaces the bucket's remembered
+        exemplar, stamped with the observed value and wall-clock time.
+        """
         value = float(value)
         with self._lock:
             self.sum += value
             self.count += 1
-            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            index = bisect.bisect_left(self.buckets, value)
+            self.counts[index] += 1
+            if exemplar is not None:
+                self.exemplars[index] = (str(exemplar), value, time.time())
 
     def state(self) -> Tuple[List[int], float, int]:
         """A consistent ``(counts, sum, count)`` triple (taken under lock)."""
         with self._lock:
             return list(self.counts), self.sum, self.count
+
+    def exemplar_state(self) -> Dict[int, Tuple[str, float, float]]:
+        """Last exemplar per bucket index: ``(trace_id, value, wall_ts)``."""
+        with self._lock:
+            return dict(self.exemplars)
 
     def cumulative_counts(self) -> List[int]:
         """Cumulative per-bucket counts; the last entry equals ``count``."""
@@ -286,6 +305,27 @@ class MetricsRegistry:
         """Completed span records, in completion order."""
         with self._lock:
             return list(self._spans)
+
+    @property
+    def span_count(self) -> int:
+        """Number of currently retained span records (O(1), no copy)."""
+        with self._lock:
+            return len(self._spans)
+
+    def spans_tail(self, start: int) -> List[SpanRecord]:
+        """Retained spans from index ``start`` on, without copying the head.
+
+        The per-request trace capture in the query service marks the
+        span count before handling and collects only the suffix after —
+        ``spans_tail`` makes that O(suffix) instead of copying the whole
+        (possibly 10k-deep) deque per request. Callers must adjust
+        ``start`` by any :attr:`spans_dropped` delta when a ``span_limit``
+        evicted records in between.
+        """
+        with self._lock:
+            if start <= 0:
+                return list(self._spans)
+            return list(itertools.islice(self._spans, start, None))
 
     @property
     def spans_dropped(self) -> int:
@@ -452,19 +492,33 @@ class MetricsRegistry:
         histogram_states = {
             n: h.state() for n, h in sorted(histograms.items())
         }
+
+        def _histogram_doc(name: str) -> Dict[str, object]:
+            counts, total, count = histogram_states[name]
+            doc: Dict[str, object] = {
+                "buckets": list(histograms[name].buckets),
+                "counts": counts,
+                "sum": total,
+                "count": count,
+            }
+            exemplars = histograms[name].exemplar_state()
+            if exemplars:
+                # str keys so an in-memory snapshot matches its JSON round trip
+                doc["exemplars"] = {
+                    str(index): {
+                        "trace_id": trace_id,
+                        "value": value,
+                        "timestamp": stamp,
+                    }
+                    for index, (trace_id, value, stamp) in sorted(exemplars.items())
+                }
+            return doc
+
         snap: Dict[str, object] = {
             "version": 1,
             "counters": {n: counters[n].value for n in sorted(counters)},
             "gauges": {n: gauges[n].value for n in sorted(gauges)},
-            "histograms": {
-                n: {
-                    "buckets": list(histograms[n].buckets),
-                    "counts": counts,
-                    "sum": total,
-                    "count": count,
-                }
-                for n, (counts, total, count) in histogram_states.items()
-            },
+            "histograms": {n: _histogram_doc(n) for n in histogram_states},
             "spans": [
                 {
                     "id": s.span_id,

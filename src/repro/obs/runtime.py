@@ -75,7 +75,7 @@ class _NullGauge:
 class _NullHistogram:
     __slots__ = ()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         pass
 
 

@@ -188,11 +188,19 @@ class WindowStatus:
 
 @dataclass
 class SLOStatus:
-    """One SLO's evaluated state plus its per-window evidence."""
+    """One SLO's evaluated state plus its per-window evidence.
+
+    ``exemplar_trace_ids`` names stored request traces that demonstrate
+    the burn (slow requests for latency SLOs, errored requests for
+    availability/error-rate SLOs) — the ids resolve through
+    ``repro trace show`` against the serve process's trace store. Only
+    populated while the SLO is alerting (WARN/PAGE).
+    """
 
     slo: SLO
     state: str
     windows: List[WindowStatus] = field(default_factory=list)
+    exemplar_trace_ids: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form for the ``/slo`` JSON document."""
@@ -205,6 +213,7 @@ class SLOStatus:
             "description": self.slo.describe(),
             "state": self.state,
             "windows": [w.to_dict() for w in self.windows],
+            "exemplar_trace_ids": list(self.exemplar_trace_ids),
         }
 
 
@@ -521,11 +530,22 @@ class SLOEngine:
     One engine lives inside ``repro serve`` next to the
     :class:`~repro.obs.tsdb.Sampler`; :meth:`evaluate` is cheap (a few
     window sums per SLO) so ``GET /slo`` computes it per request.
+
+    ``trace_store`` (a :class:`~repro.obs.tracestore.TraceStore`) is
+    optional: when wired, alerting SLO statuses carry exemplar trace ids
+    pulled from the kept traces — slow requests for latency SLOs,
+    errored requests otherwise — linking the alert to root-cause traces.
     """
 
-    def __init__(self, config: SLOConfig, store: TimeSeriesStore):
+    def __init__(
+        self,
+        config: SLOConfig,
+        store: TimeSeriesStore,
+        trace_store: Optional[object] = None,
+    ):
         self._config = config
         self._store = store
+        self._trace_store = trace_store
 
     @property
     def config(self) -> SLOConfig:
@@ -609,6 +629,26 @@ class SLOEngine:
             triggered=triggered,
         )
 
+    def _exemplars_for(self, slo: SLO, limit: int = 3) -> List[str]:
+        """Trace ids from the trace store demonstrating this SLO's burn."""
+        store = self._trace_store
+        if store is None:
+            return []
+        if slo.kind == "latency":
+            threshold = slo.threshold_seconds or 0.0
+            records = [
+                r for r in store.slowest(4 * limit) if r.seconds >= threshold
+            ]
+        else:
+            records = store.errored(4 * limit)
+        ids: List[str] = []
+        for record in records:
+            if record.request_id not in ids:
+                ids.append(record.request_id)
+            if len(ids) >= limit:
+                break
+        return ids
+
     def evaluate(self, now: Optional[float] = None) -> SLOReport:
         """Evaluate every SLO's window pairs; returns the full report."""
         now = time.time() if now is None else now
@@ -621,7 +661,15 @@ class SLOEngine:
             state = worst_state(
                 [w.alert_state for w in windows if w.triggered] or ["OK"]
             )
-            statuses.append(SLOStatus(slo=slo, state=state, windows=windows))
+            exemplars = self._exemplars_for(slo) if state != "OK" else []
+            statuses.append(
+                SLOStatus(
+                    slo=slo,
+                    state=state,
+                    windows=windows,
+                    exemplar_trace_ids=exemplars,
+                )
+            )
         return SLOReport(statuses=statuses, now=now, source="tsdb")
 
 
@@ -687,8 +735,45 @@ def evaluate_snapshot(
         state = worst_state(
             [w.alert_state for w in windows if w.triggered] or ["OK"]
         )
-        statuses.append(SLOStatus(slo=slo, state=state, windows=windows))
+        exemplars: List[str] = []
+        if state != "OK" and slo.kind == "latency":
+            exemplars = _snapshot_latency_exemplars(
+                histograms.get(slo.histogram), slo.threshold_seconds or 0.0
+            )
+        statuses.append(
+            SLOStatus(
+                slo=slo, state=state, windows=windows, exemplar_trace_ids=exemplars
+            )
+        )
     return SLOReport(statuses=statuses, now=now, source="lifetime")
+
+
+def _snapshot_latency_exemplars(
+    hist: Optional[Mapping[str, object]], threshold: float, limit: int = 3
+) -> List[str]:
+    """Trace ids from snapshot histogram exemplars in over-threshold buckets."""
+    if not hist:
+        return []
+    exemplars: Mapping[str, Mapping[str, object]] = hist.get("exemplars", {})  # type: ignore[assignment]
+    if not exemplars:
+        return []
+    ids: List[str] = []
+    # newest first: sort by the exemplar's wall-clock stamp, descending
+    ordered = sorted(
+        exemplars.values(),
+        key=lambda entry: -float(entry.get("timestamp", 0.0)),  # type: ignore[arg-type]
+    )
+    for exemplar in ordered:
+        # the exemplar remembers its observed value — filter precisely on
+        # it rather than on the (coarser) bucket bound
+        if float(exemplar.get("value", 0.0)) < threshold:  # type: ignore[arg-type]
+            continue
+        trace_id = str(exemplar.get("trace_id", ""))
+        if trace_id and trace_id not in ids:
+            ids.append(trace_id)
+        if len(ids) >= limit:
+            break
+    return ids
 
 
 def check_doc(doc: Mapping[str, object]) -> Tuple[int, List[str]]:
@@ -709,7 +794,11 @@ def check_doc(doc: Mapping[str, object]) -> Tuple[int, List[str]]:
             f"{w['name']}={max(float(w['short_burn']), float(w['long_burn'])):.1f}x"
             for w in entry.get("windows", [])
         )
-        lines.append(f"{state:<4} {name}: {detail} (burn {burns or 'n/a'})")
+        line = f"{state:<4} {name}: {detail} (burn {burns or 'n/a'})"
+        exemplars = entry.get("exemplar_trace_ids") or []
+        if exemplars:
+            line += f" exemplars: {','.join(str(e) for e in exemplars)}"
+        lines.append(line)
     overall = str(doc["state"])
     if overall not in STATES:
         raise SLOError(f"unknown overall state {overall!r}")

@@ -31,6 +31,7 @@ registry's span machinery and costs one snapshot per tick.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -441,6 +442,25 @@ class TimeSeriesStore:
             return []
         return sorted(self._segment_dir.glob(f"{SEGMENT_PREFIX}*.ndjson"))
 
+    def sync(self) -> None:
+        """fsync the open segment so the tail survives power loss.
+
+        Appends go through buffered writes that the OS flushes at its
+        leisure; the graceful-shutdown path calls this after the final
+        sample so the last ``--sample-interval`` of telemetry is durably
+        on disk before the process exits. No-op for in-memory stores.
+        """
+        if self._segment_dir is None:
+            return
+        path = self._segment_path()
+        if not path.exists():
+            return
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
 
 def load_segments(
     directory: Path | str,
@@ -544,7 +564,13 @@ class Sampler:
         self._thread.start()
 
     def stop(self, timeout: Optional[float] = 5.0) -> bool:
-        """Graceful stop: final sample, join; True when fully stopped."""
+        """Graceful stop: final sample, fsync, join; True when stopped.
+
+        The final :meth:`sample_once` flushes the in-progress partial
+        window to the store (and its segment), and
+        :meth:`TimeSeriesStore.sync` then fsyncs the open segment — so a
+        SIGTERM never loses the last ``interval`` of telemetry.
+        """
         self._stop.set()
         thread = self._thread
         if thread is not None:
@@ -554,6 +580,7 @@ class Sampler:
             self._thread = None
         try:
             self.sample_once()
+            self._store.sync()
         except Exception:  # noqa: BLE001 — flush is best-effort
             pass
         return True

@@ -40,6 +40,7 @@ __all__ = [
     "scalar_rescan_naive_integrate",
     "run_parallel_build_benchmark",
     "run_serve_latency_benchmark",
+    "run_trace_overhead_benchmark",
     "run_integration_benchmark",
     "format_report",
 ]
@@ -574,6 +575,75 @@ def run_serve_latency_benchmark(
     }
 
 
+def run_trace_overhead_benchmark(
+    requests: int = 30,
+    build_days: int = 7,
+    seed: int = 7,
+    phase_seconds: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Measure what always-on tail-sampled tracing costs per request.
+
+    Drives the same in-process ``POST /query`` workload as
+    :func:`run_serve_latency_benchmark` twice over one engine: once with a
+    plain :class:`~repro.serve.handlers.ServeApp` (tracing off) and once
+    with a :class:`~repro.obs.tracestore.TraceStore` attached under the
+    worst-case sampler (``latency_threshold=0.0, head_rate=1`` — every
+    request kept and persisted to disk). The ``overhead_ratio``
+    (on mean / off mean) is what ``benchmarks/compare.py`` gates; a small
+    absolute-delta guard there keeps sub-millisecond noise from failing
+    the build.
+    """
+    import tempfile
+
+    from repro.analysis.engine import AnalysisEngine
+    from repro.obs.tracestore import TailSampler, TraceStore
+    from repro.serve import ServeApp
+    from repro.simulate.generator import SimulationConfig, TrafficSimulator
+
+    seconds = phase_seconds if phase_seconds is not None else {}
+    with _phase("trace_overhead", seconds):
+        simulator = TrafficSimulator(SimulationConfig.small(seed=seed))
+        engine = AnalysisEngine.from_simulator(simulator)
+        engine.build_from_simulator(simulator, range(build_days))
+        body = json.dumps({"first_day": 0, "days": build_days}).encode()
+
+        def drive(app) -> List[float]:
+            samples: List[float] = []
+            # warm the query path so neither arm pays first-touch costs
+            app.dispatch("POST", "/query", {}, body)
+            for _ in range(requests):
+                started = time.perf_counter()
+                app.dispatch("POST", "/query", {}, body)
+                samples.append(time.perf_counter() - started)
+            samples.sort()
+            return samples
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+            # fresh registries per arm: identical span-buffer state, and the
+            # traced arm's extra series never leak into the baseline
+            with obs.activate(obs.MetricsRegistry(span_limit=10_000)):
+                off = drive(ServeApp(engine))
+            with obs.activate(obs.MetricsRegistry(span_limit=10_000)):
+                store = TraceStore(segment_dir=Path(tmp))
+                sampler = TailSampler(latency_threshold=0.0, head_rate=1)
+                on = drive(
+                    ServeApp(engine, trace_store=store, tail_sampler=sampler)
+                )
+                kept = store.added
+    off_mean = math.fsum(off) / len(off) if off else 0.0
+    on_mean = math.fsum(on) / len(on) if on else 0.0
+    return {
+        "requests": requests,
+        "build_days": build_days,
+        "off_mean_seconds": off_mean,
+        "off_p50_seconds": _sorted_quantile(off, 0.50),
+        "on_mean_seconds": on_mean,
+        "on_p50_seconds": _sorted_quantile(on, 0.50),
+        "overhead_ratio": on_mean / off_mean if off_mean else float("inf"),
+        "traces_kept": kept,
+    }
+
+
 def run_serve_load_benchmark(
     duration: float = 3.0,
     concurrency: int = 2,
@@ -741,6 +811,11 @@ def run_integration_benchmark(
     # -- query service under closed-loop load, over real HTTP ------------
     serve_load = run_serve_load_benchmark(seed=seed, phase_seconds=phase_seconds)
 
+    # -- always-on tracing: worst-case keep-everything cost ---------------
+    trace_overhead = run_trace_overhead_benchmark(
+        seed=seed, phase_seconds=phase_seconds
+    )
+
     # -- storage engine: bytes faulted per range query (fig17b) ----------
     query_io = run_query_io_benchmark(seed=seed, phase_seconds=phase_seconds)
 
@@ -779,6 +854,7 @@ def run_integration_benchmark(
         "parallel_build": parallel_build,
         "serve_latency": serve_latency,
         "serve_load": serve_load,
+        "trace_overhead": trace_overhead,
         "query_io": query_io,
         "naive_fixpoint": {
             "subset_clusters": len(subset),
@@ -888,6 +964,16 @@ def format_report(report: dict) -> str:
             f"p95 {load['p95_seconds'] * 1e3:.1f}ms "
             f"p99 {load['p99_seconds'] * 1e3:.1f}ms, "
             f"error rate {load['error_rate']:.2%}"
+        )
+    trace = report.get("trace_overhead")
+    if trace:
+        lines.append(
+            f"trace overhead ({trace['requests']} in-process /query requests, "
+            f"keep-everything sampler): "
+            f"off {trace['off_mean_seconds'] * 1e3:.1f}ms vs "
+            f"on {trace['on_mean_seconds'] * 1e3:.1f}ms mean "
+            f"({trace['overhead_ratio']:.2f}x), "
+            f"{trace['traces_kept']} traces kept"
         )
     spans = report.get("spans")
     if spans:

@@ -4,9 +4,11 @@
 over HTTP (see :mod:`repro.serve.handlers` for the endpoints), with
 RED-style request telemetry — correlation ids, request/error counters,
 sliding-window rates, latency histograms, per-stage query costs — wired
-through the shared :mod:`repro.obs` registry. ``repro top``
+through the shared :mod:`repro.obs` registry, plus always-on
+tail-sampled request tracing into a persistent
+:class:`~repro.obs.tracestore.TraceStore`. ``repro top``
 (:mod:`repro.serve.dashboard`) renders a live terminal view from the
-``/metrics`` scrape.
+``/metrics`` scrape, including the slowest kept traces.
 
 Layering: :mod:`~repro.serve.context` (per-request accounting) →
 :mod:`~repro.serve.handlers` (endpoint logic, socket-free) →
@@ -14,27 +16,36 @@ Layering: :mod:`~repro.serve.context` (per-request accounting) →
 benchmark harness and tests drive the handler layer in-process.
 """
 
-from repro.serve.context import ACCESS_LOGGER, RequestContext, new_request_id
+from repro.serve.context import (
+    ACCESS_LOGGER,
+    RequestContext,
+    new_request_id,
+    sanitize_request_id,
+)
 from repro.serve.dashboard import (
     DashboardState,
     DashboardView,
     counter_delta,
     delta_histogram,
     fetch_slo,
+    fetch_traces,
     histogram_quantile,
     render,
     run_top,
     scrape,
     slo_url_for,
+    traces_url_for,
 )
-from repro.serve.handlers import JSON_TYPE, METRICS_TYPE, ServeApp
+from repro.serve.handlers import JSON_TYPE, METRICS_TYPE, Response, ServeApp
 from repro.serve.server import QueryServer, build_handler, install_signal_handlers
 
 __all__ = [
     "ACCESS_LOGGER",
     "RequestContext",
     "new_request_id",
+    "sanitize_request_id",
     "ServeApp",
+    "Response",
     "JSON_TYPE",
     "METRICS_TYPE",
     "QueryServer",
@@ -50,4 +61,6 @@ __all__ = [
     "scrape",
     "fetch_slo",
     "slo_url_for",
+    "fetch_traces",
+    "traces_url_for",
 ]

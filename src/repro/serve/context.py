@@ -22,13 +22,45 @@ from typing import Optional
 from repro import obs
 from repro.obs.metrics import LATENCY_BUCKETS
 
-__all__ = ["RequestContext", "new_request_id", "ACCESS_LOGGER"]
+__all__ = [
+    "RequestContext",
+    "new_request_id",
+    "sanitize_request_id",
+    "ACCESS_LOGGER",
+    "REQUEST_ID_MAX_LEN",
+]
 
 #: Logger name the access log writes through (logfmt via repro.obs.logs).
 ACCESS_LOGGER = "repro.serve.access"
 
+#: Longest client-supplied request id honored before clamping.
+REQUEST_ID_MAX_LEN = 64
+
+#: Characters allowed in a client-supplied request id.
+_REQUEST_ID_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
 _sequence = itertools.count(1)
 _sequence_lock = threading.Lock()
+
+
+def sanitize_request_id(raw: Optional[str]) -> Optional[str]:
+    """Clamp a client-supplied ``X-Request-Id`` to a safe identifier.
+
+    The id is echoed into response headers, stamped on spans, keyed into
+    the trace store, and written to logfmt access lines — honoring it
+    verbatim would allow log injection (newlines, ``=``-pairs) and
+    unbounded id cardinality. Characters outside ``[A-Za-z0-9._-]`` are
+    dropped, the result is truncated to :data:`REQUEST_ID_MAX_LEN`, and
+    ``None`` is returned when nothing valid remains (the caller then
+    generates a fresh server-side id).
+    """
+    if raw is None:
+        return None
+    cleaned = "".join(c for c in str(raw) if c in _REQUEST_ID_CHARS)
+    cleaned = cleaned[:REQUEST_ID_MAX_LEN]
+    return cleaned or None
 
 
 def new_request_id() -> str:
@@ -73,7 +105,7 @@ class RequestContext:
             obs.counter(f"serve.responses.{status // 100}xx").inc()
             obs.window("serve.requests").record()
             obs.histogram("serve.request_seconds", LATENCY_BUCKETS).observe(
-                seconds
+                seconds, exemplar=self.request_id
             )
             if status >= 400:
                 obs.counter("serve.errors").inc()

@@ -33,6 +33,8 @@ __all__ = [
     "scrape",
     "fetch_slo",
     "slo_url_for",
+    "fetch_traces",
+    "traces_url_for",
     "histogram_quantile",
     "delta_histogram",
     "counter_delta",
@@ -99,6 +101,33 @@ def fetch_slo(url: str, timeout: float = 2.0) -> Optional[Dict[str, object]]:
     except (urllib.error.URLError, OSError, ValueError):
         return None
     if not isinstance(doc, dict) or "slos" not in doc:
+        return None
+    return doc
+
+
+def traces_url_for(metrics_url: str) -> str:
+    """The ``/traces`` endpoint next to a ``/metrics`` URL."""
+    if metrics_url.endswith("/metrics"):
+        return metrics_url[: -len("/metrics")] + "/traces"
+    return metrics_url.rstrip("/") + "/traces"
+
+
+def fetch_traces(
+    url: str, timeout: float = 2.0, limit: int = 5
+) -> Optional[Dict[str, object]]:
+    """Fetch the server's slowest-traces document, or ``None``.
+
+    Like :func:`fetch_slo`, every non-panel case — tracing not enabled
+    (404), server unreachable, junk payload — collapses to ``None`` and
+    the dashboard omits the panel for that frame.
+    """
+    try:
+        full = f"{url}?sort=duration&limit={int(limit)}"
+        with urllib.request.urlopen(full, timeout=timeout) as resp:
+            doc = json.loads(resp.read().decode("utf-8", errors="replace"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or "traces" not in doc:
         return None
     return doc
 
@@ -193,6 +222,11 @@ class DashboardView:
     slo_state: Optional[str] = None  #: overall OK/WARN/PAGE, None = no panel
     #: per-SLO rows: (state, name, worst burn per window pair, description)
     slo_rows: List[Tuple[str, str, str, str]] = field(default_factory=list)
+    traces_kept: Optional[int] = None  #: total kept traces, None = no panel
+    #: slowest-trace rows: (request id, endpoint, status, seconds, reasons)
+    trace_rows: List[Tuple[str, str, int, float, str]] = field(
+        default_factory=list
+    )
 
     def apply_slo(self, doc: Optional[Mapping[str, object]]) -> None:
         """Fold a fetched ``/slo`` document into the view (None = omit)."""
@@ -216,6 +250,22 @@ class DashboardView:
                     str(entry.get("name", "?")),
                     burns or "n/a",
                     str(entry.get("description", "")),
+                )
+            )
+
+    def apply_traces(self, doc: Optional[Mapping[str, object]]) -> None:
+        """Fold a fetched ``/traces`` document into the view (None = omit)."""
+        if doc is None:
+            return
+        self.traces_kept = int(doc.get("kept", 0))  # type: ignore[arg-type]
+        for entry in doc.get("traces", []):  # type: ignore[union-attr]
+            self.trace_rows.append(
+                (
+                    str(entry.get("request_id", "?")),
+                    str(entry.get("endpoint", "?")),
+                    int(entry.get("status", 0)),
+                    float(entry.get("seconds", 0.0)),
+                    ",".join(str(r) for r in entry.get("reasons", [])) or "-",
                 )
             )
 
@@ -395,6 +445,17 @@ def render(view: DashboardView, source: str = "") -> str:
                 f"  {state:<4} {name:<18} burn {burns:<24} {description}"
             )
 
+    if view.traces_kept is not None:
+        lines.append("")
+        lines.append(f"slowest recent traces (kept {view.traces_kept})")
+        for request_id, endpoint, status, seconds, reasons in view.trace_rows:
+            lines.append(
+                f"  {format_seconds(seconds):>10}  {status:>3} {endpoint:<8} "
+                f"{request_id:<28} [{reasons}]"
+            )
+        if not view.trace_rows:
+            lines.append("  (none kept yet)")
+
     if view.stages:
         lines.append("")
         lines.append("hottest query stages (total seconds)")
@@ -424,12 +485,14 @@ def run_top(
     out = stream if stream is not None else sys.stdout
     state = DashboardState()
     slo_endpoint = slo_url_for(url)
+    traces_endpoint = traces_url_for(url)
     done = 0
     try:
         while iterations is None or done < iterations:
             try:
                 view = state.update(scrape(url, timeout=timeout))
                 view.apply_slo(fetch_slo(slo_endpoint, timeout=timeout))
+                view.apply_traces(fetch_traces(traces_endpoint, timeout=timeout))
                 frame = render(view, url)
             except (urllib.error.URLError, OSError, ValueError) as exc:
                 frame = f"repro top — {url}\nscrape failed: {exc}\n"

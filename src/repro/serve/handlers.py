@@ -14,38 +14,93 @@ sight. Endpoints:
 * ``GET /healthz`` — liveness: model digest, uptime, request totals,
   thread count.
 * ``GET /metrics`` — the shared registry in Prometheus text exposition
-  format.
+  format; clients sending ``Accept: application/openmetrics-text`` get
+  the OpenMetrics rendering with histogram exemplars instead.
 * ``GET /slo`` — the burn-rate alert report (state OK/WARN/PAGE per
   declared SLO), when the server was started with ``--slo``; 404
   otherwise. See :mod:`repro.obs.slo`.
+* ``GET /traces`` — summaries of the tail-sampled request traces kept
+  in the trace store (slowest or most recent first), when tracing is
+  wired; 404 otherwise. See :mod:`repro.obs.tracestore`.
 
 RED accounting (counters, latency histograms, sliding-window rates,
 correlation ids, access log) is handled per request by
-:class:`~repro.serve.context.RequestContext`.
+:class:`~repro.serve.context.RequestContext`. When a trace store is
+wired, every request runs under a root ``serve.request`` span and its
+span tree is offered to the tail sampler after completion — errored,
+slow and head-sampled requests are kept.
+
+The transport-facing entry point is :meth:`ServeApp.respond`, which
+wraps :meth:`ServeApp.dispatch` with content negotiation (gzip for the
+text-heavy ``/metrics``, ``/slo`` and ``/traces`` bodies).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import gzip as gzip_module
 import json
 import os
 import threading
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro import obs
 from repro.analysis.report import build_report
 from repro.core.query import STRATEGIES
+from repro.obs.exporters import OPENMETRICS_TYPE
 from repro.obs.metrics import LATENCY_BUCKETS
+from repro.obs.tracestore import TailSampler, TraceRecord, TraceStore
 from repro.obs.tracing import to_chrome_trace
-from repro.serve.context import RequestContext
+from repro.serve.context import RequestContext, sanitize_request_id
 from repro.spatial.regions import QueryRegion
 
-__all__ = ["ServeApp", "JSON_TYPE", "METRICS_TYPE"]
+__all__ = ["ServeApp", "Response", "JSON_TYPE", "METRICS_TYPE"]
 
 JSON_TYPE = "application/json; charset=utf-8"
 METRICS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Paths whose (large, text) responses are gzip-encoded on request.
+GZIP_PATHS = ("/metrics", "/slo", "/traces")
+
+
+@dataclass
+class Response:
+    """A fully negotiated response as the HTTP transport sends it.
+
+    :meth:`ServeApp.dispatch` keeps its 4-tuple contract for in-process
+    callers; :meth:`ServeApp.respond` layers transport concerns on top —
+    gzip content encoding — and returns this richer shape. ``headers``
+    carries only the *extra* headers (e.g. ``Content-Encoding``); the
+    transport always sets Content-Type/Content-Length/X-Request-Id.
+    """
+
+    status: int
+    content_type: str
+    payload: bytes
+    request_id: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def _accepts_gzip(accept_encoding: str) -> bool:
+    """True when an ``Accept-Encoding`` header admits gzip (q != 0)."""
+    for part in accept_encoding.split(","):
+        token, _, params = part.partition(";")
+        if token.strip().lower() not in ("gzip", "*"):
+            continue
+        q_value = 1.0
+        for param in params.split(";"):
+            key, _, value = param.partition("=")
+            if key.strip().lower() == "q":
+                try:
+                    q_value = float(value.strip())
+                except ValueError:
+                    q_value = 0.0
+        if q_value > 0:
+            return True
+    return False
 
 
 class _ClientError(ValueError):
@@ -74,9 +129,13 @@ class ServeApp:
         query_lock: Optional[threading.Lock] = None,
         default_limit: int = 10,
         slo_engine=None,
+        trace_store: Optional[TraceStore] = None,
+        tail_sampler: Optional[TailSampler] = None,
     ):
         self._engine = engine
         self._slo_engine = slo_engine
+        self._trace_store = trace_store
+        self._tail_sampler = tail_sampler or TailSampler()
         self._digest = digest
         self._model_dir = Path(model_dir) if model_dir is not None else None
         self._query_lock = query_lock if query_lock is not None else threading.Lock()
@@ -106,6 +165,11 @@ class ServeApp:
         """Seconds since the app was constructed (monotonic clock)."""
         return time.monotonic() - self._started_mono
 
+    @property
+    def trace_store(self) -> Optional[TraceStore]:
+        """The tail-sampled trace store, or ``None`` when tracing is off."""
+        return self._trace_store
+
     # ------------------------------------------------------------------
     def dispatch(
         self,
@@ -114,34 +178,54 @@ class ServeApp:
         params: Optional[Mapping[str, str]] = None,
         body: bytes = b"",
         request_id: Optional[str] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> Tuple[int, str, bytes, str]:
         """Route one request; returns ``(status, content_type, body, id)``.
 
         ``params`` are the decoded query-string parameters; ``request_id``
-        honors a client-supplied ``X-Request-Id`` header. All endpoint and
-        error handling funnels through here so the RED metrics and access
-        log see every request exactly once.
+        honors a client-supplied ``X-Request-Id`` header after
+        :func:`~repro.serve.context.sanitize_request_id` clamps it (log
+        injection, unbounded cardinality). ``headers`` (lower-cased keys)
+        drive content negotiation — the ``Accept`` header can select the
+        OpenMetrics rendering of ``/metrics``. All endpoint and error
+        handling funnels through here so the RED metrics and access log
+        see every request exactly once; with a trace store wired, the
+        request's span tree is offered to the tail sampler afterwards.
         """
         params = dict(params or {})
+        header_map = {
+            str(k).lower(): str(v) for k, v in dict(headers or {}).items()
+        }
         endpoint = {
             "/query": "query",
             "/healthz": "healthz",
             "/metrics": "metrics",
             "/slo": "slo",
+            "/traces": "traces",
         }.get(path, "other")
+        clean_id = sanitize_request_id(request_id)
         ctx = RequestContext(
             method=method,
             path=path,
             endpoint=endpoint,
-            **({"request_id": request_id} if request_id else {}),
+            **({"request_id": clean_id} if clean_id else {}),
         )
+        capture = self._trace_store is not None and obs.enabled()
+        if capture:
+            registry = obs.registry()
+            mark_count = registry.span_count
+            mark_dropped = registry.spans_dropped
         with self._stats_lock:
             self._in_flight += 1
         try:
             with ctx:
-                status, content_type, payload = self._route(
-                    ctx, method, path, endpoint, params, body
-                )
+                with obs.span(
+                    "serve.request", endpoint=endpoint, method=method
+                ) as root:
+                    status, content_type, payload = self._route(
+                        ctx, method, path, endpoint, params, body, header_map
+                    )
+                    root.set(status=status)
                 ctx.status = status
         finally:
             with self._stats_lock:
@@ -149,7 +233,101 @@ class ServeApp:
                 self._served += 1
                 if status >= 400:
                     self._errors += 1
+        if capture:
+            self._capture_trace(ctx, status, mark_count, mark_dropped)
         return status, content_type, payload, ctx.request_id
+
+    def respond(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Mapping[str, str]] = None,
+        body: bytes = b"",
+        request_id: Optional[str] = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Response:
+        """Dispatch plus transport negotiation; what the HTTP server calls.
+
+        On top of :meth:`dispatch`, gzip-encodes the text-heavy
+        ``/metrics`` / ``/slo`` / ``/traces`` bodies when the client's
+        ``Accept-Encoding`` admits it (scrape payloads have grown large),
+        reporting the extra ``Content-Encoding`` / ``Vary`` headers in
+        the returned :class:`Response`.
+        """
+        header_map = {
+            str(k).lower(): str(v) for k, v in dict(headers or {}).items()
+        }
+        status, content_type, payload, rid = self.dispatch(
+            method, path, params, body, request_id=request_id, headers=header_map
+        )
+        extra: Dict[str, str] = {}
+        if (
+            status == 200
+            and path in GZIP_PATHS
+            and _accepts_gzip(header_map.get("accept-encoding", ""))
+        ):
+            payload = gzip_module.compress(payload)
+            extra["Content-Encoding"] = "gzip"
+            extra["Vary"] = "Accept-Encoding"
+        return Response(status, content_type, payload, rid, extra)
+
+    def _capture_trace(
+        self,
+        ctx: RequestContext,
+        status: int,
+        mark_count: int,
+        mark_dropped: int,
+    ) -> None:
+        """Offer a finished request to the tail sampler; store when kept.
+
+        ``mark_count``/``mark_dropped`` were taken before the request
+        ran: the scan covers only spans recorded since (adjusted for any
+        ``span_limit`` eviction in between), then the correlation-id
+        filter drops concurrent requests' spans from the same interval.
+        Storage failures are logged, never fatal — tracing must not take
+        the daemon down.
+        """
+        seconds = time.perf_counter() - ctx.started
+        reasons = self._tail_sampler.decide(ctx.request_id, status, seconds)
+        obs.counter("trace.requests").inc()
+        if not reasons:
+            obs.counter("trace.dropped").inc()
+            return
+        registry = obs.registry()
+        start_index = max(
+            0, mark_count - (registry.spans_dropped - mark_dropped)
+        )
+        spans = [
+            {
+                "id": s.span_id,
+                "parent": s.parent_id,
+                "name": s.name,
+                "depth": s.depth,
+                "start": s.start,
+                "seconds": s.seconds,
+                "attrs": dict(s.attrs),
+            }
+            for s in registry.spans_tail(start_index)
+            if s.attrs.get("request_id") == ctx.request_id
+        ]
+        record = TraceRecord(
+            request_id=ctx.request_id,
+            endpoint=ctx.endpoint,
+            status=status,
+            seconds=seconds,
+            start=time.time() - seconds,
+            reasons=reasons,
+            spans=spans,
+        )
+        try:
+            self._trace_store.add(record)
+        except Exception:  # noqa: BLE001 — tracing must not kill serve
+            obs.get_logger("repro.serve").exception(
+                "trace store append failed",
+                extra={"request_id": ctx.request_id},
+            )
+            return
+        obs.counter("trace.kept").inc()
 
     def _route(
         self,
@@ -159,8 +337,10 @@ class ServeApp:
         endpoint: str,
         params: Mapping[str, str],
         body: bytes,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> Tuple[int, str, bytes]:
         """Resolve the endpoint and translate failures to status codes."""
+        headers = headers or {}
         try:
             if endpoint == "query":
                 if method != "POST":
@@ -173,6 +353,12 @@ class ServeApp:
             if endpoint == "metrics":
                 if method != "GET":
                     return self._error(ctx, 405, "GET required for /metrics")
+                if "application/openmetrics-text" in headers.get("accept", ""):
+                    return (
+                        200,
+                        OPENMETRICS_TYPE,
+                        self.openmetrics_text().encode(),
+                    )
                 return 200, METRICS_TYPE, self.metrics_text().encode()
             if endpoint == "slo":
                 if method != "GET":
@@ -182,6 +368,14 @@ class ServeApp:
                         ctx, 404, "no SLO config loaded (start serve with --slo)"
                     )
                 return 200, JSON_TYPE, _json_bytes(self.slo_report())
+            if endpoint == "traces":
+                if method != "GET":
+                    return self._error(ctx, 405, "GET required for /traces")
+                if self._trace_store is None:
+                    return self._error(
+                        ctx, 404, "request tracing is not enabled on this server"
+                    )
+                return 200, JSON_TYPE, _json_bytes(self.traces_doc(params))
             return self._error(ctx, 404, f"no such endpoint: {path}")
         except _ClientError as exc:
             return self._error(ctx, 400, str(exc))
@@ -270,7 +464,9 @@ class ServeApp:
                 raise _ClientError(str(exc))
         elapsed = time.perf_counter() - started
         if obs.enabled():
-            obs.histogram("serve.query_seconds", LATENCY_BUCKETS).observe(elapsed)
+            obs.histogram("serve.query_seconds", LATENCY_BUCKETS).observe(
+                elapsed, exemplar=ctx.request_id
+            )
 
         report = build_report(
             result,
@@ -352,8 +548,39 @@ class ServeApp:
         """The shared registry rendered in Prometheus exposition format."""
         return obs.to_prometheus_text(obs.registry().snapshot())
 
+    def openmetrics_text(self) -> str:
+        """The registry rendered as OpenMetrics text (with exemplars)."""
+        return obs.to_openmetrics_text(obs.registry().snapshot())
+
     def slo_report(self) -> Dict[str, object]:
         """The burn-rate report served on ``/slo`` (requires an engine)."""
         if self._slo_engine is None:
             raise RuntimeError("no SLO engine configured")
         return self._slo_engine.evaluate().to_dict()
+
+    def traces_doc(self, params: Mapping[str, str]) -> Dict[str, object]:
+        """The trace-summary document served on ``/traces``.
+
+        ``?limit=N`` caps the rows (default 50), ``?sort=duration``
+        (default) orders slowest-first, ``?sort=recent`` newest-first.
+        """
+        if self._trace_store is None:
+            raise RuntimeError("no trace store configured")
+        try:
+            limit = int(params.get("limit", 50))
+        except (TypeError, ValueError):
+            raise _ClientError("limit must be an integer")
+        sort = str(params.get("sort", "duration"))
+        if sort not in ("duration", "recent"):
+            raise _ClientError("sort must be 'duration' or 'recent'")
+        if sort == "recent":
+            records = self._trace_store.recent(limit)
+        else:
+            records = self._trace_store.slowest(limit)
+        return {
+            "version": 1,
+            "kept": self._trace_store.added,
+            "count": len(self._trace_store),
+            "sort": sort,
+            "traces": [record.summary() for record in records],
+        }

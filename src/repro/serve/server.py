@@ -2,9 +2,9 @@
 
 :class:`QueryServer` owns a ``ThreadingHTTPServer`` whose handler is a
 thin adapter over :class:`~repro.serve.handlers.ServeApp` — parse the
-request line and headers, hand everything to ``app.dispatch``, write the
-response. All behavior worth testing lives in the app; the adapter only
-moves bytes.
+request line and headers, hand everything to ``app.respond`` (dispatch
+plus gzip/OpenMetrics content negotiation), write the response. All
+behavior worth testing lives in the app; the adapter only moves bytes.
 
 Shutdown is graceful by construction: handler threads are non-daemonic
 and ``block_on_close`` is set, so :meth:`QueryServer.stop` (or SIGTERM /
@@ -50,19 +50,22 @@ def build_handler(app: ServeApp) -> type:
         def _respond(self, body: bytes = b"") -> None:
             parts = urlsplit(self.path)
             params = dict(parse_qsl(parts.query))
-            status, content_type, payload, request_id = app.dispatch(
+            response = app.respond(
                 self.command,
                 parts.path,
                 params,
                 body,
                 request_id=self.headers.get("X-Request-Id"),
+                headers=dict(self.headers.items()),
             )
-            self.send_response(status)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(payload)))
-            self.send_header("X-Request-Id", request_id)
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.payload)))
+            self.send_header("X-Request-Id", response.request_id)
+            for name, value in response.headers.items():
+                self.send_header(name, value)
             self.end_headers()
-            self.wfile.write(payload)
+            self.wfile.write(response.payload)
 
         def do_GET(self) -> None:  # noqa: N802 — stdlib handler contract
             self._respond()

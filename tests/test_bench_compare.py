@@ -362,3 +362,51 @@ class TestServeLoadGate:
         row = json.loads(history.read_text().splitlines()[-1])
         assert row["serve_load"]["p99_seconds"] == 0.15
         assert row["serve_load"]["error_rate"] == 0.0
+
+
+def trace_overhead_section(ratio=1.05, off_mean=0.02, on_mean=None):
+    if on_mean is None:
+        on_mean = off_mean * ratio
+    return {
+        "requests": 30,
+        "off_mean_seconds": off_mean,
+        "on_mean_seconds": on_mean,
+        "overhead_ratio": on_mean / off_mean if off_mean else float("inf"),
+        "traces_kept": 31,
+    }
+
+
+class TestTraceOverheadGate:
+    def test_missing_section_gates_nothing(self):
+        assert compare.check_trace_overhead({}) == []
+        assert compare.check_trace_overhead({"trace_overhead": "junk"}) == []
+
+    def test_small_ratio_passes(self):
+        report = {"trace_overhead": trace_overhead_section(ratio=1.2)}
+        assert compare.check_trace_overhead(report) == []
+
+    def test_big_ratio_with_big_delta_fails(self):
+        report = {"trace_overhead": trace_overhead_section(ratio=2.0, off_mean=0.02)}
+        failures = compare.check_trace_overhead(report)
+        assert len(failures) == 1
+        assert "overhead_ratio" in failures[0]
+
+    def test_big_ratio_on_tiny_baseline_is_noise(self):
+        # 3x of a 0.1ms request is a 0.2ms delta: under the absolute floor
+        report = {"trace_overhead": trace_overhead_section(ratio=3.0, off_mean=0.0001)}
+        assert compare.check_trace_overhead(report) == []
+
+    def test_gate_failure_through_main(self, paths, capsys):
+        bad = make_report(BASE_PHASES)
+        bad["trace_overhead"] = trace_overhead_section(ratio=2.0, off_mean=0.05)
+        assert run_gate(bad, paths) == 1
+        assert "trace_overhead" in capsys.readouterr().out
+
+    def test_history_row_records_overhead(self, paths):
+        doc = make_report(BASE_PHASES)
+        doc["trace_overhead"] = trace_overhead_section(ratio=1.1, off_mean=0.02)
+        assert run_gate(doc, paths) == 0
+        _, _, history = paths
+        row = json.loads(history.read_text().splitlines()[-1])
+        assert row["trace_overhead"]["overhead_ratio"] == pytest.approx(1.1)
+        assert row["trace_overhead"]["traces_kept"] == 31

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# End-to-end smoke for the load generator and the SLO engine: build a
-# tiny forest, start `repro serve` with SLOs and telemetry persistence
-# enabled, run a short closed-loop `repro loadgen` against it, and gate
-# on `repro slo check` — live (`/slo`), then offline against the tsdb
-# segments the sampler persisted. CI runs this as the load-smoke job and
-# uploads the BENCH_load.json it produces; it works locally too:
+# End-to-end smoke for the load generator, the SLO engine, and the
+# tail-sampled trace store: build a tiny forest, start `repro serve`
+# with SLOs, telemetry persistence, and trace persistence enabled, run
+# a short closed-loop `repro loadgen` against it, gate on
+# `repro slo check` — live (`/slo`), then offline against the tsdb
+# segments the sampler persisted — and verify the tail sampler kept
+# traces that `repro trace show` resolves both live and from the
+# persisted segments. CI runs this as the load-smoke job and uploads
+# the BENCH_load.json and trace segments it produces; it works locally
+# too:
 #
 #   tools/load_smoke.sh [out-dir]
 set -euo pipefail
@@ -24,17 +28,20 @@ export PYTHONPATH="$ROOT/src"
 DATA="$WORK/data"
 MODEL="$WORK/model"
 TSDB="$WORK/tsdb"
+TRACES="$OUT_DIR/trace-segments"
 LOG="$WORK/serve.log"
 REPORT="$OUT_DIR/BENCH_load.json"
+rm -rf "$TRACES"
 
 echo "== build a tiny model (1 month of trace, 7 days of forest)"
 python -m repro generate --out "$DATA" --months 1
 python -m repro build --data "$DATA" --model "$MODEL" --days 7
 
-echo "== start repro serve with SLOs + tsdb persistence"
+echo "== start repro serve with SLOs + tsdb + trace persistence"
 python -m repro serve --data "$DATA" --model "$MODEL" --port 0 \
     --slo "$ROOT/examples/slo.yaml" --tsdb-dir "$TSDB" \
-    --sample-interval 0.5 >"$LOG" 2>&1 &
+    --sample-interval 0.5 --trace-dir "$TRACES" \
+    --trace-threshold 0 >"$LOG" 2>&1 &
 SERVE_PID=$!
 
 BASE=""
@@ -75,6 +82,23 @@ assert len(doc["slos"]) == 3, doc
 print("   overall: " + doc["state"])
 '
 
+echo "== GET /traces is non-empty after the load"
+TRACE_ID="$(curl -fsS "$BASE/traces" | python -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["count"] > 0, doc
+assert doc["kept"] > 0, doc
+first = doc["traces"][0]
+assert first["spans"] > 0, first
+print(first["request_id"])
+')"
+[ -n "$TRACE_ID" ] || { echo "no trace id captured"; exit 1; }
+echo "   kept traces include $TRACE_ID"
+
+echo "== repro trace show resolves the live-captured id"
+python -m repro trace show "$TRACE_ID" --trace-dir "$TRACES" \
+    | grep -q "trace $TRACE_ID" || { echo "trace show failed"; exit 1; }
+
 echo "== repro slo check (live) gates green"
 python -m repro slo check "$BASE"
 
@@ -102,5 +126,10 @@ SERVE_PID=""
 echo "== repro slo check replays the persisted tsdb segments"
 ls "$TSDB"/tsdb-*.ndjson >/dev/null
 python -m repro slo check "$TSDB" --config "$ROOT/examples/slo.yaml"
+
+echo "== repro trace ls replays the persisted trace segments offline"
+ls "$TRACES"/trace-*.ndjson >/dev/null
+python -m repro trace ls --trace-dir "$TRACES" \
+    | grep -q "$TRACE_ID" || { echo "persisted trace missing"; exit 1; }
 
 echo "load smoke OK"
