@@ -62,6 +62,7 @@ CORRECTNESS_SECTIONS = (
     "naive_fixpoint",
     "parallel_build",
     "query_io",
+    "ingest_throughput",
 )
 
 # serve_load gate: latency quantiles compared band-style against the
@@ -77,6 +78,15 @@ MAX_SERVE_LOAD_ERROR_RATE = 0.01
 # Self-contained against the report (no baseline section needed).
 MAX_TRACE_OVERHEAD_RATIO = 1.5
 MIN_TRACE_OVERHEAD_DELTA_SECONDS = 0.002
+
+# ingest_throughput gate: the live streaming path (extract, install,
+# roll-up per day) must sustain this many accepted events per second on
+# the bench workload. The measured rate is ~50-100x the floor on a
+# developer laptop, so the gate only trips on an order-of-magnitude
+# regression (e.g. an accidental per-event flush), never on host noise.
+# Byte-parity of the live snapshot with the batch model is covered by
+# the section's identical_macro_clusters flag via CORRECTNESS_SECTIONS.
+MIN_INGEST_EVENTS_PER_SECOND = 1000.0
 
 # single-CPU hosts cannot honestly beat serial with processes (pooled =
 # serial compute + fork + IPC on one core), so the parallel_beats_serial
@@ -312,6 +322,29 @@ def check_trace_overhead(report: dict) -> List[str]:
     return failures
 
 
+def check_ingest_throughput(report: dict) -> List[str]:
+    """Absolute throughput floor for the streaming ingest path.
+
+    Fails when ``ingest_throughput.events_per_second`` drops below
+    ``MIN_INGEST_EVENTS_PER_SECOND``. Self-contained in the report (no
+    baseline section needed), so the gate works the first time the phase
+    appears; a report without the section gates nothing.
+    """
+    failures: List[str] = []
+    section = report.get("ingest_throughput")
+    if not isinstance(section, dict):
+        return failures
+    rate = float(section.get("events_per_second", 0.0))
+    if rate < MIN_INGEST_EVENTS_PER_SECOND:
+        failures.append(
+            f"ingest_throughput.events_per_second {rate:.0f} below floor "
+            f"{MIN_INGEST_EVENTS_PER_SECOND:.0f} "
+            f"({section.get('events', '?')} events in "
+            f"{float(section.get('stream_seconds', 0.0)):.3f}s)"
+        )
+    return failures
+
+
 def render_rows(rows: List[dict]) -> str:
     def fmt(value: Optional[float]) -> str:
         return "-" if value is None else f"{value * 1e3:10.2f}ms"
@@ -384,6 +417,17 @@ def history_row(report: dict, rows: List[dict]) -> dict:
         if isinstance(trace, dict)
         else None
     )
+    ing = report.get("ingest_throughput")
+    ingest_throughput = (
+        {
+            "events_per_second": ing.get("events_per_second"),
+            "overhead_ratio": ing.get("overhead_ratio"),
+            "events": ing.get("events"),
+            "days_closed": ing.get("days_closed"),
+        }
+        if isinstance(ing, dict)
+        else None
+    )
     row_extra: dict = {}
     if serve_latency:
         row_extra["serve_latency"] = serve_latency
@@ -391,6 +435,8 @@ def history_row(report: dict, rows: List[dict]) -> dict:
         row_extra["serve_load"] = serve_load
     if trace_overhead:
         row_extra["trace_overhead"] = trace_overhead
+    if ingest_throughput:
+        row_extra["ingest_throughput"] = ingest_throughput
     return {
         **row_extra,
         **scaling,
@@ -479,6 +525,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             report, baseline, args.tolerance, args.min_seconds
         )
         + check_trace_overhead(report)
+        + check_ingest_throughput(report)
     )
     for failure in correctness:
         print(f"  correctness: {failure}")

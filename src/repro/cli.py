@@ -10,7 +10,10 @@ plus ``info`` for the dataset inventory, ``bench`` for the vectorized
 integration-kernel benchmark, ``stats`` to render a metrics snapshot
 written by ``--metrics-out``, ``serve`` to keep a loaded model resident
 behind an HTTP query endpoint (``/query``, ``/healthz``, ``/metrics``,
-``/traces`` — see :mod:`repro.serve`), ``top`` for a live terminal
+``/traces``, plus ``POST /ingest`` with ``--ingest`` — see
+:mod:`repro.serve`), ``ingest`` to tail a spool directory of NDJSON
+events into a live forest with crash-safe checkpoints and atomic
+snapshots (see :mod:`repro.ingest`), ``top`` for a live terminal
 dashboard over a running server's ``/metrics``, and ``trace`` to inspect
 request traces persisted by ``serve --trace-dir``
 (:mod:`repro.obs.tracestore`). The trace directory carries the
@@ -309,9 +312,122 @@ def build_parser() -> argparse.ArgumentParser:
         help="also keep a deterministic 1-in-N sample of all requests "
         "(0 disables head sampling)",
     )
+    serve.add_argument(
+        "--ingest",
+        action="store_true",
+        help="enable POST /ingest: event batches stream into the served "
+        "forest, which keeps growing in place (repro.ingest contract)",
+    )
+    serve.add_argument(
+        "--ingest-snapshot-dir",
+        type=Path,
+        default=None,
+        help="publish an atomic model snapshot here whenever an ingested "
+        "day closes (versioned model-NNNNNN dirs behind a `current` "
+        "symlink; requires --ingest)",
+    )
+    serve.add_argument(
+        "--ingest-max-batch",
+        type=int,
+        default=50_000,
+        help="admission control: largest accepted event batch (rows)",
+    )
+    serve.add_argument(
+        "--ingest-max-waiters",
+        type=int,
+        default=8,
+        help="admission control: batches queued behind the ingest lock "
+        "before shedding with HTTP 429",
+    )
     # access logs are the point of a server; default them on
     serve.set_defaults(log_level="info")
     _add_engine_arguments(serve)
+
+    ingest = commands.add_parser(
+        "ingest",
+        parents=[common],
+        help="tail a spool directory of NDJSON event files into a live "
+        "forest, with crash-safe checkpoints and atomic snapshots",
+    )
+    ingest.add_argument(
+        "--data", required=True, type=Path,
+        help="trace directory (supplies the sensor network and calendar)",
+    )
+    ingest.add_argument(
+        "--spool", required=True, type=Path,
+        help="spool directory to tail (*.ndjson, rename-into-place)",
+    )
+    ingest.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        help="existing model to resume, e.g. <snapshot-dir>/current "
+        "(default: start from an empty forest)",
+    )
+    ingest.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=None,
+        help="publish atomic snapshots here (model-NNNNNN dirs behind a "
+        "`current` symlink); nothing is durable when omitted",
+    )
+    ingest.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="checkpoint file naming the fully-snapshotted spool files "
+        "(default: <snapshot-dir>/checkpoint.json)",
+    )
+    ingest.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1,
+        help="snapshot after every N closed days (default: 1)",
+    )
+    ingest.add_argument(
+        "--first-day",
+        type=int,
+        default=0,
+        help="calendar day the stream starts at when starting fresh",
+    )
+    ingest.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds between spool scans when idle",
+    )
+    ingest.add_argument(
+        "--once",
+        action="store_true",
+        help="drain the files currently spooled, then exit",
+    )
+    ingest.add_argument(
+        "--flush",
+        action="store_true",
+        help="close the open day before the final snapshot, making every "
+        "spooled event queryable when the command returns",
+    )
+    ingest.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop tailing after N seconds (smoke-test bound)",
+    )
+    ingest.add_argument(
+        "--no-rollup",
+        action="store_true",
+        help="skip the live week/month roll-ups (day level only; queries "
+        "materialize upper levels lazily)",
+    )
+    ingest.add_argument(
+        "--snapshot-format",
+        choices=("pickle", "columnar"),
+        default="columnar",
+        help="forest container format for snapshots (default: columnar)",
+    )
+    # a tailer is a daemon like serve; progress lines default on
+    ingest.set_defaults(log_level="info")
+    _add_engine_arguments(ingest)
 
     top = commands.add_parser(
         "top",
@@ -352,10 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--mode",
-        choices=("closed", "open"),
+        choices=("closed", "open", "ingest"),
         default="closed",
         help="closed: N workers back-to-back (capacity probe); open: fixed "
-        "arrival rate, latency from scheduled arrival (the rps gate)",
+        "arrival rate, latency from scheduled arrival (the rps gate); "
+        "ingest: sequential POST /ingest event batches from a stored "
+        "trace (needs --data and a server started with --ingest)",
     )
     loadgen.add_argument(
         "--rate",
@@ -383,6 +501,36 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=Path("BENCH_load.json"),
         help="where to write the JSON report",
+    )
+    loadgen.add_argument(
+        "--data",
+        type=Path,
+        default=None,
+        help="ingest mode: trace directory supplying the event stream",
+    )
+    loadgen.add_argument(
+        "--days",
+        type=int,
+        default=1,
+        help="ingest mode: stream the first N days of the trace",
+    )
+    loadgen.add_argument(
+        "--first-day",
+        type=int,
+        default=0,
+        help="ingest mode: first trace day to stream",
+    )
+    loadgen.add_argument(
+        "--batch-windows",
+        type=int,
+        default=12,
+        help="ingest mode: time windows per POST /ingest batch",
+    )
+    loadgen.add_argument(
+        "--no-flush",
+        action="store_true",
+        help="ingest mode: leave the final day open instead of closing it "
+        "with ?flush=1",
     )
 
     slo = commands.add_parser(
@@ -778,6 +926,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.trace_head_sample < 0:
         print("error: --trace-head-sample must be >= 0", file=sys.stderr)
         return 2
+    if args.ingest_snapshot_dir is not None and not args.ingest:
+        print("error: --ingest-snapshot-dir requires --ingest", file=sys.stderr)
+        return 2
+    if args.ingest_max_batch < 1:
+        print("error: --ingest-max-batch must be at least 1", file=sys.stderr)
+        return 2
+    if args.ingest_max_waiters < 0:
+        print("error: --ingest-max-waiters must be >= 0", file=sys.stderr)
+        return 2
     slo_config = None
     if args.slo is not None:
         try:
@@ -808,6 +965,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if slo_config is not None
         else None
     )
+    ingest_engine = None
+    if args.ingest:
+        from repro.ingest import IngestEngine
+
+        # shares the model cache's query lock, so day installation and
+        # roll-ups serialize against in-flight /query requests
+        ingest_engine = IngestEngine(
+            cached.engine,
+            query_lock=cached.query_lock,
+            max_batch_rows=args.ingest_max_batch,
+            max_waiters=args.ingest_max_waiters,
+        )
     app = ServeApp(
         cached.engine,
         digest=cached.digest,
@@ -817,6 +986,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         slo_engine=slo_engine,
         trace_store=trace_store,
         tail_sampler=tail_sampler,
+        ingest_engine=ingest_engine,
+        ingest_snapshot_dir=args.ingest_snapshot_dir,
     )
     server = QueryServer(app, host=args.host, port=args.port)
     install_signal_handlers(server)
@@ -837,6 +1008,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"tracing: tail-sampled (errors, >{args.trace_threshold}s, "
         f"1-in-{args.trace_head_sample} head) into {sink}; GET /traces"
     )
+    if ingest_engine is not None:
+        snapshots = (
+            f"snapshots to {args.ingest_snapshot_dir} on day close"
+            if args.ingest_snapshot_dir is not None
+            else "no snapshots (--ingest-snapshot-dir to persist)"
+        )
+        print(
+            f"ingest: POST /ingest live (open day {ingest_engine.open_day}, "
+            f"batches <= {args.ingest_max_batch} rows; {snapshots})"
+        )
     sys.stdout.flush()
     sampler.start()
     # blocks until a signal triggers server.stop(); in-flight requests
@@ -852,7 +1033,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
-    from repro.loadgen import LoadGenError, format_report, run_load, write_report
+    from repro.loadgen import (
+        LoadGenError,
+        format_ingest_report,
+        format_report,
+        run_ingest_load,
+        run_load,
+        write_report,
+    )
+
+    if args.mode == "ingest":
+        if args.data is None:
+            print("error: ingest mode needs --data <trace dir>", file=sys.stderr)
+            return 2
+        try:
+            ingest_report = run_ingest_load(
+                args.url,
+                args.data,
+                days=args.days,
+                first_day=args.first_day,
+                windows_per_batch=args.batch_windows,
+                timeout=args.timeout,
+                flush=not args.no_flush,
+            )
+        except LoadGenError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            write_report(ingest_report, args.out)
+        except OSError as exc:
+            print(
+                f"error: cannot write report to {args.out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(format_ingest_report(ingest_report))
+        print(f"report written to {args.out}")
+        return 0
 
     try:
         report = run_load(
@@ -874,6 +1091,81 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         return 2
     print(format_report(report))
     print(f"report written to {args.out}")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.ingest import IngestEngine, SpoolTailer
+
+    if args.snapshot_every < 1:
+        print("error: --snapshot-every must be at least 1", file=sys.stderr)
+        return 2
+    if args.poll <= 0:
+        print("error: --poll must be positive", file=sys.stderr)
+        return 2
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.snapshot_dir is not None:
+        checkpoint = args.snapshot_dir / "checkpoint.json"
+    simulator = _simulator_for(args.data)
+    config = _engine_config(args)
+    if args.model is not None:
+        try:
+            engine = AnalysisEngine.load(
+                args.model, simulator.network, simulator.districts(), config=config
+            )
+        except FileNotFoundError as exc:
+            print(f"error: not a model directory: {exc}", file=sys.stderr)
+            return 2
+    else:
+        engine = AnalysisEngine.from_simulator(simulator, config)
+    ingest = IngestEngine(
+        engine,
+        start_day=args.first_day,
+        rollup=not args.no_rollup,
+        snapshot_format=args.snapshot_format,
+    )
+    tailer = SpoolTailer(
+        args.spool,
+        ingest,
+        checkpoint_path=checkpoint,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_every_days=args.snapshot_every,
+        poll_seconds=args.poll,
+    )
+    # SIGTERM/Ctrl-C request a graceful drain: finish the file in hand,
+    # publish the final snapshot/checkpoint pair, then return
+    stop = {"requested": False}
+
+    def _request_stop(signum, frame):
+        stop["requested"] = True
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    resumed = f" (resumed {args.model})" if args.model is not None else ""
+    print(
+        f"tailing {args.spool} from day {ingest.open_day}{resumed}; "
+        "SIGTERM/Ctrl-C drains and exits"
+    )
+    sys.stdout.flush()
+    files, days_closed = tailer.run(
+        once=args.once,
+        flush_at_exit=args.flush,
+        stop_check=lambda: stop["requested"],
+        max_seconds=args.max_seconds,
+    )
+    stats = ingest.stats()
+    print(
+        f"ingested {files} file(s), closed {days_closed} day(s): "
+        f"accepted={stats['accepted']} rejected={stats['rejected']}, "
+        f"open day {stats['open_day']}"
+    )
+    if args.snapshot_dir is not None:
+        print(
+            f"snapshot: {args.snapshot_dir / 'current'} "
+            f"(checkpoint {checkpoint})"
+        )
     return 0
 
 
@@ -1072,6 +1364,7 @@ _COMMANDS = {
     "info": cmd_info,
     "bench": cmd_bench,
     "serve": cmd_serve,
+    "ingest": cmd_ingest,
     "top": cmd_top,
     "stats": cmd_stats,
     "loadgen": cmd_loadgen,
@@ -1121,9 +1414,10 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     metrics_out: Optional[Path] = getattr(args, "metrics_out", None)
     trace_out: Optional[Path] = getattr(args, "trace_out", None)
     # `stats` reads snapshots instead of recording them — its --trace-out
-    # converts the loaded snapshot inside cmd_stats; `serve` always records
-    # (request telemetry is the point of a server), others only on request
-    always_records = args.command == "serve"
+    # converts the loaded snapshot inside cmd_stats; `serve` and `ingest`
+    # always record (request/stream telemetry is the point of a daemon),
+    # others only on request
+    always_records = args.command in ("serve", "ingest")
     if args.command == "stats" or (
         not always_records and metrics_out is None and trace_out is None
     ):

@@ -1,0 +1,54 @@
+"""Streaming ingest: the live, continuously-updating atypical forest.
+
+The paper's features are algebraic (Property 2) and the day→week→month
+merge is commutative and associative (Property 3), so the forest need not
+be a batch artifact: this package maintains the day level incrementally
+as events arrive and keeps the upper levels rolled up, while preserving
+byte-for-byte parity with a batch build of the same records.
+
+* :mod:`repro.ingest.contract` — the frozen ``(sensor, window,
+  severity)`` event contract and its NDJSON/JSON wire forms;
+* :mod:`repro.ingest.engine` — :class:`IngestEngine`, the watermarked
+  streaming extractor with day installation, live roll-ups, staleness
+  accounting and atomic snapshots;
+* :mod:`repro.ingest.spool` — :class:`SpoolTailer`, the durable
+  file-based ingest path behind ``repro ingest`` (rename-into-place
+  spool protocol, crash-safe checkpoints).
+
+Serving integration lives in :mod:`repro.serve.handlers` (``POST
+/ingest``); the operational runbook is ``docs/OPERATIONS.md``.
+"""
+
+from repro.ingest.contract import (
+    CONTRACT_VERSION,
+    ContractError,
+    parse_body,
+    parse_json,
+    parse_ndjson,
+    render_ndjson,
+    validate_event,
+)
+from repro.ingest.engine import IngestEngine, IngestOverload, IngestResult
+from repro.ingest.spool import (
+    SpoolTailer,
+    load_checkpoint,
+    write_checkpoint,
+    write_spool_file,
+)
+
+__all__ = [
+    "CONTRACT_VERSION",
+    "ContractError",
+    "IngestEngine",
+    "IngestOverload",
+    "IngestResult",
+    "SpoolTailer",
+    "load_checkpoint",
+    "parse_body",
+    "parse_json",
+    "parse_ndjson",
+    "render_ndjson",
+    "validate_event",
+    "write_checkpoint",
+    "write_spool_file",
+]

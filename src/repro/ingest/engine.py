@@ -1,0 +1,576 @@
+"""The live forest: streaming ingest over the batch engine's model.
+
+:class:`IngestEngine` turns an :class:`~repro.analysis.engine.AnalysisEngine`
+into a continuously-updating model. Events arrive in batches of validated
+``(sensor, window, severity)`` rows (see :mod:`repro.ingest.contract`);
+micro-clusters are extracted online by the
+:class:`~repro.core.streaming.OnlineEventTracker`, one tracker per open
+day, and each day is installed into the forest the moment the event
+watermark crosses into the next day.
+
+The central invariant — pinned by ``tests/ingest`` and gated by the
+``ingest_throughput`` benchmark — is **batch parity**: after a day closes
+(or :meth:`flush`), the engine's forest, cube and built-day set are
+byte-identical to a batch build over the same records. Three mechanisms
+carry it:
+
+* *canonical window feed* — rows buffer per window and are pushed to the
+  tracker sorted by sensor only when the watermark advances, reproducing
+  the batch extractor's ``sorted_by_window`` accumulation order exactly;
+* *order-key re-minting* — at day close the tracker's closed clusters are
+  re-minted with the engine's shared id generator in ascending
+  :attr:`~repro.core.streaming.OnlineEventTracker.order_keys` order (the
+  batch component order), then sorted ``(-severity, start_window)`` like
+  Algorithm 1's output;
+* *high id-space roll-ups* — live week/month macro-clusters are
+  integrated with a private generator starting at ``2**48`` and installed
+  into the forest's caches, so serving stays fresh without perturbing the
+  micro id sequence a batch build would assign. Snapshots strip these
+  caches (see :meth:`snapshot`).
+
+Freshness is *day-granular*: an accepted event becomes queryable when its
+day closes, and :meth:`staleness_seconds` (exported as the
+``ingest.staleness_seconds`` gauge) reports the age of the oldest accepted
+event still waiting — bounded by the day length plus the ``delta_t`` gap
+in steady state, and collapsible to zero at any time with :meth:`flush`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.cluster import AtypicalCluster, ClusterIdGenerator
+from repro.core.forest import AtypicalForest
+from repro.core.records import RecordBatch
+from repro.core.streaming import OnlineEventTracker
+from repro.obs.metrics import LATENCY_BUCKETS
+
+__all__ = ["IngestEngine", "IngestOverload", "IngestResult", "MACRO_ID_BASE"]
+
+_log_name = "repro.ingest"
+
+#: First id the live roll-up generator mints. Micro ids are dense small
+#: integers assigned by the shared engine generator; keeping live macros
+#: in a disjoint high id-space means roll-ups can never collide with —
+#: or shift — the micro ids a batch build would assign.
+MACRO_ID_BASE = 1 << 48
+
+
+class IngestOverload(RuntimeError):
+    """Admission control rejected a batch (HTTP 429 on the serve path).
+
+    Raised before any row of the batch is applied: either the batch alone
+    exceeds the configured queue capacity, or too many submitters are
+    already waiting on the ingest lock.
+    """
+
+
+@dataclass
+class IngestResult:
+    """Outcome of one :meth:`IngestEngine.add_events` call."""
+
+    accepted: int = 0
+    rejected: Counter = field(default_factory=Counter)
+    closed_days: List[int] = field(default_factory=list)
+    open_day: int = 0
+    staleness_seconds: float = 0.0
+
+    def rejected_total(self) -> int:
+        """Total rejected rows across all reasons."""
+        return sum(self.rejected.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible shape (the ``POST /ingest`` response body)."""
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected_total(),
+            "rejections": dict(sorted(self.rejected.items())),
+            "closed_days": list(self.closed_days),
+            "open_day": self.open_day,
+            "staleness_seconds": round(self.staleness_seconds, 3),
+        }
+
+
+class IngestEngine:
+    """Streaming ingest over one analysis engine (see module docstring).
+
+    ``query_lock`` must be the same lock the serving layer holds around
+    ``engine.query`` calls; day installation and snapshotting take it so
+    queries never observe a half-installed day. ``start_day`` anchors the
+    first open day when the engine holds no built days yet (an engine
+    resumed from a snapshot opens at its last built day + 1). ``rollup``
+    keeps the week/month levels of every closed day's calendar periods
+    materialized for ``use_materialized`` queries and the dashboard.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        start_day: int = 0,
+        rollup: bool = True,
+        query_lock: Optional[threading.Lock] = None,
+        max_batch_rows: int = 50_000,
+        max_waiters: int = 8,
+        snapshot_format: str = "columnar",
+        snapshot_keep: int = 3,
+    ):
+        self._engine = engine
+        self._spec = engine.window_spec
+        self._calendar = engine.calendar
+        self._rollup = rollup
+        self._query_lock = query_lock if query_lock is not None else threading.Lock()
+        self._max_batch_rows = max_batch_rows
+        self._max_waiters = max_waiters
+        self._snapshot_format = snapshot_format
+        self._snapshot_keep = max(1, snapshot_keep)
+        params = engine.config.extraction_params()
+        self._distance_miles = params.distance_miles
+        self._time_gap_minutes = params.time_gap_minutes
+        self._valid_sensors = frozenset(
+            sensor.sensor_id for sensor in engine.network
+        )
+        self._max_window = (
+            self._calendar.num_days * self._spec.windows_per_day - 1
+        )
+        self._macro_ids = ClusterIdGenerator(start=MACRO_ID_BASE)
+
+        built = engine.built_days
+        self._day = max(built) + 1 if built else start_day
+        self._tracker = self._new_tracker()
+        self._open_window = -1
+        self._pending: List[Tuple[int, int, float]] = []
+        self._day_rows: List[Tuple[int, int, float]] = []
+
+        self._lock = threading.Lock()
+        self._admission_lock = threading.Lock()
+        self._waiters = 0
+        self._staleness_anchor: Optional[float] = None
+        self._accepted_total = 0
+        self._rejected_total: Counter = Counter()
+        self._days_closed = 0
+        self._snapshots_written = 0
+        self._last_snapshot: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The wrapped :class:`~repro.analysis.engine.AnalysisEngine`."""
+        return self._engine
+
+    @property
+    def open_day(self) -> int:
+        """The day currently accepting events (not yet queryable)."""
+        return self._day
+
+    @property
+    def days_closed(self) -> int:
+        """Days installed into the forest by this engine instance."""
+        return self._days_closed
+
+    @property
+    def accepted_total(self) -> int:
+        """Rows accepted since construction."""
+        return self._accepted_total
+
+    @property
+    def rejected_totals(self) -> Counter:
+        """Per-reason rejected row counts since construction (a copy)."""
+        return Counter(self._rejected_total)
+
+    def pending_rows(self) -> int:
+        """Accepted rows not yet queryable (open window + open tracker)."""
+        return len(self._pending) + len(self._day_rows)
+
+    def staleness_seconds(self) -> float:
+        """Age of the oldest accepted, not-yet-queryable event (seconds).
+
+        Zero when every accepted event has been installed. Also refreshes
+        the ``ingest.staleness_seconds`` gauge so scrapes that go through
+        :meth:`stats` (``/healthz``, the dashboard) see a live value.
+        """
+        anchor = self._staleness_anchor
+        staleness = 0.0 if anchor is None else max(0.0, time.monotonic() - anchor)
+        if obs.enabled():
+            obs.gauge("ingest.staleness_seconds").set(staleness)
+        return staleness
+
+    # ------------------------------------------------------------------
+    def add_events(
+        self, rows: Sequence[Tuple[int, int, float]], *, flush: bool = False
+    ) -> IngestResult:
+        """Apply one batch of validated rows; returns the batch outcome.
+
+        Rows are processed in order; a row whose window precedes the open
+        window (or whose day is already built) is rejected — the stream
+        contract is a monotone watermark, matching the tracker's
+        window-ordered push. ``flush=True`` closes the open day after the
+        batch (operator drain; see :meth:`flush`).
+
+        Raises :class:`IngestOverload` — before applying anything — when
+        the batch exceeds ``max_batch_rows`` or too many submitters are
+        already queued on the ingest lock.
+        """
+        if len(rows) > self._max_batch_rows:
+            if obs.enabled():
+                obs.counter("ingest.throttled").inc()
+            raise IngestOverload(
+                f"batch of {len(rows)} rows exceeds the ingest queue "
+                f"capacity ({self._max_batch_rows})"
+            )
+        if not self._lock.acquire(blocking=False):
+            with self._admission_lock:
+                if self._waiters >= self._max_waiters:
+                    if obs.enabled():
+                        obs.counter("ingest.throttled").inc()
+                    raise IngestOverload(
+                        f"ingest queue is full ({self._waiters} batches waiting)"
+                    )
+                self._waiters += 1
+            try:
+                self._lock.acquire()
+            finally:
+                with self._admission_lock:
+                    self._waiters -= 1
+        try:
+            return self._apply(rows, flush)
+        finally:
+            self._lock.release()
+
+    def _apply(
+        self, rows: Sequence[Tuple[int, int, float]], flush: bool
+    ) -> IngestResult:
+        started = time.perf_counter()
+        result = IngestResult()
+        for sensor, window, severity in rows:
+            reason = self._admit(sensor, window)
+            if reason:
+                result.rejected[reason] += 1
+                continue
+            day = self._spec.day_of_window(window)
+            if day > self._day:
+                self._advance_to_day(day, result)
+            if self._open_window == -1:
+                self._open_window = window
+            elif window > self._open_window:
+                self._seal_window()
+                self._open_window = window
+            self._pending.append((sensor, window, severity))
+            if self._staleness_anchor is None:
+                self._staleness_anchor = time.monotonic()
+            result.accepted += 1
+        if flush:
+            result.closed_days.extend(self.flush_locked())
+        result.open_day = self._day
+        self._accepted_total += result.accepted
+        self._rejected_total.update(result.rejected)
+        result.staleness_seconds = self.staleness_seconds()
+        if obs.enabled():
+            obs.counter("ingest.batches").inc()
+            obs.counter("ingest.events.accepted").inc(result.accepted)
+            for reason, count in result.rejected.items():
+                obs.counter(f"ingest.rejected.{reason}").inc(count)
+            obs.counter("ingest.events.rejected").inc(result.rejected_total())
+            obs.gauge("ingest.pending_rows").set(self.pending_rows())
+            obs.histogram("ingest.batch_seconds", LATENCY_BUCKETS).observe(
+                time.perf_counter() - started
+            )
+        return result
+
+    def note_rejections(self, rejected: Counter) -> None:
+        """Fold contract-level rejections into the totals and metrics.
+
+        Wire-format violations (``parse``, ``unknown-field``, ...) are
+        counted where the bytes are decoded — the HTTP handler or the
+        spool tailer — not by :meth:`add_events`, which only ever sees
+        valid rows; this keeps ``/healthz`` and the ``ingest.rejected.*``
+        counters consistent with the per-batch responses.
+        """
+        if not rejected:
+            return
+        with self._admission_lock:
+            self._rejected_total.update(rejected)
+        if obs.enabled():
+            for reason, count in rejected.items():
+                obs.counter(f"ingest.rejected.{reason}").inc(count)
+            obs.counter("ingest.events.rejected").inc(sum(rejected.values()))
+
+    def _admit(self, sensor: int, window: int) -> str:
+        """The per-row rejection reason, or ``""`` when the row may land."""
+        if window > self._max_window:
+            return "beyond-calendar"
+        day = self._spec.day_of_window(window)
+        if day < self._day:
+            return "closed-day"
+        if day == self._day and self._open_window != -1 and window < self._open_window:
+            return "stale-window"
+        if sensor not in self._valid_sensors:
+            return "unknown-sensor"
+        return ""
+
+    # ------------------------------------------------------------------
+    def flush(self) -> List[int]:
+        """Close the open day now (even mid-day) and install it.
+
+        The operator's drain switch: after a flush every accepted event is
+        queryable and :meth:`staleness_seconds` is zero. The open day is
+        installed even when it received no events (it is provably
+        eventless as far as the stream is concerned), matching a batch
+        build over the same catalog range. Returns the closed day ids.
+        """
+        with self._lock:
+            return self.flush_locked()
+
+    def flush_locked(self) -> List[int]:
+        """:meth:`flush` body for callers already holding the ingest lock."""
+        closed_day = self._day
+        self._close_day()
+        self._day = closed_day + 1
+        self._tracker = self._new_tracker()
+        self._open_window = -1
+        self._staleness_anchor = None
+        return [closed_day]
+
+    def _advance_to_day(self, new_day: int, result: IngestResult) -> None:
+        """Close the open day (and any empty gap days) up to ``new_day``."""
+        self._close_day()
+        result.closed_days.append(self._day)
+        for gap_day in range(self._day + 1, new_day):
+            self._install_day(gap_day, [], RecordBatch.empty())
+            result.closed_days.append(gap_day)
+        self._day = new_day
+        self._tracker = self._new_tracker()
+        self._open_window = -1
+        self._staleness_anchor = None
+
+    def _seal_window(self) -> None:
+        """Push the open window's rows to the tracker in canonical order."""
+        if not self._pending:
+            return
+        self._pending.sort(key=lambda row: row[0])
+        batch = _rows_to_batch(self._pending)
+        self._tracker.push_window(self._open_window, batch)
+        self._day_rows.extend(self._pending)
+        self._pending = []
+
+    def _close_day(self) -> None:
+        """Seal, flush the tracker, re-mint in batch order, and install."""
+        self._seal_window()
+        self._tracker.flush()
+        closed = self._tracker.closed_clusters
+        order_keys = self._tracker.order_keys
+        ids = self._engine.forest.ids
+        minted = [
+            AtypicalCluster.micro(c.spatial, c.temporal, ids)
+            for c in sorted(closed, key=lambda c: order_keys[c.cluster_id])
+        ]
+        minted.sort(key=lambda c: (-c.severity(), c.start_window()))
+        # the cube accumulates in the catalog's sensor-major record order,
+        # so a flushed snapshot's cube.bin is byte-identical to a batch
+        # build's (float accumulation order and all)
+        self._day_rows.sort(key=lambda row: (row[0], row[1]))
+        batch = _rows_to_batch(self._day_rows)
+        self._install_day(self._day, minted, batch)
+        self._day_rows = []
+
+    def _install_day(
+        self,
+        day: int,
+        clusters: Sequence[AtypicalCluster],
+        batch: RecordBatch,
+    ) -> None:
+        with self._query_lock:
+            self._engine.install_day(day, clusters, batch)
+            if self._rollup:
+                self._rollup_day(day)
+        self._days_closed += 1
+        if obs.enabled():
+            obs.counter("ingest.days.closed").inc()
+            obs.gauge("ingest.built_days").set(len(self._engine.built_days))
+        obs.get_logger(_log_name).info(
+            "day closed",
+            extra={"day": day, "clusters": len(clusters), "records": len(batch)},
+        )
+
+    def _rollup_day(self, day: int) -> None:
+        """Re-materialize the closed day's week and month levels.
+
+        ``add_day`` just invalidated both caches; integrating with the
+        private high id-space generator and installing the results keeps
+        ``use_materialized`` queries and the dashboard fresh without
+        consuming ids from the shared micro sequence.
+        """
+        forest = self._engine.forest
+        calendar = self._calendar
+        built = self._engine.built_days
+        week = calendar.week_of_day(day)
+        micro = [
+            cluster
+            for d in calendar.week_day_range(week)
+            if d in built
+            for cluster in forest.day_clusters(d)
+        ]
+        result = forest.integrator.integrate(
+            micro, self._macro_ids, forest.similarity_cache
+        )
+        forest.install_week(week, result.clusters, list(result.created.values()))
+        month = calendar.month_of_day(day)
+        inputs: List[AtypicalCluster] = []
+        for w in sorted(
+            {calendar.week_of_day(d) for d in calendar.month_day_range(month) if d in built}
+        ):
+            inputs.extend(forest.week_clusters(w))
+        result = forest.integrator.integrate(
+            inputs, self._macro_ids, forest.similarity_cache
+        )
+        forest.install_month(month, result.clusters, list(result.created.values()))
+
+    # ------------------------------------------------------------------
+    def _new_tracker(self) -> OnlineEventTracker:
+        # a private scratch id generator per day: tracker ids are assigned
+        # in close order, thrown away when the day's clusters are re-minted
+        # in canonical batch order at install time
+        return OnlineEventTracker(
+            self._engine.network,
+            distance_miles=self._distance_miles,
+            time_gap_minutes=self._time_gap_minutes,
+            window_spec=self._spec,
+            ids=ClusterIdGenerator(),
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot(self, directory) -> Path:
+        """Publish an atomic, batch-identical model snapshot.
+
+        Writes ``forest.bin`` / ``cube.bin`` / ``engine.json`` for the
+        *closed* days into a fresh ``model-NNNNNN`` directory under
+        ``directory`` and atomically swings the ``current`` symlink to it,
+        so a concurrent ``repro query --model <directory>/current`` or
+        ``repro serve`` always opens a complete, consistent model.
+
+        The snapshot forest contains only day-level micro-clusters — the
+        live week/month roll-ups (high id-space) are stripped — which is
+        what makes the files byte-identical to ``repro build`` over the
+        same records. Returns the published version directory.
+        """
+        from repro.storage.forest_io import save_cube, save_forest
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._query_lock:
+            forest = self._engine.forest
+            days = forest.days
+            clusters = [c for d in days for c in forest.day_clusters(d)]
+            snap = AtypicalForest(
+                self._calendar,
+                self._spec,
+                self._engine.config.integrator(),
+                ClusterIdGenerator(),
+            )
+            snap.import_state(
+                clusters=clusters,
+                micro_by_day={
+                    d: [c.cluster_id for c in forest.day_clusters(d)] for d in days
+                },
+                week_cache={},
+                month_cache={},
+            )
+            built_days = sorted(self._engine.built_days)
+            self._snapshots_written += 1
+            # number versions from the directory contents, not this
+            # instance's counter: a tailer resumed after a crash must not
+            # collide with the versions its predecessor published
+            existing = [
+                int(p.name[len("model-"):])
+                for p in directory.glob("model-*")
+                if p.is_dir() and p.name[len("model-"):].isdigit()
+            ]
+            version = f"model-{max(existing, default=0) + 1:06d}"
+            tmp_dir = directory / f".tmp-{os.getpid()}-{version}"
+            if tmp_dir.exists():
+                shutil.rmtree(tmp_dir)
+            tmp_dir.mkdir(parents=True)
+            try:
+                save_forest(
+                    snap, tmp_dir / "forest.bin", format=self._snapshot_format
+                )
+                save_cube(self._engine.cube, tmp_dir / "cube.bin")
+                config = self._engine.config
+                meta = {
+                    "built_days": built_days,
+                    "delta_s": config.delta_s,
+                    "similarity_threshold": config.similarity_threshold,
+                    "balance_function": config.balance_function,
+                }
+                import json
+
+                (tmp_dir / "engine.json").write_text(json.dumps(meta))
+                target = directory / version
+                os.replace(tmp_dir, target)
+            finally:
+                if tmp_dir.exists():
+                    shutil.rmtree(tmp_dir, ignore_errors=True)
+        link = directory / "current"
+        tmp_link = directory / f".current-{os.getpid()}"
+        if tmp_link.is_symlink() or tmp_link.exists():
+            tmp_link.unlink()
+        os.symlink(version, tmp_link)
+        os.replace(tmp_link, link)
+        self._last_snapshot = str(target)
+        self._prune_snapshots(directory)
+        if obs.enabled():
+            obs.counter("ingest.snapshots").inc()
+        obs.get_logger(_log_name).info(
+            "snapshot published",
+            extra={"path": str(target), "built_days": len(built_days)},
+        )
+        return target
+
+    def _prune_snapshots(self, directory: Path) -> None:
+        versions = sorted(
+            p for p in directory.glob("model-*") if p.is_dir()
+        )
+        current = (directory / "current").resolve()
+        for stale in versions[: -self._snapshot_keep]:
+            if stale.resolve() != current:
+                shutil.rmtree(stale, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Operational snapshot for ``/healthz`` and the dashboard."""
+        return {
+            "open_day": self._day,
+            "open_window": self._open_window if self._open_window != -1 else None,
+            "built_days": len(self._engine.built_days),
+            "days_closed": self._days_closed,
+            "accepted": self._accepted_total,
+            "rejected": sum(self._rejected_total.values()),
+            "rejections": dict(sorted(self._rejected_total.items())),
+            "pending_rows": self.pending_rows(),
+            "staleness_seconds": round(self.staleness_seconds(), 3),
+            "rollup": self._rollup,
+            "snapshots": self._snapshots_written,
+            "last_snapshot": self._last_snapshot,
+        }
+
+
+def _rows_to_batch(rows: Sequence[Tuple[int, int, float]]) -> RecordBatch:
+    """Validated rows -> a :class:`RecordBatch` (empty-safe)."""
+    if not rows:
+        return RecordBatch.empty()
+    sensors = np.fromiter((r[0] for r in rows), dtype=np.int32, count=len(rows))
+    windows = np.fromiter((r[1] for r in rows), dtype=np.int32, count=len(rows))
+    severities = np.fromiter(
+        (r[2] for r in rows), dtype=np.float64, count=len(rows)
+    )
+    return RecordBatch(sensors, windows, severities)

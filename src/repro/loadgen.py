@@ -20,8 +20,13 @@ Two modes, because they answer different questions:
   (the coordinated-omission trap). This is the "can it hold 200 rps?"
   gate.
 
-Stdlib only (``urllib`` + threads): the generator must run in CI and in
-the bench harness without adding dependencies. Every operational failure
+A third mode, **ingest**, streams a stored trace's events into ``POST
+/ingest`` as sequential NDJSON batches (single producer — the ingest
+contract requires monotone window order) and reports accepted events per
+second; see :func:`run_ingest_load`.
+
+Stdlib only (``urllib`` + threads) for the query modes — ingest mode
+lazily imports the storage stack to read the trace. Every operational failure
 (unreachable server, bad flag combination) raises :class:`LoadGenError`
 with a one-line message; the CLI maps it to exit code 2.
 
@@ -47,10 +52,14 @@ __all__ = [
     "LoadGenError",
     "MixItem",
     "LoadReport",
+    "IngestLoadReport",
     "build_mix",
+    "iter_event_batches",
     "probe_server",
     "run_load",
+    "run_ingest_load",
     "format_report",
+    "format_ingest_report",
     "write_report",
     "DEFAULT_MIX_WEIGHTS",
 ]
@@ -365,6 +374,230 @@ def run_load(
     return report
 
 
+@dataclass
+class IngestLoadReport:
+    """What one ``--mode ingest`` run measured (``write_report``-able)."""
+
+    url: str
+    data_dir: str
+    days: int
+    duration_seconds: float = 0.0
+    batches: int = 0
+    events_sent: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    errors: int = 0
+    closed_days: int = 0
+    latencies: List[float] = field(default_factory=list)
+    status_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        """Accepted events per second of wall-clock streaming time."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.accepted / self.duration_seconds
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank per-batch latency quantile (None when empty)."""
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON report document."""
+        return {
+            "mode": "ingest",
+            "url": self.url,
+            "data_dir": self.data_dir,
+            "days": self.days,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "batches": self.batches,
+            "events_sent": self.events_sent,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "closed_days": self.closed_days,
+            "events_per_second": round(self.events_per_second, 1),
+            "latency_seconds": {
+                f"p{int(q * 100)}": (
+                    round(v, 6) if (v := self.quantile(q)) is not None else None
+                )
+                for q in _QUANTILES
+            },
+            "status_counts": dict(sorted(self.status_counts.items())),
+        }
+
+
+def iter_event_batches(
+    data_dir: Path | str,
+    first_day: int = 0,
+    days: int = 1,
+    windows_per_batch: int = 12,
+):
+    """Yield ``(day, rows)`` event batches from a stored trace, in stream order.
+
+    Rows are ``(sensor, window, severity)`` tuples sorted by window then
+    sensor — the canonical arrival order the ingest watermark expects.
+    Each batch spans at most ``windows_per_batch`` distinct time windows
+    and never crosses a day boundary. Imports the storage stack lazily so
+    the query-load modes stay stdlib-only.
+    """
+    import numpy as np
+
+    from repro.storage.catalog import DatasetCatalog
+
+    wanted = range(first_day, first_day + days)
+    catalog = DatasetCatalog(Path(data_dir))
+    for dataset in catalog:
+        for day in dataset.days:
+            if day not in wanted:
+                continue
+            batch = dataset.atypical_day(day)
+            order = np.lexsort((batch.sensor_ids, batch.windows))
+            rows = [
+                (
+                    int(batch.sensor_ids[i]),
+                    int(batch.windows[i]),
+                    float(batch.severities[i]),
+                )
+                for i in order
+            ]
+            chunk: List[Tuple[int, int, float]] = []
+            seen_windows: set = set()
+            for row in rows:
+                if row[1] not in seen_windows and len(seen_windows) >= windows_per_batch:
+                    yield day, chunk
+                    chunk, seen_windows = [], set()
+                seen_windows.add(row[1])
+                chunk.append(row)
+            if chunk:
+                yield day, chunk
+
+
+def _post_ingest(
+    base_url: str, payload: bytes, timeout: float, flush: bool = False
+) -> Tuple[int, Optional[str], Optional[Mapping[str, object]]]:
+    """One ``POST /ingest``; returns ``(status, error_kind, response_doc)``."""
+    url = base_url.rstrip("/") + "/ingest"
+    if flush:
+        url += "?flush=1"
+    request = urllib.request.Request(
+        url,
+        data=payload,
+        headers={"Content-Type": "application/x-ndjson"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            doc = json.loads(resp.read().decode())
+            return resp.status, None, doc
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code, f"http_{exc.code}", None
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        reason = getattr(exc, "reason", exc)
+        return 0, f"network:{type(exc).__name__}:{reason}", None
+
+
+def run_ingest_load(
+    base_url: str,
+    data_dir: Path | str,
+    days: int = 1,
+    first_day: int = 0,
+    windows_per_batch: int = 12,
+    timeout: float = 30.0,
+    flush: bool = True,
+) -> IngestLoadReport:
+    """Stream a stored trace into ``POST /ingest`` and measure throughput.
+
+    Deliberately **single-threaded and sequential**: the ingest contract
+    requires monotone window order within the stream, so there is exactly
+    one producer and the interesting number is events per second through
+    the full extract/install path, not concurrency. ``flush`` closes the
+    final day with ``?flush=1`` so the streamed events are queryable (and
+    snapshot-able) when the run returns.
+    """
+    from repro.ingest.contract import render_ndjson
+
+    health = probe_server(base_url, timeout=min(timeout, 5.0))
+    if "ingest" not in health:
+        raise LoadGenError(
+            f"server at {base_url} has no ingest engine "
+            "(start serve with --ingest)"
+        )
+    if days < 1:
+        raise LoadGenError("ingest mode needs at least one day (--days)")
+    report = IngestLoadReport(
+        url=base_url, data_dir=str(data_dir), days=days
+    )
+    batches = list(
+        iter_event_batches(
+            data_dir,
+            first_day=first_day,
+            days=days,
+            windows_per_batch=windows_per_batch,
+        )
+    )
+    if not batches:
+        raise LoadGenError(
+            f"no events in {data_dir} for days "
+            f"{first_day}..{first_day + days - 1}"
+        )
+    start = time.perf_counter()
+    for index, (_, rows) in enumerate(batches):
+        payload = render_ndjson(rows)
+        last = index == len(batches) - 1
+        sent = time.perf_counter()
+        status, error, doc = _post_ingest(
+            base_url, payload, timeout, flush=flush and last
+        )
+        report.batches += 1
+        report.events_sent += len(rows)
+        key = str(status) if status else (error or "error").split(":", 1)[0]
+        report.status_counts[key] = report.status_counts.get(key, 0) + 1
+        if error is not None:
+            report.errors += 1
+        else:
+            report.latencies.append(time.perf_counter() - sent)
+        if doc is not None:
+            report.accepted += int(doc.get("accepted", 0))  # type: ignore[arg-type]
+            rejected = doc.get("rejected", {})
+            if isinstance(rejected, Mapping):
+                report.rejected += sum(int(v) for v in rejected.values())
+            report.closed_days += len(doc.get("closed_days", []))  # type: ignore[arg-type]
+    report.duration_seconds = time.perf_counter() - start
+    return report
+
+
+def format_ingest_report(report: IngestLoadReport) -> str:
+    """Human-readable summary printed after ``repro loadgen --mode ingest``."""
+    doc = report.to_dict()
+    latency = doc["latency_seconds"]
+
+    def _ms(value: object) -> str:
+        return f"{value * 1000:.1f}ms" if isinstance(value, float) else "n/a"
+
+    return "\n".join(
+        [
+            f"mode=ingest url={doc['url']} days={doc['days']} "
+            f"batches={doc['batches']}",
+            f"events sent={doc['events_sent']} accepted={doc['accepted']} "
+            f"rejected={doc['rejected']} errors={doc['errors']} "
+            f"closed_days={doc['closed_days']}",
+            f"throughput {doc['events_per_second']}/s "
+            f"over {doc['duration_seconds']:.1f}s; "
+            "batch latency p50={} p95={} p99={}".format(
+                _ms(latency["p50"]),  # type: ignore[index]
+                _ms(latency["p95"]),  # type: ignore[index]
+                _ms(latency["p99"]),  # type: ignore[index]
+            ),
+        ]
+    )
+
+
 def format_report(report: LoadReport) -> str:
     """Human-readable summary printed after ``repro loadgen``."""
     doc = report.to_dict()
@@ -400,6 +633,6 @@ def format_report(report: LoadReport) -> str:
     return "\n".join(lines)
 
 
-def write_report(report: LoadReport, path: Path | str) -> None:
+def write_report(report: LoadReport | IngestLoadReport, path: Path | str) -> None:
     """Write the report's JSON document to ``path`` (UTF-8, trailing \\n)."""
     Path(path).write_text(json.dumps(report.to_dict(), indent=2) + "\n")

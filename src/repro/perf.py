@@ -41,6 +41,7 @@ __all__ = [
     "run_parallel_build_benchmark",
     "run_serve_latency_benchmark",
     "run_trace_overhead_benchmark",
+    "run_ingest_throughput_benchmark",
     "run_integration_benchmark",
     "format_report",
 ]
@@ -714,6 +715,112 @@ def run_serve_load_benchmark(
     }
 
 
+def run_ingest_throughput_benchmark(
+    stream_days: int = 3,
+    seed: int = 7,
+    phase_seconds: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Benchmark the streaming ingest path and prove live equals batch.
+
+    Replays ``stream_days`` of a small simulated trace through
+    :class:`~repro.ingest.engine.IngestEngine` — window-sorted event rows,
+    live day→week→month roll-ups, a final flush, and a snapshot through
+    the columnar writer — then builds the same days offline through
+    :meth:`~repro.analysis.engine.AnalysisEngine.add_day_records`. Two
+    numbers gate in ``benchmarks/compare.py``: ``identical_macro_clusters``
+    (sha256 byte-equality of ``forest.bin`` / ``cube.bin`` /
+    ``engine.json`` between the published snapshot and the batch model —
+    the live path may not drift from Algorithm 1-3 by a single byte) and
+    an absolute ``events_per_second`` floor on the full
+    extract/install/roll-up path (``check_ingest_throughput``).
+    """
+    import hashlib
+    import tempfile
+
+    from repro.analysis.engine import AnalysisEngine
+    from repro.ingest.engine import IngestEngine
+    from repro.simulate.generator import SimulationConfig, TrafficSimulator
+    from repro.storage.catalog import DatasetCatalog
+
+    seconds = phase_seconds if phase_seconds is not None else {}
+    with _phase("ingest_throughput", seconds):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as tmp:
+            tmp_path = Path(tmp)
+            simulator = TrafficSimulator(SimulationConfig.small(seed=seed))
+            simulator.materialize_catalog(tmp_path / "data", months=[0])
+            catalog = DatasetCatalog(tmp_path / "data")
+
+            # one event list per day, in canonical stream order (window
+            # then sensor — the arrival order the ingest watermark expects)
+            day_rows: List[Tuple[int, List[Tuple[int, int, float]]]] = []
+            events = 0
+            for dataset in catalog:
+                for day in dataset.days:
+                    if day >= stream_days:
+                        continue
+                    batch = dataset.atypical_day(day)
+                    order = np.lexsort((batch.sensor_ids, batch.windows))
+                    rows = [
+                        (
+                            int(batch.sensor_ids[i]),
+                            int(batch.windows[i]),
+                            float(batch.severities[i]),
+                        )
+                        for i in order
+                    ]
+                    day_rows.append((day, rows))
+                    events += len(rows)
+
+            live_engine = AnalysisEngine.from_simulator(simulator)
+            ingest = IngestEngine(live_engine)
+            started = time.perf_counter()
+            for _, rows in day_rows:
+                ingest.add_events(rows)
+            ingest.flush()
+            stream_seconds = time.perf_counter() - started
+            snapshot_dir = ingest.snapshot(tmp_path / "snaps")
+            live_stats = live_engine.forest.stats()
+            stats = ingest.stats()
+
+            batch_engine = AnalysisEngine.from_simulator(simulator)
+            started = time.perf_counter()
+            for dataset in catalog:
+                for day in dataset.days:
+                    if day < stream_days:
+                        batch_engine.add_day_records(
+                            day, dataset.atypical_day(day)
+                        )
+            batch_seconds = time.perf_counter() - started
+            batch_dir = tmp_path / "batch"
+            batch_engine.save(batch_dir, forest_format="columnar")
+
+            def digest(model_dir: Path) -> Tuple[str, ...]:
+                return tuple(
+                    hashlib.sha256((model_dir / name).read_bytes()).hexdigest()
+                    for name in ("forest.bin", "cube.bin", "engine.json")
+                )
+
+            identical = digest(snapshot_dir) == digest(batch_dir)
+    return {
+        "stream_days": stream_days,
+        "events": events,
+        "accepted": stats["accepted"],
+        "rejected": stats["rejected"],
+        "days_closed": stats["days_closed"],
+        "week_macros": live_stats.num_week_macro,
+        "month_macros": live_stats.num_month_macro,
+        "stream_seconds": stream_seconds,
+        "batch_seconds": batch_seconds,
+        "events_per_second": events / stream_seconds
+        if stream_seconds
+        else float("inf"),
+        "overhead_ratio": stream_seconds / batch_seconds
+        if batch_seconds
+        else float("inf"),
+        "identical_macro_clusters": identical,
+    }
+
+
 def run_integration_benchmark(
     num_clusters: int = 400,
     seed: int = 7,
@@ -819,6 +926,11 @@ def run_integration_benchmark(
     # -- storage engine: bytes faulted per range query (fig17b) ----------
     query_io = run_query_io_benchmark(seed=seed, phase_seconds=phase_seconds)
 
+    # -- streaming ingest: live path throughput + byte-parity with batch -
+    ingest_throughput = run_ingest_throughput_benchmark(
+        seed=seed, phase_seconds=phase_seconds
+    )
+
     report = {
         "workload": {
             "num_clusters": num_clusters,
@@ -856,6 +968,7 @@ def run_integration_benchmark(
         "serve_load": serve_load,
         "trace_overhead": trace_overhead,
         "query_io": query_io,
+        "ingest_throughput": ingest_throughput,
         "naive_fixpoint": {
             "subset_clusters": len(subset),
             "rescan_seconds": rescan_best,
@@ -974,6 +1087,19 @@ def format_report(report: dict) -> str:
             f"on {trace['on_mean_seconds'] * 1e3:.1f}ms mean "
             f"({trace['overhead_ratio']:.2f}x), "
             f"{trace['traces_kept']} traces kept"
+        )
+    ing = report.get("ingest_throughput")
+    if ing:
+        lines.append(
+            f"ingest throughput ({ing['stream_days']} streamed days, "
+            f"{ing['events']} events): "
+            f"{ing['events_per_second']:.0f} events/s live "
+            f"({ing['stream_seconds']:.3f}s vs batch "
+            f"{ing['batch_seconds']:.3f}s, "
+            f"{ing['overhead_ratio']:.2f}x), "
+            f"{ing['days_closed']} days closed, "
+            f"{ing['week_macros']} week + {ing['month_macros']} month macros, "
+            f"identical={ing['identical_macro_clusters']}"
         )
     spans = report.get("spans")
     if spans:

@@ -81,7 +81,7 @@ class RequestContext:
 
     method: str
     path: str
-    endpoint: str  #: metric label: ``query`` / ``healthz`` / ``metrics`` / ``other``
+    endpoint: str  #: metric label: ``query`` / ``ingest`` / ``healthz`` / ``metrics`` / ``other``
     request_id: str = field(default_factory=new_request_id)
     started: float = field(default_factory=time.perf_counter)
     status: int = 0

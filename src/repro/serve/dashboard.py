@@ -69,6 +69,22 @@ STORAGE_COUNTERS: Tuple[Tuple[str, str], ...] = (
     ("bytes faulted", "repro_query_io_bytes_loaded_total"),
     ("column groups", "repro_query_io_groups_loaded_total"),
 )
+#: Live-ingest metrics (``label, name``). Only a server started with
+#: ``--ingest`` emits these, so the panel disappears on batch-only
+#: deployments; ``staleness`` is rendered as a duration, the rest as
+#: counts (see repro.ingest.engine for the semantics of each).
+INGEST_GAUGES: Tuple[Tuple[str, str], ...] = (
+    ("built days", "repro_ingest_built_days"),
+    ("pending rows", "repro_ingest_pending_rows"),
+)
+INGEST_COUNTERS: Tuple[Tuple[str, str], ...] = (
+    ("accepted", "repro_ingest_events_accepted_total"),
+    ("rejected", "repro_ingest_events_rejected_total"),
+    ("days closed", "repro_ingest_days_closed_total"),
+    ("snapshots", "repro_ingest_snapshots_total"),
+    ("throttled", "repro_ingest_throttled_total"),
+)
+INGEST_STALENESS = "repro_ingest_staleness_seconds"
 
 _CLEAR = "\x1b[2J\x1b[H"
 
@@ -218,6 +234,8 @@ class DashboardView:
     latency_recent: bool = False  #: True when quantiles are scrape-delta
     caches: List[Tuple[str, float, float]] = field(default_factory=list)
     storage: List[Tuple[str, float]] = field(default_factory=list)
+    #: live-ingest rows (label, value); empty = ingest not enabled
+    ingest: List[Tuple[str, float]] = field(default_factory=list)
     stages: List[Tuple[str, float, int]] = field(default_factory=list)
     slo_state: Optional[str] = None  #: overall OK/WARN/PAGE, None = no panel
     #: per-SLO rows: (state, name, worst burn per window pair, description)
@@ -345,6 +363,18 @@ class DashboardState:
             if value is not None:
                 view.storage.append((label, value))
 
+        for label, gauge_name in INGEST_GAUGES:
+            value = gauges.get(gauge_name)
+            if value is not None:
+                view.ingest.append((label, value))
+        for label, counter_name in INGEST_COUNTERS:
+            value = counters.get(counter_name)
+            if value is not None:
+                view.ingest.append((label, value))
+        staleness = gauges.get(INGEST_STALENESS)
+        if staleness is not None:
+            view.ingest.append(("staleness", staleness))
+
         for name, stage_hist in sorted(hists.items()):
             if not name.startswith(STAGE_PREFIX):
                 continue
@@ -433,6 +463,16 @@ def render(view: DashboardView, source: str = "") -> str:
         for label, value in view.storage:
             if "bytes" in label:
                 shown = _fmt_bytes(value)
+            else:
+                shown = f"{int(value)}"
+            lines.append(f"  {label:<18} {shown:>12}")
+
+    if view.ingest:
+        lines.append("")
+        lines.append("live ingest")
+        for label, value in view.ingest:
+            if label == "staleness":
+                shown = format_seconds(value)
             else:
                 shown = f"{int(value)}"
             lines.append(f"  {label:<18} {shown:>12}")

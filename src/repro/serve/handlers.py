@@ -11,6 +11,12 @@ sight. Endpoints:
   identical to the ``repro query`` CLI (same engine call, same report
   renderer). ``?trace=1`` embeds the request's own span tree as a Chrome
   ``trace_event`` document.
+* ``POST /ingest`` — push an event batch into the live forest (NDJSON or
+  JSON against the :mod:`repro.ingest.contract` event contract), when
+  the server was started with ``--ingest``; 404 otherwise. Responds with
+  per-batch accepted/rejected counts and the current staleness; answers
+  429 when admission control sheds the batch. ``?flush=1`` closes the
+  open day after the batch (drains, tests).
 * ``GET /healthz`` — liveness: model digest, uptime, request totals,
   thread count.
 * ``GET /metrics`` — the shared registry in Prometheus text exposition
@@ -52,6 +58,8 @@ from repro.analysis.report import build_report
 from repro.core.query import STRATEGIES
 from repro.obs.exporters import OPENMETRICS_TYPE
 from repro.obs.metrics import LATENCY_BUCKETS
+from repro.ingest.contract import ContractError, parse_body
+from repro.ingest.engine import IngestEngine, IngestOverload
 from repro.obs.tracestore import TailSampler, TraceRecord, TraceStore
 from repro.obs.tracing import to_chrome_trace
 from repro.serve.context import RequestContext, sanitize_request_id
@@ -131,9 +139,15 @@ class ServeApp:
         slo_engine=None,
         trace_store: Optional[TraceStore] = None,
         tail_sampler: Optional[TailSampler] = None,
+        ingest_engine: Optional[IngestEngine] = None,
+        ingest_snapshot_dir: Optional[Path] = None,
     ):
         self._engine = engine
         self._slo_engine = slo_engine
+        self._ingest = ingest_engine
+        self._ingest_snapshot_dir = (
+            Path(ingest_snapshot_dir) if ingest_snapshot_dir is not None else None
+        )
         self._trace_store = trace_store
         self._tail_sampler = tail_sampler or TailSampler()
         self._digest = digest
@@ -198,6 +212,7 @@ class ServeApp:
         }
         endpoint = {
             "/query": "query",
+            "/ingest": "ingest",
             "/healthz": "healthz",
             "/metrics": "metrics",
             "/slo": "slo",
@@ -346,6 +361,14 @@ class ServeApp:
                 if method != "POST":
                     return self._error(ctx, 405, "POST required for /query")
                 return 200, JSON_TYPE, self._handle_query(ctx, params, body)
+            if endpoint == "ingest":
+                if method != "POST":
+                    return self._error(ctx, 405, "POST required for /ingest")
+                if self._ingest is None:
+                    return self._error(
+                        ctx, 404, "ingest is not enabled (start serve with --ingest)"
+                    )
+                return 200, JSON_TYPE, self._handle_ingest(ctx, params, body, headers)
             if endpoint == "healthz":
                 if method != "GET":
                     return self._error(ctx, 405, "GET required for /healthz")
@@ -379,6 +402,8 @@ class ServeApp:
             return self._error(ctx, 404, f"no such endpoint: {path}")
         except _ClientError as exc:
             return self._error(ctx, 400, str(exc))
+        except IngestOverload as exc:
+            return self._error(ctx, 429, str(exc))
         except Exception as exc:  # noqa: BLE001 — the daemon must not die
             obs.get_logger("repro.serve").exception(
                 "request failed",
@@ -493,6 +518,53 @@ class ServeApp:
             payload["trace"] = self._request_trace(ctx.request_id, trace_mark)
         return _json_bytes(payload)
 
+    # ------------------------------------------------------------------
+    # POST /ingest
+    # ------------------------------------------------------------------
+    def _handle_ingest(
+        self,
+        ctx: RequestContext,
+        params: Mapping[str, str],
+        body: bytes,
+        headers: Mapping[str, str],
+    ) -> bytes:
+        """Apply one event batch to the live forest; see module docstring.
+
+        The body is NDJSON by default; ``Content-Type: application/json``
+        selects the JSON document form. Contract violations of individual
+        events are counted in the response, an unusable envelope is a 400,
+        and admission-control shedding surfaces as 429 through
+        :class:`~repro.ingest.engine.IngestOverload` in :meth:`_route`.
+
+        With ``--ingest-snapshot-dir`` configured, a batch that closes
+        one or more days also publishes an atomic snapshot before
+        responding (day closes are rare — once per stream-day — so the
+        latency lands on the batch that earned it).
+        """
+        try:
+            rows, rejected = parse_body(body, headers.get("content-type", ""))
+        except ContractError as exc:
+            raise _ClientError(str(exc))
+        flush = str(params.get("flush", "")) in ("1", "true", "yes")
+        started = time.perf_counter()
+        result = self._ingest.add_events(rows, flush=flush)
+        result.rejected.update(rejected)
+        self._ingest.note_rejections(rejected)
+        snapshot: Optional[Path] = None
+        if self._ingest_snapshot_dir is not None and result.closed_days:
+            snapshot = self._ingest.snapshot(self._ingest_snapshot_dir)
+        elapsed = time.perf_counter() - started
+        if obs.enabled():
+            obs.histogram("serve.ingest_seconds", LATENCY_BUCKETS).observe(
+                elapsed, exemplar=ctx.request_id
+            )
+        payload: Dict[str, object] = {"request_id": ctx.request_id}
+        payload.update(result.to_dict())
+        payload["built_days"] = len(self._engine.built_days)
+        if snapshot is not None:
+            payload["snapshot"] = str(snapshot)
+        return _json_bytes(payload)
+
     def _request_trace(self, request_id: str, mark: int) -> Dict[str, object]:
         """This request's spans (by correlation id) as a Chrome trace.
 
@@ -521,16 +593,25 @@ class ServeApp:
     # GET /healthz and /metrics
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, object]:
-        """The liveness document served on ``/healthz``."""
+        """The liveness document served on ``/healthz``.
+
+        With ingest enabled the model counts are read live (the forest
+        grows mid-stream) and an ``ingest`` block reports the stream's
+        operational state, staleness included.
+        """
         with self._stats_lock:
             served, errors, in_flight = self._served, self._errors, self._in_flight
-        return {
+        built_days, micro_clusters = self._built_days, self._micro_clusters
+        if self._ingest is not None:
+            built_days = len(self._engine.built_days)
+            micro_clusters = self._engine.forest.stats().num_micro
+        doc: Dict[str, object] = {
             "status": "ok",
             "model": {
                 "dir": str(self._model_dir) if self._model_dir else None,
                 "digest": self._digest or None,
-                "built_days": self._built_days,
-                "micro_clusters": self._micro_clusters,
+                "built_days": built_days,
+                "micro_clusters": micro_clusters,
             },
             "uptime_seconds": round(self.uptime_seconds(), 3),
             "started_unix": self._started_wall,
@@ -543,6 +624,9 @@ class ServeApp:
             "pid": os.getpid(),
             "observability": obs.enabled(),
         }
+        if self._ingest is not None:
+            doc["ingest"] = self._ingest.stats()
+        return doc
 
     def metrics_text(self) -> str:
         """The shared registry rendered in Prometheus exposition format."""

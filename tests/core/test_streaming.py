@@ -170,3 +170,45 @@ class TestBatchEquivalence:
         assert sum(c.severity() for c in clusters) == pytest.approx(
             batch.total_severity()
         )
+
+
+class TestFlushNoResurrection:
+    """flush() must retire events for good (the live-ingest day close).
+
+    The ingest engine calls flush() once per day and keeps pushing the
+    next day's windows into the same network geometry; a record landing
+    on a flushed event's frontier must open a fresh event, or the closed
+    day's severity would be double-counted into the next one.
+    """
+
+    def test_adjacent_record_after_flush_opens_new_event(self):
+        tracker = OnlineEventTracker(line_network(5, spacing=1.0))
+        tracker.push_window(10, make_batch([(2, 10, 2.0)]))
+        flushed = tracker.flush()
+        assert len(flushed) == 1
+        # spatially adjacent and within the time gap of the flushed
+        # event's frontier — still a brand-new event
+        assert tracker.push_window(11, make_batch([(3, 11, 1.0)])) == []
+        assert len(tracker.open_events) == 1
+        (new,) = tracker.flush()
+        assert new.cluster_id != flushed[0].cluster_id
+        assert new.severity() == 1.0
+        assert len(tracker.closed_clusters) == 2
+
+    def test_same_sensor_same_window_after_flush(self):
+        tracker = OnlineEventTracker(line_network(5))
+        tracker.push_window(10, make_batch([(0, 10, 2.0)]))
+        flushed = tracker.flush()
+        # the window watermark is non-decreasing, so window 10 may
+        # legally arrive again; the same sensor must not re-join
+        assert tracker.push_window(10, make_batch([(0, 10, 3.0)])) == []
+        (new,) = tracker.flush()
+        assert new.severity() == 3.0
+        assert new.cluster_id != flushed[0].cluster_id
+
+    def test_flush_is_idempotent(self):
+        tracker = OnlineEventTracker(line_network(3))
+        tracker.push_window(5, make_batch([(0, 5, 1.0)]))
+        assert len(tracker.flush()) == 1
+        assert tracker.flush() == []
+        assert len(tracker.closed_clusters) == 1

@@ -1,0 +1,139 @@
+"""Tests for the frozen event contract (wire formats and rejection slugs)."""
+
+import json
+import math
+
+import pytest
+
+from repro.ingest.contract import (
+    CONTRACT_VERSION,
+    ContractError,
+    parse_body,
+    parse_json,
+    parse_ndjson,
+    render_ndjson,
+    validate_event,
+)
+
+
+def event(**overrides):
+    doc = {"sensor": 3, "window": 120, "severity": 2.5}
+    doc.update(overrides)
+    return doc
+
+
+class TestValidateEvent:
+    def test_valid_event(self):
+        row, reason = validate_event(event())
+        assert reason == ""
+        assert row == (3, 120, 2.5)
+
+    def test_explicit_version_accepted(self):
+        _, reason = validate_event(event(v=CONTRACT_VERSION))
+        assert reason == ""
+
+    @pytest.mark.parametrize(
+        "obj, reason",
+        [
+            ([1, 2, 3], "not-object"),
+            ("text", "not-object"),
+            (event(extra=1), "unknown-field"),
+            (event(v=2), "bad-version"),
+            (event(v="1"), "bad-version"),
+            ({"sensor": 1, "window": 2}, "missing-field"),
+            (event(sensor=-1), "bad-sensor"),
+            (event(sensor=1.0), "bad-sensor"),
+            (event(sensor=True), "bad-sensor"),
+            (event(window=-1), "bad-window"),
+            (event(window="12"), "bad-window"),
+            (event(severity=0.0), "bad-severity"),
+            (event(severity=-2.0), "bad-severity"),
+            (event(severity=math.inf), "bad-severity"),
+            (event(severity=math.nan), "bad-severity"),
+            (event(severity="2.5"), "bad-severity"),
+            (event(severity=True), "bad-severity"),
+        ],
+    )
+    def test_rejection_slugs(self, obj, reason):
+        row, got = validate_event(obj)
+        assert got == reason
+        assert row == (0, 0, 0.0)
+
+    def test_integer_severity_accepted(self):
+        row, reason = validate_event(event(severity=3))
+        assert reason == ""
+        assert row == (3, 120, 3.0)
+
+
+class TestNdjson:
+    def test_roundtrip_preserves_floats(self):
+        rows = [(0, 5, 0.1), (7, 2041, 12.5), (3, 9, 1 / 3)]
+        parsed, rejected = parse_ndjson(render_ndjson(rows))
+        assert parsed == rows
+        assert not rejected
+
+    def test_blank_lines_skipped(self):
+        data = b"\n" + render_ndjson([(1, 2, 3.0)]) + b"\n\n"
+        rows, rejected = parse_ndjson(data)
+        assert rows == [(1, 2, 3.0)]
+        assert not rejected
+
+    def test_partial_acceptance(self):
+        data = b"\n".join(
+            [
+                json.dumps(event()).encode(),
+                b"{not json",
+                json.dumps(event(sensor=-5)).encode(),
+                json.dumps(event(window=9)).encode(),
+            ]
+        )
+        rows, rejected = parse_ndjson(data)
+        assert len(rows) == 2
+        assert rejected == {"parse": 1, "bad-sensor": 1}
+
+    def test_render_empty_is_empty(self):
+        assert render_ndjson([]) == b""
+        assert parse_ndjson(b"") == ([], {})
+
+
+class TestJsonDocument:
+    def test_array_form(self):
+        rows, rejected = parse_json(json.dumps([event(), event(sensor=9)]).encode())
+        assert [r[0] for r in rows] == [3, 9]
+        assert not rejected
+
+    def test_envelope_form(self):
+        rows, _ = parse_json(json.dumps({"events": [event()]}).encode())
+        assert rows == [(3, 120, 2.5)]
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"{not json",
+            json.dumps({"rows": []}).encode(),
+            json.dumps({"events": [], "extra": 1}).encode(),
+            json.dumps({"events": "nope"}).encode(),
+            json.dumps(42).encode(),
+        ],
+    )
+    def test_unusable_envelope_raises(self, body):
+        with pytest.raises(ContractError):
+            parse_json(body)
+
+    def test_per_event_violations_do_not_raise(self):
+        rows, rejected = parse_json(json.dumps([event(), event(v=9)]).encode())
+        assert len(rows) == 1
+        assert rejected == {"bad-version": 1}
+
+
+class TestParseBody:
+    def test_json_content_type_selects_document_form(self):
+        body = json.dumps([event()]).encode()
+        rows, _ = parse_body(body, "application/json; charset=utf-8")
+        assert rows == [(3, 120, 2.5)]
+
+    def test_default_is_ndjson(self):
+        rows, _ = parse_body(render_ndjson([(1, 2, 3.0)]), "")
+        assert rows == [(1, 2, 3.0)]
+        rows, _ = parse_body(render_ndjson([(1, 2, 3.0)]), "application/x-ndjson")
+        assert rows == [(1, 2, 3.0)]

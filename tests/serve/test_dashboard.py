@@ -282,3 +282,36 @@ class TestSloPanel:
         text = render(view)
         assert "alerts (SLO)  overall: WARN" in text
         assert "availability" in text and "fast-queries" in text
+
+
+class TestIngestPanel:
+    def _scrape_with_ingest(self):
+        parsed = _scrape()
+        parsed["gauges"]["repro_ingest_built_days"] = 3.0
+        parsed["gauges"]["repro_ingest_pending_rows"] = 42.0
+        parsed["gauges"]["repro_ingest_staleness_seconds"] = 17.5
+        parsed["counters"]["repro_ingest_events_accepted_total"] = 1200.0
+        parsed["counters"]["repro_ingest_events_rejected_total"] = 7.0
+        parsed["counters"]["repro_ingest_days_closed_total"] = 3.0
+        parsed["counters"]["repro_ingest_snapshots_total"] = 2.0
+        return parsed
+
+    def test_ingest_metrics_collected(self):
+        view = DashboardState().update(self._scrape_with_ingest(), now=100.0)
+        assert ("built days", 3.0) in view.ingest
+        assert ("accepted", 1200.0) in view.ingest
+        assert ("staleness", 17.5) in view.ingest
+
+    def test_ingest_absent_without_metrics(self):
+        # a batch-only server emits none of the ingest series, so the
+        # panel disappears entirely
+        view = DashboardState().update(_scrape(), now=100.0)
+        assert view.ingest == []
+        assert "live ingest" not in render(view)
+
+    def test_renders_ingest_panel(self):
+        view = DashboardState().update(self._scrape_with_ingest(), now=100.0)
+        text = render(view)
+        assert "live ingest" in text
+        assert "accepted" in text and "1200" in text
+        assert "staleness" in text and "17.500s" in text

@@ -28,7 +28,9 @@ import sys
 from pathlib import Path
 
 #: Package directories or single modules (``name`` → ``name/`` or ``name.py``).
-DEFAULT_PACKAGES = ("core", "obs", "parallel", "serve", "storage", "loadgen")
+DEFAULT_PACKAGES = (
+    "core", "obs", "parallel", "serve", "storage", "ingest", "loadgen"
+)
 
 
 def is_public(name: str) -> bool:

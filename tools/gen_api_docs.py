@@ -35,6 +35,7 @@ PACKAGES = (
     "repro.parallel",
     "repro.serve",
     "repro.storage",
+    "repro.ingest",
     "repro.loadgen",
 )
 OUT_DIR = ROOT / "docs" / "api"

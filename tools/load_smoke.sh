@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# End-to-end smoke for the load generator, the SLO engine, and the
-# tail-sampled trace store: build a tiny forest, start `repro serve`
-# with SLOs, telemetry persistence, and trace persistence enabled, run
-# a short closed-loop `repro loadgen` against it, gate on
-# `repro slo check` — live (`/slo`), then offline against the tsdb
-# segments the sampler persisted — and verify the tail sampler kept
+# End-to-end smoke for the load generator, the SLO engine, the
+# tail-sampled trace store, and the streaming ingest path: build a tiny
+# forest, start `repro serve` with SLOs, telemetry persistence, trace
+# persistence, and live ingest enabled, run a short closed-loop
+# `repro loadgen` against it, stream one day of events through
+# `POST /ingest` (loadgen event mode) and check `/query` reflects it,
+# gate on `repro slo check` — live (`/slo`), then offline against the
+# tsdb segments the sampler persisted — verify the tail sampler kept
 # traces that `repro trace show` resolves both live and from the
-# persisted segments. CI runs this as the load-smoke job and uploads
-# the BENCH_load.json and trace segments it produces; it works locally
-# too:
+# persisted segments, and finally drain a spool directory offline with
+# `repro ingest --once`, resuming from the published snapshot. CI runs
+# this as the load-smoke job and uploads the BENCH_load.json,
+# BENCH_ingest_load.json, trace segments, ingest checkpoint and
+# snapshot it produces; it works locally too:
 #
 #   tools/load_smoke.sh [out-dir]
 set -euo pipefail
@@ -28,20 +32,24 @@ export PYTHONPATH="$ROOT/src"
 DATA="$WORK/data"
 MODEL="$WORK/model"
 TSDB="$WORK/tsdb"
+SNAPS="$WORK/snaps"
+SPOOL="$WORK/spool"
 TRACES="$OUT_DIR/trace-segments"
 LOG="$WORK/serve.log"
 REPORT="$OUT_DIR/BENCH_load.json"
+INGEST_REPORT="$OUT_DIR/BENCH_ingest_load.json"
 rm -rf "$TRACES"
 
 echo "== build a tiny model (1 month of trace, 7 days of forest)"
 python -m repro generate --out "$DATA" --months 1
 python -m repro build --data "$DATA" --model "$MODEL" --days 7
 
-echo "== start repro serve with SLOs + tsdb + trace persistence"
+echo "== start repro serve with SLOs + tsdb + trace persistence + ingest"
 python -m repro serve --data "$DATA" --model "$MODEL" --port 0 \
     --slo "$ROOT/examples/slo.yaml" --tsdb-dir "$TSDB" \
     --sample-interval 0.5 --trace-dir "$TRACES" \
-    --trace-threshold 0 >"$LOG" 2>&1 &
+    --trace-threshold 0 --ingest --ingest-snapshot-dir "$SNAPS" \
+    >"$LOG" 2>&1 &
 SERVE_PID=$!
 
 BASE=""
@@ -73,6 +81,49 @@ print(f"   {doc['requests']} requests at {doc['achieved_rate']}/s, "
       f"p99 {doc['latency_seconds']['p99']*1e3:.1f}ms")
 PY
 
+echo "== stream one day of events through POST /ingest (loadgen event mode)"
+python -m repro loadgen "$BASE" --mode ingest --data "$DATA" \
+    --days 1 --first-day 7 --out "$INGEST_REPORT"
+
+echo "== BENCH_ingest_load.json carries throughput and the closed day"
+python - "$INGEST_REPORT" <<'PY'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read())
+assert doc["mode"] == "ingest", doc
+assert doc["accepted"] > 0, doc
+assert doc["errors"] == 0, doc
+assert doc["closed_days"] == 1, doc
+assert doc["events_per_second"] > 0, doc
+print(f"   {doc['accepted']} events in {doc['batches']} batches at "
+      f"{doc['events_per_second']:.0f}/s, 1 day closed")
+PY
+
+echo "== /query reflects the streamed day (flushed, so staleness is 0)"
+curl -fsS -X POST "$BASE/query" -d '{"first_day": 7, "days": 1}' | python -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["returned"] >= 1, doc
+print("   day 7 serves " + str(doc["returned"]) + " clusters")
+'
+
+echo "== /healthz reports the live ingest block"
+curl -fsS "$BASE/healthz" | python -c '
+import json, sys
+doc = json.load(sys.stdin)
+ingest = doc["ingest"]
+assert ingest["open_day"] == 8, ingest
+assert ingest["pending_rows"] == 0, ingest
+assert ingest["staleness_seconds"] == 0.0, ingest
+assert ingest["snapshots"] >= 1, ingest
+print("   open day " + str(ingest["open_day"]) + ", "
+      + str(ingest["accepted"]) + " accepted, snapshot published")
+'
+
+echo "== the day close published an atomic snapshot"
+[ -L "$SNAPS/current" ] || { echo "no current symlink"; exit 1; }
+ls "$SNAPS/current/forest.bin" "$SNAPS/current/cube.bin" \
+    "$SNAPS/current/engine.json" >/dev/null
+
 echo "== GET /slo reports a state"
 curl -fsS "$BASE/slo" | python -c '
 import json, sys
@@ -102,9 +153,10 @@ python -m repro trace show "$TRACE_ID" --trace-dir "$TRACES" \
 echo "== repro slo check (live) gates green"
 python -m repro slo check "$BASE"
 
-echo "== repro top renders the alerts panel"
-python -m repro top --url "$BASE/metrics" --iterations 1 --no-clear \
-    | grep -q "alerts (SLO)" || { echo "missing alerts panel"; exit 1; }
+echo "== repro top renders the alerts and live-ingest panels"
+TOP_OUT="$(python -m repro top --url "$BASE/metrics" --iterations 1 --no-clear)"
+echo "$TOP_OUT" | grep -q "alerts (SLO)" || { echo "missing alerts panel"; exit 1; }
+echo "$TOP_OUT" | grep -q "live ingest" || { echo "missing ingest panel"; exit 1; }
 
 echo "== misuse exits 2 with one error line"
 set +e
@@ -131,5 +183,49 @@ echo "== repro trace ls replays the persisted trace segments offline"
 ls "$TRACES"/trace-*.ndjson >/dev/null
 python -m repro trace ls --trace-dir "$TRACES" \
     | grep -q "$TRACE_ID" || { echo "persisted trace missing"; exit 1; }
+
+echo "== spool one more day and drain it with repro ingest --once"
+python - "$DATA" "$SPOOL" <<'PY'
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.ingest.spool import write_spool_file
+from repro.storage.catalog import DatasetCatalog
+
+data, spool = Path(sys.argv[1]), Path(sys.argv[2])
+for dataset in DatasetCatalog(data):
+    if 8 in dataset.days:
+        batch = dataset.atypical_day(8)
+        order = np.lexsort((batch.sensor_ids, batch.windows))
+        rows = [
+            (int(batch.sensor_ids[i]), int(batch.windows[i]),
+             float(batch.severities[i]))
+            for i in order
+        ]
+        write_spool_file(spool, "000008.ndjson", rows)
+        print(f"   spooled {len(rows)} events for day 8")
+        break
+else:
+    sys.exit("day 8 not in the catalog")
+PY
+python -m repro ingest --data "$DATA" --spool "$SPOOL" \
+    --model "$SNAPS/current" --snapshot-dir "$SNAPS" --once --flush
+
+echo "== the checkpoint covers the drained spool file"
+grep -q "000008.ndjson" "$SNAPS/checkpoint.json"
+
+echo "== the spooled day is queryable from the new snapshot"
+QUERY_OUT="$(python -m repro query --data "$DATA" --model "$SNAPS/current" \
+    --first-day 8 --days 1)"
+echo "   $QUERY_OUT"
+echo "$QUERY_OUT" | grep -Eq "via gui: [1-9][0-9]* inputs" \
+    || { echo "spooled day not queryable"; exit 1; }
+
+echo "== export ingest artifacts (checkpoint + snapshot) for CI upload"
+cp "$SNAPS/checkpoint.json" "$OUT_DIR/ingest-checkpoint.json"
+rm -rf "$OUT_DIR/ingest-snapshot"
+cp -rL "$SNAPS/current" "$OUT_DIR/ingest-snapshot"
 
 echo "load smoke OK"
