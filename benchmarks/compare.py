@@ -44,6 +44,7 @@ import argparse
 import datetime
 import json
 import os
+import platform
 import subprocess
 import sys
 from pathlib import Path
@@ -78,6 +79,14 @@ MAX_SERVE_LOAD_ERROR_RATE = 0.01
 # Self-contained against the report (no baseline section needed).
 MAX_TRACE_OVERHEAD_RATIO = 1.5
 MIN_TRACE_OVERHEAD_DELTA_SECONDS = 0.002
+
+# prof_overhead gate: the continuous wall-clock sampler is designed to be
+# cheap enough to leave on in production, so its budget is much tighter
+# than tracing's — mean /query latency with the sampler running may not
+# exceed 1.10x the unprofiled mean. Same absolute-delta floor so
+# microsecond jitter on fast hosts cannot fail the gate.
+MAX_PROF_OVERHEAD_RATIO = 1.10
+MIN_PROF_OVERHEAD_DELTA_SECONDS = 0.002
 
 # ingest_throughput gate: the live streaming path (extract, install,
 # roll-up per day) must sustain this many accepted events per second on
@@ -154,6 +163,20 @@ def utc_now_iso() -> str:
     return datetime.datetime.now(datetime.timezone.utc).isoformat(
         timespec="seconds"
     )
+
+
+def host_meta() -> dict:
+    """Shape of the machine that produced a history row.
+
+    Bench numbers are only comparable across rows from similar hosts, so
+    every row records the CPU count, platform string, and Python version
+    alongside the timings; the CI job summary prints the same line.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def compare_phases(
@@ -322,6 +345,33 @@ def check_trace_overhead(report: dict) -> List[str]:
     return failures
 
 
+def check_prof_overhead(report: dict) -> List[str]:
+    """Cost ceiling for the continuous profiler, self-contained.
+
+    Fails when ``prof_overhead.overhead_ratio`` exceeds
+    ``MAX_PROF_OVERHEAD_RATIO`` *and* the absolute mean slowdown exceeds
+    ``MIN_PROF_OVERHEAD_DELTA_SECONDS`` — the sampler's whole pitch is
+    "always on", so the ratio budget is tight, but sub-millisecond noise
+    still never fails the build. A report without the section gates
+    nothing.
+    """
+    failures: List[str] = []
+    section = report.get("prof_overhead")
+    if not isinstance(section, dict):
+        return failures
+    ratio = float(section.get("overhead_ratio", 0.0))
+    off_mean = float(section.get("off_mean_seconds", 0.0))
+    on_mean = float(section.get("on_mean_seconds", 0.0))
+    delta = on_mean - off_mean
+    if ratio > MAX_PROF_OVERHEAD_RATIO and delta > MIN_PROF_OVERHEAD_DELTA_SECONDS:
+        failures.append(
+            f"prof_overhead.overhead_ratio {ratio:.2f} exceeds "
+            f"{MAX_PROF_OVERHEAD_RATIO} (profiling adds {delta * 1e3:.1f}ms "
+            f"to a {off_mean * 1e3:.1f}ms request)"
+        )
+    return failures
+
+
 def check_ingest_throughput(report: dict) -> List[str]:
     """Absolute throughput floor for the streaming ingest path.
 
@@ -417,6 +467,17 @@ def history_row(report: dict, rows: List[dict]) -> dict:
         if isinstance(trace, dict)
         else None
     )
+    prof = report.get("prof_overhead")
+    prof_overhead = (
+        {
+            "overhead_ratio": prof.get("overhead_ratio"),
+            "off_mean_seconds": prof.get("off_mean_seconds"),
+            "on_mean_seconds": prof.get("on_mean_seconds"),
+            "stack_samples": prof.get("stack_samples"),
+        }
+        if isinstance(prof, dict)
+        else None
+    )
     ing = report.get("ingest_throughput")
     ingest_throughput = (
         {
@@ -435,6 +496,8 @@ def history_row(report: dict, rows: List[dict]) -> dict:
         row_extra["serve_load"] = serve_load
     if trace_overhead:
         row_extra["trace_overhead"] = trace_overhead
+    if prof_overhead:
+        row_extra["prof_overhead"] = prof_overhead
     if ingest_throughput:
         row_extra["ingest_throughput"] = ingest_throughput
     return {
@@ -442,6 +505,7 @@ def history_row(report: dict, rows: List[dict]) -> dict:
         **scaling,
         "git_sha": meta.get("git_sha") or git_sha(),
         "timestamp": meta.get("timestamp") or utc_now_iso(),
+        "host": host_meta(),
         "phase_seconds": {
             row["phase"]: row["current"]
             for row in rows
@@ -516,7 +580,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides,
         args.min_seconds,
     )
+    host = host_meta()
     print(f"bench gate: {args.report} vs baseline {args.baseline}")
+    print(
+        f"  host: {host['cpu_count']} CPUs, {host['platform']}, "
+        f"python {host['python']}"
+    )
     print(render_rows(rows))
     correctness = (
         check_correctness(report)
@@ -525,6 +594,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             report, baseline, args.tolerance, args.min_seconds
         )
         + check_trace_overhead(report)
+        + check_prof_overhead(report)
         + check_ingest_throughput(report)
     )
     for failure in correctness:

@@ -14,9 +14,11 @@ behind an HTTP query endpoint (``/query``, ``/healthz``, ``/metrics``,
 :mod:`repro.serve`), ``ingest`` to tail a spool directory of NDJSON
 events into a live forest with crash-safe checkpoints and atomic
 snapshots (see :mod:`repro.ingest`), ``top`` for a live terminal
-dashboard over a running server's ``/metrics``, and ``trace`` to inspect
+dashboard over a running server's ``/metrics``, ``trace`` to inspect
 request traces persisted by ``serve --trace-dir``
-(:mod:`repro.obs.tracestore`). The trace directory carries the
+(:mod:`repro.obs.tracestore`), and ``prof`` to inspect the continuous
+profiler's collapsed-stack windows persisted by ``serve --prof-dir``
+(:mod:`repro.obs.contprof`). The trace directory carries the
 simulation config, so every later step rebuilds the same sensor network
 and district partition from it.
 
@@ -339,6 +341,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission control: batches queued behind the ingest lock "
         "before shedding with HTTP 429",
     )
+    serve.add_argument(
+        "--prof",
+        action="store_true",
+        help="enable the continuous wall-clock profiler: GET /profile "
+        "serves the current collapsed-stack window, SLO alerts pin "
+        "profile exemplars (repro.obs.contprof)",
+    )
+    serve.add_argument(
+        "--prof-dir",
+        type=Path,
+        default=None,
+        help="persist finished profile windows here as rotating NDJSON "
+        "segments readable by `repro prof` (default: in-memory only; "
+        "requires --prof)",
+    )
+    serve.add_argument(
+        "--prof-hz",
+        type=float,
+        default=67.0,
+        help="profiler sampling rate in Hz (default: 67, co-prime with "
+        "common loop periods)",
+    )
     # access logs are the point of a server; default them on
     serve.set_defaults(log_level="info")
     _add_engine_arguments(serve)
@@ -612,6 +636,80 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="output path (default: trace_<request_id>.json)",
+    )
+
+    prof = commands.add_parser(
+        "prof",
+        parents=[common],
+        help="inspect continuous-profiler windows persisted by "
+        "repro serve --prof-dir",
+    )
+    prof_commands = prof.add_subparsers(dest="prof_command", required=True)
+    prof_dir_help = "profile segment directory (repro serve --prof-dir)"
+    prof_ls = prof_commands.add_parser(
+        "ls", help="list persisted profile windows, newest last"
+    )
+    prof_ls.add_argument("--prof-dir", type=Path, required=True, help=prof_dir_help)
+    prof_ls.add_argument(
+        "--limit", type=int, default=20, help="windows to list (default: 20)"
+    )
+    prof_show = prof_commands.add_parser(
+        "show",
+        help="render one window (or all windows merged) as hottest frames "
+        "plus collapsed flamegraph stacks",
+    )
+    prof_show.add_argument(
+        "window_id",
+        nargs="?",
+        default=None,
+        help="window id (e.g. from an SLO alert's exemplar_profile_id; "
+        "default: every persisted window merged)",
+    )
+    prof_show.add_argument(
+        "--prof-dir", type=Path, required=True, help=prof_dir_help
+    )
+    prof_show.add_argument(
+        "--top", type=int, default=10, help="hottest frames to list"
+    )
+    prof_diff = prof_commands.add_parser(
+        "diff",
+        help="per-frame self-share delta between two windows "
+        "(what got hotter between before and after)",
+    )
+    prof_diff.add_argument("before", help="window id of the baseline")
+    prof_diff.add_argument("after", help="window id to compare against it")
+    prof_diff.add_argument(
+        "--prof-dir", type=Path, required=True, help=prof_dir_help
+    )
+    prof_diff.add_argument(
+        "--limit", type=int, default=15, help="frame rows to print"
+    )
+    prof_export = prof_commands.add_parser(
+        "export",
+        help="export one window (or all merged) as collapsed stacks "
+        "(flamegraph.pl) or speedscope JSON",
+    )
+    prof_export.add_argument(
+        "window_id",
+        nargs="?",
+        default=None,
+        help="window id (default: every persisted window merged)",
+    )
+    prof_export.add_argument(
+        "--prof-dir", type=Path, required=True, help=prof_dir_help
+    )
+    prof_export.add_argument(
+        "--format",
+        choices=("collapsed", "speedscope"),
+        default="collapsed",
+        dest="export_format",
+        help="output format (default: collapsed)",
+    )
+    prof_export.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: stdout)",
     )
 
     stats = commands.add_parser(
@@ -912,6 +1010,7 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.contprof import ContinuousProfiler
     from repro.obs.slo import SLOEngine, SLOError, load_slo_config
     from repro.obs.tracestore import TailSampler, TraceStore
     from repro.obs.tsdb import Sampler, TimeSeriesStore
@@ -934,6 +1033,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.ingest_max_waiters < 0:
         print("error: --ingest-max-waiters must be >= 0", file=sys.stderr)
+        return 2
+    if args.prof_dir is not None and not args.prof:
+        print("error: --prof-dir requires --prof", file=sys.stderr)
+        return 2
+    if args.prof_hz <= 0:
+        print("error: --prof-hz must be positive", file=sys.stderr)
         return 2
     slo_config = None
     if args.slo is not None:
@@ -960,8 +1065,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         latency_threshold=args.trace_threshold,
         head_rate=args.trace_head_sample,
     )
+    profiler = (
+        ContinuousProfiler(hz=args.prof_hz, segment_dir=args.prof_dir)
+        if args.prof
+        else None
+    )
     slo_engine = (
-        SLOEngine(slo_config, store, trace_store=trace_store)
+        SLOEngine(slo_config, store, trace_store=trace_store, profiler=profiler)
         if slo_config is not None
         else None
     )
@@ -988,6 +1098,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tail_sampler=tail_sampler,
         ingest_engine=ingest_engine,
         ingest_snapshot_dir=args.ingest_snapshot_dir,
+        profiler=profiler,
+        tsdb_sampler=sampler,
     )
     server = QueryServer(app, host=args.host, port=args.port)
     install_signal_handlers(server)
@@ -1018,8 +1130,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"ingest: POST /ingest live (open day {ingest_engine.open_day}, "
             f"batches <= {args.ingest_max_batch} rows; {snapshots})"
         )
+    if profiler is not None:
+        prof_sink = args.prof_dir if args.prof_dir is not None else "memory ring"
+        print(
+            f"profiling: continuous wall-clock sampler at {args.prof_hz:g} Hz, "
+            f"{profiler.window_seconds:g}s windows into {prof_sink}; "
+            "GET /profile"
+        )
     sys.stdout.flush()
     sampler.start()
+    if profiler is not None:
+        profiler.start()
     # blocks until a signal triggers server.stop(); in-flight requests
     # finish before serve_forever returns (block_on_close)
     try:
@@ -1027,6 +1148,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         # final flush sample puts the shutdown edge on disk
         sampler.stop()
+        if profiler is not None:
+            profiler.stop()
         trace_store.sync()
     print("drained, bye")
     return 0
@@ -1315,6 +1438,96 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_prof(args: argparse.Namespace) -> int:
+    from repro.obs.contprof import (
+        collapse_text,
+        diff_frames,
+        format_frame_delta,
+        load_prof_segments,
+        merge_windows,
+        speedscope_doc,
+    )
+
+    try:
+        windows = load_prof_segments(args.prof_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def resolve(window_id):
+        """One window by id, or every persisted window merged."""
+        if window_id is None:
+            return merge_windows(windows, window_id="merged")
+        for window in windows:
+            if window.id == window_id:
+                return window
+        print(
+            f"error: no profile window {window_id!r} in {args.prof_dir} "
+            "(try `repro prof ls`)",
+            file=sys.stderr,
+        )
+        return None
+
+    if args.prof_command == "ls":
+        if args.limit < 1:
+            print("error: --limit must be at least 1", file=sys.stderr)
+            return 2
+        print(
+            f"{'start':>12}  {'seconds':>7}  {'samples':>7}  "
+            f"{'threads':>7}  {'stacks':>6}  window_id"
+        )
+        for window in windows[-args.limit:]:
+            pinned = "  [pinned]" if window.pinned else ""
+            print(
+                f"{window.start:>12.1f}  {window.end - window.start:>7.1f}  "
+                f"{window.samples:>7}  {len(window.threads):>7}  "
+                f"{len(window.stacks):>6}  {window.id}{pinned}"
+            )
+        return 0
+    if args.prof_command == "diff":
+        before = resolve(args.before)
+        after = resolve(args.after)
+        if before is None or after is None:
+            return 2
+        print(f"profile diff {before.id} -> {after.id}")
+        print(format_frame_delta(diff_frames(before, after), limit=args.limit))
+        return 0
+    window = resolve(args.window_id)
+    if window is None:
+        return 2
+    if args.prof_command == "show":
+        if args.top < 1:
+            print("error: --top must be at least 1", file=sys.stderr)
+            return 2
+        pinned = " [pinned]" if window.pinned else ""
+        print(
+            f"profile window {window.id}{pinned}: {window.samples} samples, "
+            f"{window.total()} thread samples "
+            f"({window.running()} running), {len(window.stacks)} stacks"
+        )
+        print("\nhottest frames (self samples):")
+        for row in window.top_frames(args.top):
+            print(
+                f"  {row['total']:>7}  ({row['running']} run / "
+                f"{row['waiting']} wait)  {row['frame']}"
+            )
+        print("\ncollapsed stacks (flamegraph.pl):")
+        print(collapse_text(window), end="")
+        return 0
+    # export
+    if args.export_format == "speedscope":
+        rendered = json.dumps(speedscope_doc(window), indent=2) + "\n"
+    else:
+        rendered = collapse_text(window)
+    if args.out is None:
+        print(rendered, end="")
+        return 0
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(rendered)
+    print(f"{args.export_format} profile written to {args.out}")
+    return 0
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     from repro.serve import run_top
 
@@ -1370,6 +1583,7 @@ _COMMANDS = {
     "loadgen": cmd_loadgen,
     "slo": cmd_slo,
     "trace": cmd_trace,
+    "prof": cmd_prof,
 }
 
 

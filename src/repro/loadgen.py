@@ -523,7 +523,11 @@ def run_ingest_load(
     from repro.ingest.contract import render_ndjson
 
     health = probe_server(base_url, timeout=min(timeout, 5.0))
-    if "ingest" not in health:
+    subsystems = health.get("subsystems")
+    ingest_block = (
+        subsystems.get("ingest") if isinstance(subsystems, dict) else None
+    )
+    if not (isinstance(ingest_block, dict) and ingest_block.get("enabled")):
         raise LoadGenError(
             f"server at {base_url} has no ingest engine "
             "(start serve with --ingest)"

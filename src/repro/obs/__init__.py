@@ -23,13 +23,25 @@ exportable set of runtime signals:
   burn-rate alerts (OK/WARN/PAGE) over the tsdb history;
 * :mod:`repro.obs.tracestore` — tail-sampled request traces (errored /
   slow / deterministic head sample) persisted in rotating NDJSON
-  segments, with critical-path and merged-profile analysis.
+  segments, with critical-path and merged-profile analysis;
+* :mod:`repro.obs.contprof` — the always-on continuous profiler: a
+  wall-clock stack sampler whose collapsed-stack windows persist in
+  rotating NDJSON segments and export flamegraph / speedscope renders.
 
 Collection is **disabled by default** and costs one flag check per
 instrumentation site while off; see :mod:`repro.obs.runtime`. The span
 taxonomy and metric names are documented in DESIGN.md ("Observability").
 """
 
+from repro.obs.contprof import (
+    ContinuousProfiler,
+    ProfileWindow,
+    collapse_text,
+    diff_frames,
+    load_prof_segments,
+    merge_windows,
+    speedscope_doc,
+)
 from repro.obs.exporters import (
     OPENMETRICS_TYPE,
     format_seconds,
@@ -154,6 +166,14 @@ __all__ = [
     "TraceRecord",
     "TraceStore",
     "load_trace_segments",
+    # continuous profiler
+    "ContinuousProfiler",
+    "ProfileWindow",
+    "collapse_text",
+    "speedscope_doc",
+    "merge_windows",
+    "diff_frames",
+    "load_prof_segments",
     # SLOs
     "SLO",
     "SLOConfig",

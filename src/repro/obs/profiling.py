@@ -174,12 +174,18 @@ def _tracemalloc_phase(
         try:
             yield report
         finally:
-            report.current_traced_bytes, report.peak_traced_bytes = (
-                tracemalloc.get_traced_memory()
-            )
-            after = tracemalloc.take_snapshot()
-            if not was_tracing:
-                tracemalloc.stop()
+            # stop tracing no matter what the report assembly does: a
+            # MemoryError out of take_snapshot (or the phase raising
+            # first) must not leave tracemalloc running for the rest of
+            # the process, taxing every later allocation
+            try:
+                report.current_traced_bytes, report.peak_traced_bytes = (
+                    tracemalloc.get_traced_memory()
+                )
+                after = tracemalloc.take_snapshot()
+            finally:
+                if not was_tracing:
+                    tracemalloc.stop()
             diff = after.compare_to(before, "lineno")
             report.top = [
                 {

@@ -306,6 +306,12 @@ class TraceStore:
             records = records[: max(0, int(limit))]
         return records
 
+    def segment_paths(self) -> List[Path]:
+        """The on-disk segment files, oldest first (empty when in-memory)."""
+        if self._segment_dir is None:
+            return []
+        return self._segment_files()
+
     def sync(self) -> None:
         """fsync the open segment so kept traces survive process death."""
         if self._segment_dir is None:

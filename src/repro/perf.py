@@ -40,6 +40,7 @@ __all__ = [
     "scalar_rescan_naive_integrate",
     "run_parallel_build_benchmark",
     "run_serve_latency_benchmark",
+    "run_prof_overhead_benchmark",
     "run_trace_overhead_benchmark",
     "run_ingest_throughput_benchmark",
     "run_integration_benchmark",
@@ -645,6 +646,78 @@ def run_trace_overhead_benchmark(
     }
 
 
+def run_prof_overhead_benchmark(
+    requests: int = 30,
+    build_days: int = 7,
+    seed: int = 7,
+    phase_seconds: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Measure what the always-on wall-clock sampler costs per request.
+
+    Same in-process ``POST /query`` workload as
+    :func:`run_trace_overhead_benchmark`, driven twice over one engine:
+    once plain, once with a :class:`~repro.obs.contprof.ContinuousProfiler`
+    running at its default rate and persisting window segments to disk.
+    The profiler is a GIL-sharing daemon thread, so the cost shows up as
+    stolen interpreter time rather than per-request bookkeeping; the
+    ``overhead_ratio`` (on mean / off mean) is what
+    ``benchmarks/compare.py`` gates against its 1.10x budget, with an
+    absolute-delta guard for sub-millisecond noise.
+    """
+    import tempfile
+
+    from repro.analysis.engine import AnalysisEngine
+    from repro.obs.contprof import ContinuousProfiler
+    from repro.serve import ServeApp
+    from repro.simulate.generator import SimulationConfig, TrafficSimulator
+
+    seconds = phase_seconds if phase_seconds is not None else {}
+    with _phase("prof_overhead", seconds):
+        simulator = TrafficSimulator(SimulationConfig.small(seed=seed))
+        engine = AnalysisEngine.from_simulator(simulator)
+        engine.build_from_simulator(simulator, range(build_days))
+        body = json.dumps({"first_day": 0, "days": build_days}).encode()
+
+        def drive(app) -> List[float]:
+            samples: List[float] = []
+            # warm the query path so neither arm pays first-touch costs
+            app.dispatch("POST", "/query", {}, body)
+            for _ in range(requests):
+                started = time.perf_counter()
+                app.dispatch("POST", "/query", {}, body)
+                samples.append(time.perf_counter() - started)
+            samples.sort()
+            return samples
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-prof-") as tmp:
+            # fresh registries per arm, like the trace-overhead phase
+            with obs.activate(obs.MetricsRegistry(span_limit=10_000)):
+                off = drive(ServeApp(engine))
+            with obs.activate(obs.MetricsRegistry(span_limit=10_000)):
+                profiler = ContinuousProfiler(
+                    window_seconds=1.0, segment_dir=Path(tmp)
+                )
+                profiler.start()
+                try:
+                    on = drive(ServeApp(engine, profiler=profiler))
+                finally:
+                    profiler.stop()
+                stack_samples = profiler.merged().samples
+    off_mean = math.fsum(off) / len(off) if off else 0.0
+    on_mean = math.fsum(on) / len(on) if on else 0.0
+    return {
+        "requests": requests,
+        "build_days": build_days,
+        "hz": profiler.hz,
+        "off_mean_seconds": off_mean,
+        "off_p50_seconds": _sorted_quantile(off, 0.50),
+        "on_mean_seconds": on_mean,
+        "on_p50_seconds": _sorted_quantile(on, 0.50),
+        "overhead_ratio": on_mean / off_mean if off_mean else float("inf"),
+        "stack_samples": stack_samples,
+    }
+
+
 def run_serve_load_benchmark(
     duration: float = 3.0,
     concurrency: int = 2,
@@ -923,6 +996,11 @@ def run_integration_benchmark(
         seed=seed, phase_seconds=phase_seconds
     )
 
+    # -- continuous profiler: sampler-thread tax on the query path --------
+    prof_overhead = run_prof_overhead_benchmark(
+        seed=seed, phase_seconds=phase_seconds
+    )
+
     # -- storage engine: bytes faulted per range query (fig17b) ----------
     query_io = run_query_io_benchmark(seed=seed, phase_seconds=phase_seconds)
 
@@ -967,6 +1045,7 @@ def run_integration_benchmark(
         "serve_latency": serve_latency,
         "serve_load": serve_load,
         "trace_overhead": trace_overhead,
+        "prof_overhead": prof_overhead,
         "query_io": query_io,
         "ingest_throughput": ingest_throughput,
         "naive_fixpoint": {
@@ -1087,6 +1166,16 @@ def format_report(report: dict) -> str:
             f"on {trace['on_mean_seconds'] * 1e3:.1f}ms mean "
             f"({trace['overhead_ratio']:.2f}x), "
             f"{trace['traces_kept']} traces kept"
+        )
+    prof = report.get("prof_overhead")
+    if prof:
+        lines.append(
+            f"prof overhead ({prof['requests']} in-process /query requests, "
+            f"{prof['hz']:g} Hz sampler): "
+            f"off {prof['off_mean_seconds'] * 1e3:.1f}ms vs "
+            f"on {prof['on_mean_seconds'] * 1e3:.1f}ms mean "
+            f"({prof['overhead_ratio']:.2f}x), "
+            f"{prof['stack_samples']} stack samples"
         )
     ing = report.get("ingest_throughput")
     if ing:

@@ -35,6 +35,8 @@ __all__ = [
     "slo_url_for",
     "fetch_traces",
     "traces_url_for",
+    "fetch_profile",
+    "profile_url_for",
     "histogram_quantile",
     "delta_histogram",
     "counter_delta",
@@ -148,6 +150,30 @@ def fetch_traces(
     return doc
 
 
+def profile_url_for(metrics_url: str) -> str:
+    """The ``/profile`` endpoint next to a ``/metrics`` URL."""
+    if metrics_url.endswith("/metrics"):
+        return metrics_url[: -len("/metrics")] + "/profile"
+    return metrics_url.rstrip("/") + "/profile"
+
+
+def fetch_profile(url: str, timeout: float = 2.0) -> Optional[Dict[str, object]]:
+    """Fetch the continuous profiler's summary document, or ``None``.
+
+    Like :func:`fetch_slo`, every non-panel case — profiling not enabled
+    (404), server unreachable, junk payload — collapses to ``None`` and
+    the dashboard omits the hottest-frames panel for that frame.
+    """
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            doc = json.loads(resp.read().decode("utf-8", errors="replace"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or "top" not in doc:
+        return None
+    return doc
+
+
 def counter_delta(current: float, previous: Optional[float]) -> Tuple[float, bool]:
     """Scrape-to-scrape counter growth, monotonic-reset corrected.
 
@@ -245,6 +271,9 @@ class DashboardView:
     trace_rows: List[Tuple[str, str, int, float, str]] = field(
         default_factory=list
     )
+    profile_samples: Optional[int] = None  #: thread samples, None = no panel
+    #: hottest-frame rows: (frame, running, waiting, share of all samples)
+    profile_rows: List[Tuple[str, int, int, float]] = field(default_factory=list)
 
     def apply_slo(self, doc: Optional[Mapping[str, object]]) -> None:
         """Fold a fetched ``/slo`` document into the view (None = omit)."""
@@ -268,6 +297,23 @@ class DashboardView:
                     str(entry.get("name", "?")),
                     burns or "n/a",
                     str(entry.get("description", "")),
+                )
+            )
+
+    def apply_profile(self, doc: Optional[Mapping[str, object]]) -> None:
+        """Fold a fetched ``/profile`` document into the view (None = omit)."""
+        if doc is None:
+            return
+        total = int(doc.get("total", 0))  # type: ignore[arg-type]
+        self.profile_samples = total
+        for entry in doc.get("top", []):  # type: ignore[union-attr]
+            frame_total = int(entry.get("total", 0))
+            self.profile_rows.append(
+                (
+                    str(entry.get("frame", "?")),
+                    int(entry.get("running", 0)),
+                    int(entry.get("waiting", 0)),
+                    frame_total / total if total else 0.0,
                 )
             )
 
@@ -496,6 +542,19 @@ def render(view: DashboardView, source: str = "") -> str:
         if not view.trace_rows:
             lines.append("  (none kept yet)")
 
+    if view.profile_samples is not None:
+        lines.append("")
+        lines.append(
+            f"hottest frames (continuous profiler, "
+            f"{view.profile_samples} thread samples)"
+        )
+        for frame, running, waiting, share in view.profile_rows:
+            lines.append(
+                f"  {share:>6.1%}  {running:>6} run / {waiting:>5} wait  {frame}"
+            )
+        if not view.profile_rows:
+            lines.append("  (no samples yet)")
+
     if view.stages:
         lines.append("")
         lines.append("hottest query stages (total seconds)")
@@ -526,6 +585,7 @@ def run_top(
     state = DashboardState()
     slo_endpoint = slo_url_for(url)
     traces_endpoint = traces_url_for(url)
+    profile_endpoint = profile_url_for(url)
     done = 0
     try:
         while iterations is None or done < iterations:
@@ -533,6 +593,9 @@ def run_top(
                 view = state.update(scrape(url, timeout=timeout))
                 view.apply_slo(fetch_slo(slo_endpoint, timeout=timeout))
                 view.apply_traces(fetch_traces(traces_endpoint, timeout=timeout))
+                view.apply_profile(
+                    fetch_profile(profile_endpoint, timeout=timeout)
+                )
                 frame = render(view, url)
             except (urllib.error.URLError, OSError, ValueError) as exc:
                 frame = f"repro top — {url}\nscrape failed: {exc}\n"

@@ -28,6 +28,13 @@ sight. Endpoints:
 * ``GET /traces`` — summaries of the tail-sampled request traces kept
   in the trace store (slowest or most recent first), when tracing is
   wired; 404 otherwise. See :mod:`repro.obs.tracestore`.
+* ``GET /profile`` — the continuous profiler's current-window summary
+  (hottest frames, retained windows, pinned exemplars), when the server
+  was started with ``--prof``; 404 otherwise.
+  ``?format=collapsed`` renders flamegraph.pl-compatible collapsed
+  stacks, ``?format=speedscope`` the speedscope JSON file format, and
+  ``?window=<id>`` selects one retained/pinned window instead of the
+  merged view. See :mod:`repro.obs.contprof`.
 
 RED accounting (counters, latency histograms, sliding-window rates,
 correlation ids, access log) is handled per request by
@@ -38,7 +45,7 @@ slow and head-sampled requests are kept.
 
 The transport-facing entry point is :meth:`ServeApp.respond`, which
 wraps :meth:`ServeApp.dispatch` with content negotiation (gzip for the
-text-heavy ``/metrics``, ``/slo`` and ``/traces`` bodies).
+text-heavy ``/metrics``, ``/slo``, ``/traces`` and ``/profile`` bodies).
 """
 
 from __future__ import annotations
@@ -60,6 +67,7 @@ from repro.obs.exporters import OPENMETRICS_TYPE
 from repro.obs.metrics import LATENCY_BUCKETS
 from repro.ingest.contract import ContractError, parse_body
 from repro.ingest.engine import IngestEngine, IngestOverload
+from repro.obs.contprof import ContinuousProfiler, collapse_text, speedscope_doc
 from repro.obs.tracestore import TailSampler, TraceRecord, TraceStore
 from repro.obs.tracing import to_chrome_trace
 from repro.serve.context import RequestContext, sanitize_request_id
@@ -71,7 +79,7 @@ JSON_TYPE = "application/json; charset=utf-8"
 METRICS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Paths whose (large, text) responses are gzip-encoded on request.
-GZIP_PATHS = ("/metrics", "/slo", "/traces")
+GZIP_PATHS = ("/metrics", "/slo", "/traces", "/profile")
 
 
 @dataclass
@@ -141,9 +149,13 @@ class ServeApp:
         tail_sampler: Optional[TailSampler] = None,
         ingest_engine: Optional[IngestEngine] = None,
         ingest_snapshot_dir: Optional[Path] = None,
+        profiler: Optional[ContinuousProfiler] = None,
+        tsdb_sampler=None,
     ):
         self._engine = engine
         self._slo_engine = slo_engine
+        self._profiler = profiler
+        self._tsdb_sampler = tsdb_sampler
         self._ingest = ingest_engine
         self._ingest_snapshot_dir = (
             Path(ingest_snapshot_dir) if ingest_snapshot_dir is not None else None
@@ -184,6 +196,11 @@ class ServeApp:
         """The tail-sampled trace store, or ``None`` when tracing is off."""
         return self._trace_store
 
+    @property
+    def profiler(self) -> Optional[ContinuousProfiler]:
+        """The continuous profiler, or ``None`` when profiling is off."""
+        return self._profiler
+
     # ------------------------------------------------------------------
     def dispatch(
         self,
@@ -217,6 +234,7 @@ class ServeApp:
             "/metrics": "metrics",
             "/slo": "slo",
             "/traces": "traces",
+            "/profile": "profile",
         }.get(path, "other")
         clean_id = sanitize_request_id(request_id)
         ctx = RequestContext(
@@ -399,6 +417,18 @@ class ServeApp:
                         ctx, 404, "request tracing is not enabled on this server"
                     )
                 return 200, JSON_TYPE, _json_bytes(self.traces_doc(params))
+            if endpoint == "profile":
+                if method != "GET":
+                    return self._error(ctx, 405, "GET required for /profile")
+                if self._profiler is None:
+                    return self._error(
+                        ctx,
+                        404,
+                        "continuous profiling is not enabled "
+                        "(start serve with --prof)",
+                    )
+                content_type, payload = self.profile_payload(params)
+                return 200, content_type, payload
             return self._error(ctx, 404, f"no such endpoint: {path}")
         except _ClientError as exc:
             return self._error(ctx, 400, str(exc))
@@ -596,8 +626,11 @@ class ServeApp:
         """The liveness document served on ``/healthz``.
 
         With ingest enabled the model counts are read live (the forest
-        grows mid-stream) and an ``ingest`` block reports the stream's
-        operational state, staleness included.
+        grows mid-stream). The ``subsystems`` block reports every
+        optional background subsystem — tsdb sampler, trace store,
+        continuous profiler, live ingest — in one uniform shape:
+        ``enabled``, ``segments`` on disk, ``last_flush_age_seconds``,
+        plus a few subsystem-specific operational fields.
         """
         with self._stats_lock:
             served, errors, in_flight = self._served, self._errors, self._in_flight
@@ -624,9 +657,99 @@ class ServeApp:
             "pid": os.getpid(),
             "observability": obs.enabled(),
         }
-        if self._ingest is not None:
-            doc["ingest"] = self._ingest.stats()
+        doc["subsystems"] = self.subsystems()
         return doc
+
+    @staticmethod
+    def _flush_age(segments) -> Optional[float]:
+        """Seconds since the newest segment file was written, or None."""
+        newest = None
+        for path in segments:
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            newest = mtime if newest is None else max(newest, mtime)
+        if newest is None:
+            return None
+        return max(0.0, round(time.time() - newest, 3))
+
+    def subsystems(self) -> Dict[str, Dict[str, object]]:
+        """Uniform per-subsystem health: the ``/healthz`` subsystems block.
+
+        Every optional background subsystem answers the same three
+        operator questions — is it on, is it flushing, how much is on
+        disk — whether or not it is enabled, so dashboards and runbooks
+        can key on a stable shape.
+        """
+        tsdb: Dict[str, object] = {
+            "enabled": self._tsdb_sampler is not None,
+            "segments": 0,
+            "last_flush_age_seconds": None,
+        }
+        if self._tsdb_sampler is not None:
+            store = self._tsdb_sampler.store
+            segments = store.segment_paths()
+            tsdb.update(
+                {
+                    "segments": len(segments),
+                    "last_flush_age_seconds": self._flush_age(segments),
+                    "interval_seconds": self._tsdb_sampler.interval,
+                    "samples": store.samples,
+                    "series": len(store.series_names()),
+                }
+            )
+        traces: Dict[str, object] = {
+            "enabled": self._trace_store is not None,
+            "segments": 0,
+            "last_flush_age_seconds": None,
+        }
+        if self._trace_store is not None:
+            segments = self._trace_store.segment_paths()
+            traces.update(
+                {
+                    "segments": len(segments),
+                    "last_flush_age_seconds": self._flush_age(segments),
+                    "kept": self._trace_store.added,
+                    "count": len(self._trace_store),
+                }
+            )
+        profiler: Dict[str, object] = {
+            "enabled": self._profiler is not None,
+            "segments": 0,
+            "last_flush_age_seconds": None,
+        }
+        if self._profiler is not None:
+            stats = self._profiler.stats()
+            segments = self._profiler.segment_paths()
+            profiler.update(
+                {
+                    "segments": len(segments),
+                    "last_flush_age_seconds": self._flush_age(segments),
+                    "running": stats["running"],
+                    "hz": stats["hz"],
+                    "window_seconds": stats["window_seconds"],
+                    "windows": stats["windows"],
+                    "pinned": stats["pinned"],
+                    "current_window": stats["current_window"],
+                }
+            )
+        ingest: Dict[str, object] = {
+            "enabled": self._ingest is not None,
+            "segments": 0,
+            "last_flush_age_seconds": None,
+        }
+        if self._ingest is not None:
+            stats = self._ingest.stats()
+            ingest.update(stats)
+            staleness = stats.get("staleness_seconds")
+            ingest["last_flush_age_seconds"] = staleness
+        return {
+            "tsdb": tsdb,
+            "traces": traces,
+            "profiler": profiler,
+            "ingest": ingest,
+        }
 
     def metrics_text(self) -> str:
         """The shared registry rendered in Prometheus exposition format."""
@@ -668,3 +791,36 @@ class ServeApp:
             "sort": sort,
             "traces": [record.summary() for record in records],
         }
+
+    def profile_payload(
+        self, params: Mapping[str, str]
+    ) -> Tuple[str, bytes]:
+        """The ``/profile`` body in the negotiated format.
+
+        ``?format=summary`` (default) is the JSON summary document,
+        ``collapsed`` the flamegraph.pl text, ``speedscope`` the
+        speedscope JSON file. ``?window=<id>`` selects one retained or
+        pinned window; the default merges everything still in memory so
+        a just-rotated window never renders empty.
+        """
+        if self._profiler is None:
+            raise RuntimeError("no profiler configured")
+        fmt = str(params.get("format", "summary"))
+        if fmt not in ("summary", "collapsed", "speedscope"):
+            raise _ClientError(
+                "format must be 'summary', 'collapsed' or 'speedscope'"
+            )
+        window_id = params.get("window") or None
+        if fmt == "summary" and window_id is None:
+            return JSON_TYPE, _json_bytes(self._profiler.profile_doc())
+        try:
+            window = self._profiler.merged(window_id)
+        except KeyError:
+            raise _ClientError(f"no such profile window: {window_id}")
+        if fmt == "collapsed":
+            return "text/plain; charset=utf-8", collapse_text(window).encode()
+        if fmt == "speedscope":
+            return JSON_TYPE, _json_bytes(speedscope_doc(window))
+        doc = window.summary()
+        doc["top"] = window.top_frames(10)
+        return JSON_TYPE, _json_bytes(doc)

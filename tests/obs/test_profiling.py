@@ -95,6 +95,36 @@ class TestTracemalloc:
         assert text.startswith("profile (tracemalloc)")
         assert "traced heap peak" in text
 
+    def test_stops_tracing_when_phase_raises(self, registry):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        with pytest.raises(RuntimeError, match="boom"):
+            with profile_phase("tracemalloc"):
+                raise RuntimeError("boom")
+        assert not tracemalloc.is_tracing()
+
+    def test_stops_tracing_when_report_assembly_raises(
+        self, registry, monkeypatch
+    ):
+        import tracemalloc
+
+        real_snapshot = tracemalloc.take_snapshot
+        calls = {"n": 0}
+
+        def flaky_snapshot():
+            calls["n"] += 1
+            if calls["n"] >= 2:  # the "after" snapshot at phase exit
+                raise MemoryError("snapshot too large")
+            return real_snapshot()
+
+        monkeypatch.setattr(tracemalloc, "take_snapshot", flaky_snapshot)
+        assert not tracemalloc.is_tracing()
+        with pytest.raises(MemoryError):
+            with profile_phase("tracemalloc"):
+                _workload()
+        assert not tracemalloc.is_tracing()
+
 
 class TestDispatch:
     def test_registered_profilers(self):

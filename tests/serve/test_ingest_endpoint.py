@@ -189,12 +189,13 @@ class TestIngestEndpoint:
         assert status == 200
         assert result["returned"] >= 1
 
-    def test_healthz_reports_ingest_block(self, ingest_server):
+    def test_healthz_reports_ingest_subsystem(self, ingest_server):
         rows = _rows(ingest_server.engine, BUILD_DAYS)
         _request(ingest_server.base, "/ingest", data=render_ndjson(rows))
         status, doc = _request(ingest_server.base, "/healthz")
         assert status == 200
-        ingest = doc["ingest"]
+        ingest = doc["subsystems"]["ingest"]
+        assert ingest["enabled"] is True
         assert ingest["open_day"] == BUILD_DAYS
         assert ingest["accepted"] == len(rows)
         assert ingest["pending_rows"] == len(rows)

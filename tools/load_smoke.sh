@@ -9,10 +9,15 @@
 # tsdb segments the sampler persisted — verify the tail sampler kept
 # traces that `repro trace show` resolves both live and from the
 # persisted segments, and finally drain a spool directory offline with
-# `repro ingest --once`, resuming from the published snapshot. CI runs
+# `repro ingest --once`, resuming from the published snapshot. The serve
+# process also runs the continuous profiler (`--prof`): the smoke asserts
+# `GET /profile` is non-empty after load, replays the persisted
+# prof segments offline with `repro prof`, and finally forces an SLO PAGE
+# against a strict config to check the alert's exemplar_profile_id
+# resolves to a non-empty flamegraph through `repro prof show`. CI runs
 # this as the load-smoke job and uploads the BENCH_load.json,
-# BENCH_ingest_load.json, trace segments, ingest checkpoint and
-# snapshot it produces; it works locally too:
+# BENCH_ingest_load.json, trace segments, prof segments, ingest
+# checkpoint and snapshot it produces; it works locally too:
 #
 #   tools/load_smoke.sh [out-dir]
 set -euo pipefail
@@ -35,20 +40,22 @@ TSDB="$WORK/tsdb"
 SNAPS="$WORK/snaps"
 SPOOL="$WORK/spool"
 TRACES="$OUT_DIR/trace-segments"
+PROF="$OUT_DIR/prof-segments"
 LOG="$WORK/serve.log"
 REPORT="$OUT_DIR/BENCH_load.json"
 INGEST_REPORT="$OUT_DIR/BENCH_ingest_load.json"
-rm -rf "$TRACES"
+rm -rf "$TRACES" "$PROF"
 
 echo "== build a tiny model (1 month of trace, 7 days of forest)"
 python -m repro generate --out "$DATA" --months 1
 python -m repro build --data "$DATA" --model "$MODEL" --days 7
 
-echo "== start repro serve with SLOs + tsdb + trace persistence + ingest"
+echo "== start repro serve with SLOs + tsdb + traces + profiler + ingest"
 python -m repro serve --data "$DATA" --model "$MODEL" --port 0 \
     --slo "$ROOT/examples/slo.yaml" --tsdb-dir "$TSDB" \
     --sample-interval 0.5 --trace-dir "$TRACES" \
-    --trace-threshold 0 --ingest --ingest-snapshot-dir "$SNAPS" \
+    --trace-threshold 0 --prof --prof-dir "$PROF" \
+    --ingest --ingest-snapshot-dir "$SNAPS" \
     >"$LOG" 2>&1 &
 SERVE_PID=$!
 
@@ -106,17 +113,45 @@ assert doc["returned"] >= 1, doc
 print("   day 7 serves " + str(doc["returned"]) + " clusters")
 '
 
-echo "== /healthz reports the live ingest block"
+echo "== /healthz reports every subsystem in the uniform shape"
 curl -fsS "$BASE/healthz" | python -c '
 import json, sys
 doc = json.load(sys.stdin)
-ingest = doc["ingest"]
+subsystems = doc["subsystems"]
+assert set(subsystems) == {"tsdb", "traces", "profiler", "ingest"}, subsystems
+for name, block in subsystems.items():
+    assert block["enabled"] is True, (name, block)
+    assert "segments" in block and "last_flush_age_seconds" in block, block
+ingest = subsystems["ingest"]
 assert ingest["open_day"] == 8, ingest
 assert ingest["pending_rows"] == 0, ingest
 assert ingest["staleness_seconds"] == 0.0, ingest
 assert ingest["snapshots"] >= 1, ingest
+assert subsystems["profiler"]["running"] is True, subsystems
 print("   open day " + str(ingest["open_day"]) + ", "
       + str(ingest["accepted"]) + " accepted, snapshot published")
+'
+
+echo "== GET /profile is non-empty after the load"
+curl -fsS "$BASE/profile" | python -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["enabled"] is True, doc
+assert doc["samples"] > 0, doc
+assert doc["total"] > 0, doc
+assert doc["top"], doc
+print("   " + str(doc["total"]) + " thread samples, hottest: "
+      + doc["top"][0]["frame"])
+'
+curl -fsS "$BASE/profile?format=collapsed" | grep -q ";" \
+    || { echo "collapsed export is empty"; exit 1; }
+curl -fsS "$BASE/profile?format=speedscope" | python -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["$schema"].endswith("file-format-schema.json"), doc
+assert doc["profiles"][0]["weights"], doc
+print("   speedscope export has " + str(len(doc["shared"]["frames"]))
+      + " frames")
 '
 
 echo "== the day close published an atomic snapshot"
@@ -153,10 +188,11 @@ python -m repro trace show "$TRACE_ID" --trace-dir "$TRACES" \
 echo "== repro slo check (live) gates green"
 python -m repro slo check "$BASE"
 
-echo "== repro top renders the alerts and live-ingest panels"
+echo "== repro top renders the alerts, ingest, and hottest-frames panels"
 TOP_OUT="$(python -m repro top --url "$BASE/metrics" --iterations 1 --no-clear)"
 echo "$TOP_OUT" | grep -q "alerts (SLO)" || { echo "missing alerts panel"; exit 1; }
 echo "$TOP_OUT" | grep -q "live ingest" || { echo "missing ingest panel"; exit 1; }
+echo "$TOP_OUT" | grep -q "hottest frames" || { echo "missing profile panel"; exit 1; }
 
 echo "== misuse exits 2 with one error line"
 set +e
@@ -183,6 +219,68 @@ echo "== repro trace ls replays the persisted trace segments offline"
 ls "$TRACES"/trace-*.ndjson >/dev/null
 python -m repro trace ls --trace-dir "$TRACES" \
     | grep -q "$TRACE_ID" || { echo "persisted trace missing"; exit 1; }
+
+echo "== repro prof replays the persisted profile segments offline"
+ls "$PROF"/prof-*.ndjson >/dev/null
+python -m repro prof ls --prof-dir "$PROF" | grep -q "pw-" \
+    || { echo "no persisted profile windows"; exit 1; }
+python -m repro prof show --prof-dir "$PROF" | grep -q ";" \
+    || { echo "offline merged flamegraph is empty"; exit 1; }
+
+echo "== a forced SLO PAGE carries a resolvable profile exemplar"
+STRICT_SLO="$WORK/strict-slo.yaml"
+cat > "$STRICT_SLO" <<'YAML'
+slos:
+  - name: availability-strict
+    kind: availability
+    objective: 0.999
+min_requests: 1
+YAML
+PROF2="$WORK/prof-page"
+LOG2="$WORK/serve-page.log"
+python -m repro serve --data "$DATA" --model "$MODEL" --port 0 \
+    --slo "$STRICT_SLO" --sample-interval 0.5 \
+    --prof --prof-dir "$PROF2" >"$LOG2" 2>&1 &
+SERVE_PID=$!
+BASE2=""
+for _ in $(seq 1 100); do
+    BASE2="$(sed -n 's|.* on \(http://[^ ]*\) .*|\1|p' "$LOG2" | head -n 1)"
+    [ -n "$BASE2" ] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "page-scenario server exited during startup"; cat "$LOG2"; exit 1
+    fi
+    sleep 0.2
+done
+[ -n "$BASE2" ] || { echo "page-scenario server never printed its URL"; cat "$LOG2"; exit 1; }
+# burn the availability budget: a batch of malformed queries 400s
+for _ in $(seq 1 10); do
+    curl -sS -o /dev/null -X POST "$BASE2/query" -d '{not json' || true
+done
+curl -fsS -o /dev/null "$BASE2/healthz"
+sleep 2  # two sampler ticks so the tsdb sees the burned budget
+EXEMPLAR="$(curl -fsS "$BASE2/slo" | python -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["state"] == "PAGE", doc
+entry = doc["slos"][0]
+assert entry["state"] == "PAGE", entry
+assert entry["exemplar_profile_id"], entry
+print(entry["exemplar_profile_id"])
+')"
+echo "   paged with profile exemplar $EXEMPLAR"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "page-scenario serve failed"; cat "$LOG2"; exit 1; }
+SERVE_PID=""
+
+echo "== repro prof show resolves the exemplar to a non-empty flamegraph"
+SHOW_OUT="$(python -m repro prof show "$EXEMPLAR" --prof-dir "$PROF2")"
+echo "$SHOW_OUT" | grep -q "profile window $EXEMPLAR" \
+    || { echo "exemplar window missing offline"; exit 1; }
+echo "$SHOW_OUT" | grep -q "\[pinned\]" \
+    || { echo "exemplar window not pinned"; exit 1; }
+echo "$SHOW_OUT" | grep -q ";" \
+    || { echo "exemplar flamegraph is empty"; exit 1; }
+echo "   exemplar $EXEMPLAR resolves offline"
 
 echo "== spool one more day and drain it with repro ingest --once"
 python - "$DATA" "$SPOOL" <<'PY'
